@@ -1,0 +1,83 @@
+//! Completability benches — Table 1, completability column.
+//!
+//! * `positive_saturation/*` — rows `F(A+, φ+, ·)`: the Thm 5.5 algorithm
+//!   must scale polynomially in form size.
+//! * `np_sat/*` — rows `F(A+, φ−, 1/k)`: the Thm 5.2 procedure on SAT
+//!   families (NP-complete; exponential worst case expected).
+//! * `depth1_deadlock/*` — rows `F(A−, φ±, 1)`: the Lemma 4.3 canonical
+//!   search on Thm 4.6 deadlock families (PSPACE-complete; the state space
+//!   doubles per philosopher).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+fn positive_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completability/positive_saturation");
+    for n in [8usize, 16, 32, 64, 128] {
+        let w = workloads::positive_chain(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &w, |b, w| {
+            b.iter(|| {
+                let r = completability(&w.form, &CompletabilityOptions::default());
+                assert_eq!(r.verdict, Verdict::Holds);
+            })
+        });
+    }
+    for (depth, fanout) in [(2usize, 2usize), (3, 2), (3, 3), (4, 2)] {
+        let w = workloads::positive_tree(depth, fanout);
+        group.bench_with_input(
+            BenchmarkId::new("tree", format!("d{depth}f{fanout}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let r = completability(&w.form, &CompletabilityOptions::default());
+                    assert_eq!(r.verdict, Verdict::Holds);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn np_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completability/np_sat");
+    group.sample_size(10);
+    for vars in [4usize, 6, 8, 10] {
+        let clauses = vars * 3;
+        let family: Vec<_> = (0..3u64)
+            .map(|seed| workloads::np_sat(seed, vars, clauses))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("v", vars), &family, |b, family| {
+            b.iter(|| {
+                for w in family {
+                    let r = completability(&w.form, &CompletabilityOptions::default());
+                    let expected = if w.expected.unwrap() {
+                        Verdict::Holds
+                    } else {
+                        Verdict::Fails
+                    };
+                    assert_eq!(r.verdict, expected, "{}", w.name);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn depth1_deadlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completability/depth1_deadlock");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let w = workloads::depth1_philosophers(n);
+        group.bench_with_input(BenchmarkId::new("philosophers", n), &w, |b, w| {
+            b.iter(|| {
+                let r = completability(&w.form, &CompletabilityOptions::default());
+                assert_eq!(r.verdict, Verdict::Holds);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, positive_saturation, np_sat, depth1_deadlock);
+criterion_main!(benches);

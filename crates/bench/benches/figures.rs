@@ -1,0 +1,94 @@
+//! Figure benches — Figures 1–3 and the running example.
+//!
+//! * `figure1` / `figure2` — building and validating the leave schema and
+//!   its instances (cheap; regression guards for the core structures).
+//! * `figure3_canon/*` — canonicalisation (Def. 3.8 quotient) on the
+//!   Figure 3 instance and on growing random instances.
+//! * `leave_workflow/*` — Example 3.12 end-to-end: replaying the complete
+//!   run, checking the Sec. 3.5 claims through the solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_core::{bisim, leave, Instance, Schema};
+use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
+use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+use std::sync::Arc;
+
+fn figure1_and_2(c: &mut Criterion) {
+    c.bench_function("figures/figure1_schema", |b| {
+        b.iter(|| {
+            let s = leave::schema();
+            assert_eq!(s.depth(), 3);
+            criterion::black_box(s.render())
+        })
+    });
+    c.bench_function("figures/figure2_instances", |b| {
+        let s = leave::schema();
+        b.iter(|| {
+            let a = leave::figure2a(s.clone());
+            let bb = leave::figure2b(s.clone());
+            assert_eq!(a.live_count() + bb.live_count(), 22);
+        })
+    });
+}
+
+fn figure3_canon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/figure3_canon");
+    // The Figure 3 instance itself.
+    let s = Arc::new(Schema::parse("a(c(e), d), b(c, d(e))").unwrap());
+    let fig3 = Instance::parse(
+        s,
+        "a(c, c(e)), a(c, c(e)), a(c(e), c(e)), a(c(e)), b(c, d(e), d(e))",
+    )
+    .unwrap();
+    group.bench_function("paper_instance", |b| {
+        b.iter(|| {
+            let can = bisim::canonical(&fig3);
+            assert_eq!(can.live_count(), 12);
+        })
+    });
+    // Scaling on random instances.
+    for nodes in [50usize, 200, 800, 3200] {
+        let inst = workloads::random_instance(42, 40, nodes);
+        group.bench_with_input(BenchmarkId::new("random", nodes), &inst, |b, inst| {
+            b.iter(|| criterion::black_box(bisim::canonical(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn leave_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/leave_workflow");
+    group.sample_size(10);
+    group.bench_function("complete_run_replay", |b| {
+        let g = leave::example_3_12();
+        let run = leave::complete_run(&g);
+        b.iter(|| assert!(g.is_complete_run(&run)))
+    });
+    group.bench_function("ex312_completable", |b| {
+        let g = leave::example_3_12();
+        b.iter(|| {
+            let r = completability(&g, &CompletabilityOptions::default());
+            assert_eq!(r.verdict, Verdict::Holds);
+        })
+    });
+    group.bench_function("sec35_not_semisound", |b| {
+        let g = leave::section_3_5_variant();
+        let opts = SemisoundnessOptions {
+            limits: ExploreLimits {
+                multiplicity_cap: Some(1),
+                max_states: 50_000,
+                ..ExploreLimits::small()
+            },
+            oracle_limits: None,
+        };
+        b.iter(|| {
+            let r = semisoundness(&g, &opts);
+            assert_eq!(r.verdict, Verdict::Fails);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure1_and_2, figure3_canon, leave_workflow);
+criterion_main!(benches);

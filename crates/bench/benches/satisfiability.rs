@@ -1,0 +1,95 @@
+//! Satisfiability benches — Corollary 4.5.
+//!
+//! * `tableau_random/*` — random path formulas at growing size (the
+//!   NP-side: depth bounded by formula nesting).
+//! * `sat_encoding/*` — the Cor 4.5 SAT→satisfiability encoding vs the
+//!   DPLL baseline on the same CNFs (reduction overhead is the point).
+//! * `qbf_encoding/*` — the Cor 4.5 QSAT→satisfiability nested encoding
+//!   (the PSPACE side: alternation count is the hard axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_logic::gen::{random_3cnf, XorShift};
+use idar_logic::qbf::{Qbf, Quantifier};
+use idar_logic::Var;
+use idar_solver::satisfiability::{satisfiable, SatOptions, SatResult};
+
+fn tableau_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfiability/tableau_random");
+    for size in [5usize, 10, 20, 40] {
+        let family: Vec<_> = (0..5u64)
+            .map(|seed| workloads::random_formula(seed, 4, size))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("size", size), &family, |b, family| {
+            b.iter(|| {
+                for f in family {
+                    let r = satisfiable(f, &SatOptions::default());
+                    assert_ne!(r, SatResult::BudgetExhausted);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sat_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfiability/sat_encoding");
+    group.sample_size(10);
+    for vars in [4usize, 5, 6] {
+        let cnfs: Vec<_> = (0..3u64).map(|s| random_3cnf(s, vars, vars * 3)).collect();
+        group.bench_with_input(BenchmarkId::new("tableau_v", vars), &cnfs, |b, cnfs| {
+            b.iter(|| {
+                for cnf in cnfs {
+                    let f = idar_reductions::sat_to_satisfiability::reduce(cnf);
+                    let r = satisfiable(&f, &SatOptions::default());
+                    assert_eq!(r.is_sat(), idar_logic::sat_solve(cnf).is_some());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dpll_v", vars), &cnfs, |b, cnfs| {
+            b.iter(|| {
+                for cnf in cnfs {
+                    criterion::black_box(idar_logic::sat_solve(cnf));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn qbf_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfiability/qbf_encoding");
+    group.sample_size(10);
+    for nvars in [2usize, 3] {
+        let mut rng = XorShift::new(77);
+        let family: Vec<Qbf> = (0..3)
+            .map(|i| {
+                let blocks: Vec<(Quantifier, Vec<Var>)> = (0..nvars)
+                    .map(|v| {
+                        let q = if rng.bool() {
+                            Quantifier::Exists
+                        } else {
+                            Quantifier::ForAll
+                        };
+                        (q, vec![Var(v as u32)])
+                    })
+                    .collect();
+                let matrix = idar_logic::gen::random_prop(1000 + i, nvars, 6);
+                Qbf::new(blocks, matrix)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("alternations", nvars), &family, |b, family| {
+            b.iter(|| {
+                for qbf in family {
+                    let f = idar_reductions::qsat_to_satisfiability::reduce(qbf);
+                    let r = satisfiable(&f, &SatOptions::default());
+                    assert_eq!(r.is_sat(), qbf.eval());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tableau_random, sat_encoding, qbf_encoding);
+criterion_main!(benches);

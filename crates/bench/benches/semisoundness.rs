@@ -1,0 +1,110 @@
+//! Semi-soundness benches — Table 1, semi-soundness column.
+//!
+//! * `conp_sat/*` — row `F(A+, φ+, 1)` (coNP-complete, Thm 5.6/Cor 5.7):
+//!   exact depth-1 decision on SAT-derived families.
+//! * `qsat_k1/*` — row `F(A+, φ−, 1)` (Π^P_2-complete, Thm 5.3 at k = 1).
+//! * `depth1_reset/*` — rows `F(A−, φ±, 1)` (PSPACE-complete, Cor 4.7):
+//!   reset/build forms derived from completability instances.
+//! * `positive_deep/*` — rows `F(A+, φ+, k/∞)` (coNP-hard, upper open):
+//!   bounded reachable enumeration with the exact P oracle per state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
+use idar_solver::{ExploreLimits, Verdict};
+
+fn expected(v: bool) -> Verdict {
+    if v {
+        Verdict::Holds
+    } else {
+        Verdict::Fails
+    }
+}
+
+fn conp_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisoundness/conp_sat");
+    group.sample_size(10);
+    for vars in [3usize, 4, 5, 6] {
+        let family: Vec<_> = (0..3u64)
+            .map(|seed| workloads::conp_sat(seed, vars, vars * 3))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("v", vars), &family, |b, family| {
+            b.iter(|| {
+                for w in family {
+                    let r = semisoundness(&w.form, &SemisoundnessOptions::default());
+                    assert_eq!(r.verdict, expected(w.expected.unwrap()), "{}", w.name);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn qsat_k1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisoundness/qsat_k1");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let family: Vec<_> = (0..3u64)
+            .map(|seed| workloads::qsat_semisound(seed, 1, n).0)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("n", n), &family, |b, family| {
+            b.iter(|| {
+                for w in family {
+                    let r = semisoundness(&w.form, &SemisoundnessOptions::default());
+                    assert_eq!(r.verdict, expected(w.expected.unwrap()), "{}", w.name);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn depth1_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisoundness/depth1_reset");
+    group.sample_size(10);
+    for vars in [3usize, 4, 5] {
+        let family: Vec<_> = (0..2u64)
+            .map(|seed| workloads::depth1_reset_build(seed, vars, vars * 3))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("v", vars), &family, |b, family| {
+            b.iter(|| {
+                for w in family {
+                    let r = semisoundness(&w.form, &SemisoundnessOptions::default());
+                    assert_eq!(r.verdict, expected(w.expected.unwrap()), "{}", w.name);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn positive_deep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semisoundness/positive_deep");
+    group.sample_size(10);
+    for (depth, fanout) in [(2usize, 2usize), (3, 2)] {
+        let w = workloads::positive_tree(depth, fanout);
+        let opts = SemisoundnessOptions {
+            limits: ExploreLimits {
+                multiplicity_cap: Some(1),
+                max_states: 5_000,
+                ..ExploreLimits::small()
+            },
+            oracle_limits: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("tree", format!("d{depth}f{fanout}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let r = semisoundness(&w.form, &opts);
+                    // Bounded enumeration: must never claim Fails here.
+                    assert_ne!(r.verdict, Verdict::Fails);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, conp_sat, qsat_k1, depth1_reset, positive_deep);
+criterion_main!(benches);

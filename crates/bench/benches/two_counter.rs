@@ -1,0 +1,67 @@
+//! Theorem 4.1 benches — the undecidable cells of Table 1.
+//!
+//! * `micro_steps/*` — executing compiled machines through the guarded
+//!   form micro-protocol; the cost per machine step grows with counter
+//!   values (marking is linear in the counter), which is exactly the
+//!   O(counter) overhead the construction's marking protocol predicts.
+//! * `completability/*` — the bounded explorer discovering the halting
+//!   run of a compiled machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_machines::library;
+use idar_reductions::tcm_to_completability::reduce;
+use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+
+fn micro_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_counter/micro_steps");
+    group.sample_size(10);
+    for n in [1u32, 2, 4, 8] {
+        let machine = library::count_up_then_accept(n);
+        let compiled = reduce(&machine);
+        group.bench_with_input(BenchmarkId::new("count_up", n), &compiled, |b, tcm| {
+            b.iter(|| {
+                let trace = tcm.trace((n + 2) as usize, 50_000);
+                assert_eq!(trace.last().map(|c| c.c1), Some(n as u64));
+            })
+        });
+    }
+    for n in [1u32, 2, 4] {
+        let machine = library::transfer_c1_to_c2(n);
+        let compiled = reduce(&machine);
+        group.bench_with_input(BenchmarkId::new("transfer", n), &compiled, |b, tcm| {
+            b.iter(|| {
+                let trace = tcm.trace((2 * n + 3) as usize, 50_000);
+                assert_eq!(trace.last().map(|c| c.c2), Some(n as u64));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn tcm_completability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_counter/completability");
+    group.sample_size(10);
+    for n in [0u32, 1, 2] {
+        let machine = library::count_up_then_accept(n);
+        let compiled = reduce(&machine);
+        group.bench_with_input(
+            BenchmarkId::new("count_up", n),
+            &compiled,
+            |b, tcm| {
+                let opts = CompletabilityOptions::with_limits(ExploreLimits {
+                    max_states: 2_000_000,
+                    max_state_size: 256,
+                    ..ExploreLimits::default()
+                });
+                b.iter(|| {
+                    let r = completability(&tcm.form, &opts);
+                    assert_eq!(r.verdict, Verdict::Holds);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, micro_steps, tcm_completability);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # idar-bench
+//!
+//! Benchmark workloads and the experiment harness that regenerates every
+//! table and figure of the paper (see `DESIGN.md` §4 for the experiment
+//! index and `EXPERIMENTS.md` for recorded results).
+//!
+//! The paper is a theory paper: its single table (Table 1) is a complexity
+//! matrix and its three figures are worked examples. Reproduction
+//! therefore means (a) *verdict agreement* between the guarded-form
+//! solvers and independent baselines on reduction-generated families, and
+//! (b) *scaling shapes* consistent with each cell's complexity class —
+//! which is exactly what [`workloads`] generates and the Criterion benches
+//! plus the `reproduce` binary measure.
+
+pub mod workloads;
+
+use idar_core::GuardedForm;
+
+/// A named, sized benchmark workload: a guarded form plus the verdict the
+/// baseline solver expects (when one exists).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload family and parameters, e.g. `np_sat/v6c18/seed3`.
+    pub name: String,
+    /// The compiled guarded form.
+    pub form: GuardedForm,
+    /// The baseline answer for the property under test, if known:
+    /// completability or semi-soundness depending on the family.
+    pub expected: Option<bool>,
+}

@@ -1,0 +1,277 @@
+//! Parameterised workload families, one per Table 1 cell (see DESIGN.md §4).
+//!
+//! Every generator is deterministic in its seed so benchmark runs are
+//! reproducible.
+
+use crate::Workload;
+use idar_core::{
+    AccessRules, Formula, GuardedForm, Instance, Right, SchemaBuilder, SchemaNodeId,
+};
+use idar_logic::gen::{random_3cnf, random_qsat2k, XorShift};
+use idar_logic::qbf::Qbf;
+use idar_machines::TwoCounterMachine;
+use std::sync::Arc;
+
+/// `F(A+, φ+, 1)` — a dependency chain: label `i` requires label `i−1`.
+/// Completable, decided by Thm 5.5 saturation in O(n²) guard checks.
+pub fn positive_chain(n: usize) -> Workload {
+    let mut b = SchemaBuilder::new();
+    let mut edges = Vec::with_capacity(n);
+    for i in 0..n {
+        edges.push(b.child(SchemaNodeId::ROOT, &format!("l{i}")).unwrap());
+    }
+    let schema = Arc::new(b.build());
+    let mut rules = AccessRules::new(&schema);
+    for (i, &e) in edges.iter().enumerate() {
+        let guard = if i == 0 {
+            Formula::True
+        } else {
+            Formula::label(&format!("l{}", i - 1))
+        };
+        rules.set(Right::Add, e, guard);
+    }
+    let completion = Formula::conj((0..n).map(|i| Formula::label(&format!("l{i}"))));
+    let initial = Instance::empty(schema.clone());
+    Workload {
+        name: format!("positive_chain/n{n}"),
+        form: GuardedForm::new(schema, rules, initial, completion),
+        expected: Some(true),
+    }
+}
+
+/// `F(A+, φ+, k)` — a complete `fanout`-ary tree of depth `depth`; every
+/// node requires its parent (structurally) and its left sibling subtree.
+pub fn positive_tree(depth: usize, fanout: usize) -> Workload {
+    let mut b = SchemaBuilder::new();
+    fn grow(b: &mut SchemaBuilder, parent: SchemaNodeId, depth: usize, fanout: usize) {
+        if depth == 0 {
+            return;
+        }
+        for i in 0..fanout {
+            let c = b.child(parent, &format!("n{depth}_{i}")).unwrap();
+            grow(b, c, depth - 1, fanout);
+        }
+    }
+    grow(&mut b, SchemaNodeId::ROOT, depth, fanout);
+    let schema = Arc::new(b.build());
+    let rules = AccessRules::with_default(&schema, Formula::True);
+    // Completion: the leftmost root-to-leaf path exists.
+    let mut path = String::new();
+    for d in (1..=depth).rev() {
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(&format!("n{d}_0"));
+    }
+    let completion = Formula::path(&path);
+    let initial = Instance::empty(schema.clone());
+    Workload {
+        name: format!("positive_tree/d{depth}f{fanout}"),
+        form: GuardedForm::new(schema, rules, initial, completion),
+        expected: Some(true),
+    }
+}
+
+/// `F(A+, φ−, 1)` — Thm 5.1 on a seeded random 3-CNF; expected verdict
+/// from DPLL.
+pub fn np_sat(seed: u64, vars: usize, clauses: usize) -> Workload {
+    let cnf = random_3cnf(seed, vars, clauses);
+    let expected = idar_logic::sat_solve(&cnf).is_some();
+    Workload {
+        name: format!("np_sat/v{vars}c{clauses}/seed{seed}"),
+        form: idar_reductions::sat_to_completability::reduce(&cnf),
+        expected: Some(expected),
+    }
+}
+
+/// `F(A+, φ+, 1)` semi-soundness — Thm 5.6 on a seeded random 3-CNF;
+/// expected: semi-sound iff UNSAT.
+pub fn conp_sat(seed: u64, vars: usize, clauses: usize) -> Workload {
+    let cnf = random_3cnf(seed, vars, clauses);
+    let expected = idar_logic::sat_solve(&cnf).is_none();
+    Workload {
+        name: format!("conp_sat/v{vars}c{clauses}/seed{seed}"),
+        form: idar_reductions::sat_to_non_semisoundness::reduce(&cnf),
+        expected: Some(expected),
+    }
+}
+
+/// `F(A−, φ−, 1)` — Thm 4.6 on dining philosophers; expected: completable
+/// (the protocol deadlocks) for every `n ≥ 2`.
+pub fn depth1_philosophers(n: usize) -> Workload {
+    let inst = idar_deadlock::dining_philosophers(n);
+    let expected = inst.find_reachable_deadlock().deadlock.is_some();
+    Workload {
+        name: format!("depth1_philosophers/n{n}"),
+        form: idar_reductions::deadlock_to_completability::reduce(&inst)
+            .expect("no self loops"),
+        expected: Some(expected),
+    }
+}
+
+/// `F(A−, φ−, 1)` semi-soundness — Cor. 4.7 applied to an `np_sat`
+/// workload; expected: semi-sound iff the CNF is satisfiable.
+pub fn depth1_reset_build(seed: u64, vars: usize, clauses: usize) -> Workload {
+    let base = np_sat(seed, vars, clauses);
+    Workload {
+        name: format!("depth1_reset_build/v{vars}c{clauses}/seed{seed}"),
+        form: idar_reductions::completability_to_semisoundness::reduce(&base.form)
+            .expect("depth-1 form"),
+        expected: base.expected,
+    }
+}
+
+/// `F(A+, φ−, k)` semi-soundness — Thm 5.3 on a seeded `QSAT_2k` formula
+/// (`k` ∃/∀ pairs of `n` variables); expected: semi-sound iff the QBF is
+/// false.
+pub fn qsat_semisound(seed: u64, k: usize, n: usize) -> (Workload, Qbf) {
+    let qbf = random_qsat2k(seed, k, n, 3 * k * n);
+    let expected = !qbf.eval();
+    let compiled = idar_reductions::qsat_to_semisoundness::reduce(&qbf)
+        .expect("qsat2k shape");
+    (
+        Workload {
+            name: format!("qsat_semisound/k{k}n{n}/seed{seed}"),
+            form: compiled.form,
+            expected: Some(expected),
+        },
+        qbf,
+    )
+}
+
+/// Undecidable cell — Thm 4.1 on a library machine.
+pub fn tcm(machine: &TwoCounterMachine, name: &str, halts: bool) -> Workload {
+    let compiled = idar_reductions::tcm_to_completability::reduce(machine);
+    Workload {
+        name: format!("tcm/{name}"),
+        form: compiled.form,
+        expected: Some(halts),
+    }
+}
+
+/// A seeded random instance of a seeded random schema, for the
+/// canonicalisation benches (Figure 3 scaling).
+pub fn random_instance(seed: u64, schema_nodes: usize, instance_nodes: usize) -> Instance {
+    let mut rng = XorShift::new(seed);
+    let mut b = SchemaBuilder::new();
+    let mut nodes = vec![SchemaNodeId::ROOT];
+    for i in 0..schema_nodes {
+        let parent = nodes[rng.below(nodes.len())];
+        // A couple of shared labels to make bisimulation interesting.
+        let label = format!("g{}", i % 7);
+        if let Ok(c) = b.child(parent, &label) {
+            nodes.push(c);
+        }
+    }
+    let schema = Arc::new(b.build());
+    let mut inst = Instance::empty(schema.clone());
+    let mut inodes = vec![idar_core::InstNodeId::ROOT];
+    for _ in 0..instance_nodes {
+        let p = inodes[rng.below(inodes.len())];
+        let sp = inst.schema_node(p);
+        let kids = schema.children(sp);
+        if kids.is_empty() {
+            continue;
+        }
+        let edge = kids[rng.below(kids.len())];
+        let c = inst.add_child(p, edge).expect("schema edge");
+        inodes.push(c);
+    }
+    inst
+}
+
+/// A seeded random formula over `labels` distinct labels with roughly
+/// `size` connectives (for the satisfiability benches).
+pub fn random_formula(seed: u64, labels: usize, size: usize) -> Formula {
+    let mut rng = XorShift::new(seed);
+    gen_formula(&mut rng, labels, size, 2)
+}
+
+fn gen_formula(rng: &mut XorShift, labels: usize, size: usize, depth_budget: usize) -> Formula {
+    if size == 0 {
+        return Formula::label(&format!("g{}", rng.below(labels)));
+    }
+    match rng.below(5) {
+        0 => gen_formula(rng, labels, size - 1, depth_budget).not(),
+        1 | 2 => {
+            let left = rng.below(size);
+            gen_formula(rng, labels, left, depth_budget)
+                .and(gen_formula(rng, labels, size - 1 - left, depth_budget))
+        }
+        3 => {
+            let left = rng.below(size);
+            gen_formula(rng, labels, left, depth_budget)
+                .or(gen_formula(rng, labels, size - 1 - left, depth_budget))
+        }
+        _ => {
+            if depth_budget == 0 {
+                return Formula::label(&format!("g{}", rng.below(labels)));
+            }
+            let inner = gen_formula(rng, labels, size - 1, depth_budget - 1);
+            Formula::Path(idar_core::PathExpr::Filter(
+                Box::new(idar_core::PathExpr::Label(format!("g{}", rng.below(labels)))),
+                Box::new(inner),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+    #[test]
+    fn chain_workload_is_consistent() {
+        for n in [1, 4, 16] {
+            let w = positive_chain(n);
+            let r = completability(&w.form, &CompletabilityOptions::default());
+            assert_eq!(r.verdict, Verdict::Holds, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn tree_workload_is_consistent() {
+        let w = positive_tree(3, 2);
+        let r = completability(&w.form, &CompletabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn np_sat_expected_matches_solver() {
+        for seed in 0..6 {
+            let w = np_sat(seed, 4, 10);
+            let r = completability(&w.form, &CompletabilityOptions::default());
+            let expected = if w.expected.unwrap() { Verdict::Holds } else { Verdict::Fails };
+            assert_eq!(r.verdict, expected, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = np_sat(7, 5, 12);
+        let b = np_sat(7, 5, 12);
+        assert_eq!(
+            a.form.completion().to_string(),
+            b.form.completion().to_string()
+        );
+        assert_eq!(a.expected, b.expected);
+    }
+
+    #[test]
+    fn random_instance_generator() {
+        let i = random_instance(11, 30, 200);
+        assert!(i.live_count() > 50);
+        let can = idar_core::bisim::canonical(&i);
+        assert!(can.live_count() <= i.live_count());
+    }
+
+    #[test]
+    fn random_formula_generator() {
+        let f = random_formula(3, 4, 20);
+        assert!(f.size() >= 20);
+        // Parses back (display round-trip).
+        let reparsed = Formula::parse(&f.to_string()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+}

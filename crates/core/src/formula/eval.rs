@@ -1,0 +1,196 @@
+//! Evaluation of formulas on instances — the semantics of Def. 3.5.
+//!
+//! `n ⊨ p` holds iff there exists an end node `n'` with `n —p→ n'`; the
+//! evaluator therefore works with an existential continuation and
+//! short-circuits as soon as a witness is found.
+
+use super::{Formula, PathExpr};
+use crate::instance::{InstNodeId, Instance};
+
+/// Does `φ` hold at node `n` of `inst` (Def. 3.5, `n ⊨ φ`)?
+pub fn holds(inst: &Instance, n: InstNodeId, f: &Formula) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Path(p) => exists(inst, n, p, &mut |_| true),
+        Formula::Not(g) => !holds(inst, n, g),
+        Formula::And(a, b) => holds(inst, n, a) && holds(inst, n, b),
+        Formula::Or(a, b) => holds(inst, n, a) || holds(inst, n, b),
+    }
+}
+
+/// Does `φ` hold at the root of `inst`? Completion formulas are evaluated
+/// here ("defines when the form is complete by being true for the root
+/// node", Def. 3.11).
+pub fn holds_at_root(inst: &Instance, f: &Formula) -> bool {
+    holds(inst, InstNodeId::ROOT, f)
+}
+
+/// All end nodes reachable from `n` along `p` (`n —p→ n'`), materialised.
+///
+/// Evaluation itself never materialises target sets (it short-circuits);
+/// this helper exists for witness extraction and debugging. Targets may
+/// repeat if reachable along several derivations.
+pub fn path_targets(inst: &Instance, n: InstNodeId, p: &PathExpr) -> Vec<InstNodeId> {
+    let mut out = Vec::new();
+    exists(inst, n, p, &mut |m| {
+        out.push(m);
+        false // keep enumerating
+    });
+    out
+}
+
+/// Existential traversal: returns `true` iff some node `m` with
+/// `n —p→ m` makes `pred(m)` return `true`.
+///
+/// `pred` returning `false` keeps the search going, so passing a constant
+/// `false` visits every target (used by [`path_targets`]).
+fn exists(
+    inst: &Instance,
+    n: InstNodeId,
+    p: &PathExpr,
+    pred: &mut dyn FnMut(InstNodeId) -> bool,
+) -> bool {
+    match p {
+        PathExpr::Parent => match inst.parent(n) {
+            Some(m) => pred(m),
+            None => false,
+        },
+        PathExpr::Label(l) => {
+            // `n —l→ n'` iff `(n, n') ∈ E` and `λ(n') = l`.
+            for c in inst.children_with_label(n, l) {
+                if pred(c) {
+                    return true;
+                }
+            }
+            false
+        }
+        PathExpr::Seq(p1, p2) => exists(inst, n, p1, &mut |m| exists(inst, m, p2, pred)),
+        PathExpr::Filter(p1, f) => exists(inst, n, p1, &mut |m| holds(inst, m, f) && pred(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn leave() -> Arc<Schema> {
+        Arc::new(Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f").unwrap())
+    }
+
+    fn inst(text: &str) -> Instance {
+        Instance::parse(leave(), text).unwrap()
+    }
+
+    fn root_holds(i: &Instance, f: &str) -> bool {
+        holds_at_root(i, &Formula::parse(f).unwrap())
+    }
+
+    #[test]
+    fn atomic_label() {
+        let i = inst("a(n), s");
+        assert!(root_holds(&i, "a"));
+        assert!(root_holds(&i, "s"));
+        assert!(!root_holds(&i, "f"));
+        assert!(root_holds(&i, "a/n"));
+        assert!(!root_holds(&i, "a/d"));
+    }
+
+    #[test]
+    fn example_3_6_all_periods_have_dates() {
+        // ¬a/p[¬b ∨ ¬e]: all periods have begin and end dates.
+        let complete = inst("a(n, d, p(b, e), p(b, e))");
+        let missing = inst("a(n, d, p(b, e), p(b))");
+        assert!(root_holds(&complete, "!a/p[!b | !e]"));
+        assert!(!root_holds(&missing, "!a/p[!b | !e]"));
+        // Vacuously true with no periods at all.
+        assert!(root_holds(&inst("a(n)"), "!a/p[!b | !e]"));
+    }
+
+    #[test]
+    fn example_3_6_final_needs_decision() {
+        // ¬f ∨ d[a ∨ r]
+        let f = "!f | d[a | r]";
+        assert!(root_holds(&inst("a(n), s, d(a), f"), f));
+        assert!(!root_holds(&inst("a(n), s, d, f"), f));
+        assert!(root_holds(&inst("a(n), s, d"), f)); // no f yet
+    }
+
+    #[test]
+    fn example_3_6_not_both_decisions() {
+        // d[¬(a ∧ r)]: *some* decision field lacks the a∧r combination.
+        // NB the paper's reading: "The application cannot be both rejected
+        // and approved" — as written the formula is existential over d.
+        let f = "d[!(a & r)]";
+        assert!(root_holds(&inst("d(a)"), f));
+        assert!(!root_holds(&inst("d(a, r)"), f));
+        assert!(!root_holds(&inst("a(n)"), f)); // no d at all: no witness
+    }
+
+    #[test]
+    fn parent_axis() {
+        let i = inst("a(n, p(b)), s");
+        let a = i
+            .children_with_label(InstNodeId::ROOT, "a")
+            .next()
+            .unwrap();
+        // From `a`: ¬../s is false because the root has an s child.
+        assert!(!holds(&i, a, &Formula::parse("!../s").unwrap()));
+        let p = i.children_with_label(a, "p").next().unwrap();
+        assert!(holds(&i, p, &Formula::parse("../../s").unwrap()));
+        // Root has no parent.
+        assert!(!holds(&i, InstNodeId::ROOT, &Formula::parse("..").unwrap()));
+    }
+
+    #[test]
+    fn filters_on_intermediate_steps() {
+        let i = inst("a(n, p(b), p(e))");
+        assert!(root_holds(&i, "a[n]/p[b]"));
+        assert!(root_holds(&i, "a/p[e]"));
+        assert!(!root_holds(&i, "a/p[b & e]"));
+        assert!(root_holds(&i, "a[p[b] & p[e]]"));
+    }
+
+    #[test]
+    fn multiplicity_is_invisible_to_formulas() {
+        // Formulas are existential: they cannot count duplicate siblings.
+        let one = inst("a(p(b))");
+        let two = inst("a(p(b), p(b))");
+        for f in ["a/p", "a/p[b]", "!a/p[!b]", "a[p]"] {
+            assert_eq!(root_holds(&one, f), root_holds(&two, f), "{f}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let i = inst("");
+        assert!(root_holds(&i, "true"));
+        assert!(!root_holds(&i, "false"));
+        assert!(root_holds(&i, "false | true"));
+    }
+
+    #[test]
+    fn path_targets_materialises() {
+        let i = inst("a(p(b), p(b), p(e))");
+        let a = i
+            .children_with_label(InstNodeId::ROOT, "a")
+            .next()
+            .unwrap();
+        let targets = path_targets(&i, a, &PathExpr::Label("p".into()));
+        assert_eq!(targets.len(), 3);
+        let f = Formula::parse("p[b]").unwrap();
+        let Formula::Path(p) = &f else { unreachable!() };
+        assert_eq!(path_targets(&i, a, p).len(), 2);
+    }
+
+    #[test]
+    fn empty_instance_and_unknown_labels() {
+        let i = inst("");
+        assert!(!root_holds(&i, "a"));
+        // Labels that exist nowhere in the schema simply never match.
+        assert!(!root_holds(&i, "zz"));
+        assert!(root_holds(&i, "!zz"));
+    }
+}

@@ -1,0 +1,341 @@
+//! The *step normal form* of Lemma 4.4.
+//!
+//! The lemma's proof rewrites any formula — in linear time and to linear
+//! size — into the grammar
+//!
+//! ```text
+//! F' ::= P' | ¬F' | F' ∧ F' | F' ∨ F'
+//! P' ::= L | .. | L[F'] | ..[F']
+//! ```
+//!
+//! using the equivalences
+//!
+//! ```text
+//! (p1/p2)[ψ]  ≡ p1[p2[ψ]]         (p1[ψ1])[ψ2] ≡ p1[ψ1 ∧ ψ2]
+//! (p1/p2)/p3  ≡ p1/(p2/p3)        (p1[ψ])/p2   ≡ p1[ψ ∧ p2]
+//! l/p         ≡ l[p]              ../p         ≡ ..[p]
+//! ```
+//!
+//! In step normal form every path expression is a *single* child or parent
+//! step with an optional residual filter, which is what makes the witness
+//! construction of Lemma 4.4 (and the tableau of Cor. 4.5) possible: each
+//! obligation speaks about the current node, one child, or the parent.
+
+use super::{Formula, PathExpr};
+use crate::instance::{InstNodeId, Instance};
+
+/// A formula in the Lemma 4.4 step normal form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StepFormula {
+    /// `true` (extension constant, carried through normalisation).
+    True,
+    /// `false`.
+    False,
+    /// `l` — some child is labelled `l`.
+    Child(String),
+    /// `..` — the node has a parent.
+    Parent,
+    /// `l[ψ]` — some child labelled `l` satisfies `ψ`.
+    ChildSat(String, Box<StepFormula>),
+    /// `..[ψ]` — the node has a parent and it satisfies `ψ`.
+    ParentSat(Box<StepFormula>),
+    /// `¬ψ`.
+    Not(Box<StepFormula>),
+    /// `ψ ∧ ψ`.
+    And(Box<StepFormula>, Box<StepFormula>),
+    /// `ψ ∨ ψ`.
+    Or(Box<StepFormula>, Box<StepFormula>),
+}
+
+impl StepFormula {
+    /// Normalise an arbitrary formula (Lemma 4.4 rewriting, left-to-right).
+    /// The result has size linear in the input's size.
+    pub fn from_formula(f: &Formula) -> StepFormula {
+        match f {
+            Formula::True => StepFormula::True,
+            Formula::False => StepFormula::False,
+            Formula::Path(p) => norm_path(p),
+            Formula::Not(g) => StepFormula::Not(Box::new(Self::from_formula(g))),
+            Formula::And(a, b) => StepFormula::And(
+                Box::new(Self::from_formula(a)),
+                Box::new(Self::from_formula(b)),
+            ),
+            Formula::Or(a, b) => StepFormula::Or(
+                Box::new(Self::from_formula(a)),
+                Box::new(Self::from_formula(b)),
+            ),
+        }
+    }
+
+    /// Convert back into the surface AST (already in the `F'` grammar).
+    pub fn to_formula(&self) -> Formula {
+        match self {
+            StepFormula::True => Formula::True,
+            StepFormula::False => Formula::False,
+            StepFormula::Child(l) => Formula::Path(PathExpr::Label(l.clone())),
+            StepFormula::Parent => Formula::Path(PathExpr::Parent),
+            StepFormula::ChildSat(l, f) => Formula::Path(PathExpr::Filter(
+                Box::new(PathExpr::Label(l.clone())),
+                Box::new(f.to_formula()),
+            )),
+            StepFormula::ParentSat(f) => Formula::Path(PathExpr::Filter(
+                Box::new(PathExpr::Parent),
+                Box::new(f.to_formula()),
+            )),
+            StepFormula::Not(f) => Formula::Not(Box::new(f.to_formula())),
+            StepFormula::And(a, b) => {
+                Formula::And(Box::new(a.to_formula()), Box::new(b.to_formula()))
+            }
+            StepFormula::Or(a, b) => {
+                Formula::Or(Box::new(a.to_formula()), Box::new(b.to_formula()))
+            }
+        }
+    }
+
+    /// Push negations down to path atoms (negation normal form). The result
+    /// contains `Not` only directly above `Child`, `Parent`, `ChildSat`,
+    /// `ParentSat` — the shape the Lemma 4.4 *selection* rules assume.
+    pub fn nnf(&self) -> StepFormula {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, neg: bool) -> StepFormula {
+        match self {
+            StepFormula::True => {
+                if neg {
+                    StepFormula::False
+                } else {
+                    StepFormula::True
+                }
+            }
+            StepFormula::False => {
+                if neg {
+                    StepFormula::True
+                } else {
+                    StepFormula::False
+                }
+            }
+            StepFormula::Not(f) => f.nnf_inner(!neg),
+            StepFormula::And(a, b) => {
+                let (x, y) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    StepFormula::Or(Box::new(x), Box::new(y))
+                } else {
+                    StepFormula::And(Box::new(x), Box::new(y))
+                }
+            }
+            StepFormula::Or(a, b) => {
+                let (x, y) = (a.nnf_inner(neg), b.nnf_inner(neg));
+                if neg {
+                    StepFormula::And(Box::new(x), Box::new(y))
+                } else {
+                    StepFormula::Or(Box::new(x), Box::new(y))
+                }
+            }
+            atom => {
+                // Path atoms keep their *inner* formulas un-negated: `¬l[ψ]`
+                // means "no l-child satisfies ψ", not "some child fails ψ".
+                if neg {
+                    StepFormula::Not(Box::new(atom.clone()))
+                } else {
+                    atom.clone()
+                }
+            }
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            StepFormula::True
+            | StepFormula::False
+            | StepFormula::Child(_)
+            | StepFormula::Parent => 1,
+            StepFormula::ChildSat(_, f) | StepFormula::ParentSat(f) | StepFormula::Not(f) => {
+                1 + f.size()
+            }
+            StepFormula::And(a, b) | StepFormula::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Direct evaluation (same semantics as evaluating `to_formula()`).
+    pub fn holds(&self, inst: &Instance, n: InstNodeId) -> bool {
+        match self {
+            StepFormula::True => true,
+            StepFormula::False => false,
+            StepFormula::Child(l) => inst.children_with_label(n, l).next().is_some(),
+            StepFormula::Parent => inst.parent(n).is_some(),
+            StepFormula::ChildSat(l, f) => {
+                inst.children_with_label(n, l).any(|c| f.holds(inst, c))
+            }
+            StepFormula::ParentSat(f) => match inst.parent(n) {
+                Some(p) => f.holds(inst, p),
+                None => false,
+            },
+            StepFormula::Not(f) => !f.holds(inst, n),
+            StepFormula::And(a, b) => a.holds(inst, n) && b.holds(inst, n),
+            StepFormula::Or(a, b) => a.holds(inst, n) || b.holds(inst, n),
+        }
+    }
+
+    /// The distinct labels appearing as child steps at the *top level* of
+    /// this formula (not inside nested `ChildSat` bodies). Used to bound
+    /// witness branching per label (Lemma 4.4).
+    pub fn top_level_child_labels(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_top_labels(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_top_labels<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            StepFormula::Child(l) | StepFormula::ChildSat(l, _) => out.push(l),
+            StepFormula::Not(f) => f.collect_top_labels(out),
+            StepFormula::And(a, b) | StepFormula::Or(a, b) => {
+                a.collect_top_labels(out);
+                b.collect_top_labels(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Normalise a path expression to one of the four `P'` atoms.
+///
+/// Implemented in continuation-passing style: `norm_with(p, rest)` produces
+/// the normal form of "`p`, whose end node must additionally satisfy
+/// `rest`". This realises all six rewrite rules at once — in particular
+/// `(p1/p2)/p3 ≡ p1/(p2/p3)` falls out of passing the tail as the
+/// continuation rather than conjoining it onto the head's filter.
+fn norm_path(p: &PathExpr) -> StepFormula {
+    norm_with(p, None)
+}
+
+fn norm_with(p: &PathExpr, rest: Option<StepFormula>) -> StepFormula {
+    match p {
+        PathExpr::Parent => match rest {
+            None => StepFormula::Parent,
+            Some(r) => StepFormula::ParentSat(Box::new(r)),
+        },
+        PathExpr::Label(l) => match rest {
+            None => StepFormula::Child(l.clone()),
+            Some(r) => StepFormula::ChildSat(l.clone(), Box::new(r)),
+        },
+        // p1/p2 with continuation rest ≡ p1 with continuation (p2 with rest)
+        PathExpr::Seq(p1, p2) => {
+            let tail = norm_with(p2, rest);
+            norm_with(p1, Some(tail))
+        }
+        // p1[f] with continuation rest ≡ p1 with continuation (f ∧ rest)
+        PathExpr::Filter(p1, f) => {
+            let cond = StepFormula::from_formula(f);
+            let cond = match rest {
+                None => cond,
+                Some(r) => StepFormula::And(Box::new(cond), Box::new(r)),
+            };
+            norm_with(p1, Some(cond))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn norm(s: &str) -> StepFormula {
+        StepFormula::from_formula(&Formula::parse(s).unwrap())
+    }
+
+    #[test]
+    fn seq_becomes_nested_filter() {
+        // a/p/b ≡ a[p[b]]
+        assert_eq!(norm("a/p/b").to_formula().to_string(), "a[p[b]]");
+    }
+
+    #[test]
+    fn filter_merging() {
+        // a[x][y] ≡ a[x ∧ y]
+        assert_eq!(norm("a[x][y]").to_formula().to_string(), "a[x & y]");
+        // (a[x])/b ≡ a[x ∧ b]
+        assert_eq!(norm("a[x]/b").to_formula().to_string(), "a[x & b]");
+    }
+
+    #[test]
+    fn parent_steps() {
+        assert_eq!(norm("../../s").to_formula().to_string(), "..[..[s]]");
+        assert_eq!(norm("..[x]/y").to_formula().to_string(), "..[x & y]");
+    }
+
+    #[test]
+    fn size_stays_linear() {
+        // Repeated normalisation must not blow up.
+        let f = Formula::parse("(a/b/c/d)[x & y]/e[..[z]]").unwrap();
+        let n = StepFormula::from_formula(&f);
+        assert!(n.size() <= 3 * f.size(), "{} vs {}", n.size(), f.size());
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = norm("!(a & !b)").nnf();
+        assert_eq!(f.to_formula().to_string(), "!a | b");
+        // Negation stops at path atoms.
+        let g = norm("!a[b | c]").nnf();
+        assert_eq!(g.to_formula().to_string(), "!a[b | c]");
+    }
+
+    #[test]
+    fn semantics_preserved_on_examples() {
+        let schema = Arc::new(Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f").unwrap());
+        let instances = [
+            "",
+            "a(n)",
+            "a(n, d, p(b, e)), s",
+            "a(n, p(b), p(b, e)), s, d(r(r)), f",
+            "a(p, p(b, e), p(e)), d(a, r)",
+        ];
+        let formulas = [
+            "!s & a[n & d & p] & !a/p[!b | !e]",
+            "d[a | r] & !f",
+            "a/p[!b | !e]",
+            "!f | d[a | r]",
+            "d[!(a & r)]",
+            "a[../s]",
+            "a/p/../n",
+            "a[p[../../f | b]]",
+        ];
+        for it in &instances {
+            let inst = Instance::parse(schema.clone(), it).unwrap();
+            for ft in &formulas {
+                let f = Formula::parse(ft).unwrap();
+                let n = StepFormula::from_formula(&f);
+                let direct = crate::formula::holds_at_root(&inst, &f);
+                assert_eq!(
+                    direct,
+                    n.holds(&inst, InstNodeId::ROOT),
+                    "normal form diverges for {ft} on {it}"
+                );
+                assert_eq!(
+                    direct,
+                    crate::formula::holds_at_root(&inst, &n.to_formula()),
+                    "to_formula diverges for {ft} on {it}"
+                );
+                // nnf preserves semantics too.
+                assert_eq!(
+                    direct,
+                    n.nnf().holds(&inst, InstNodeId::ROOT),
+                    "nnf diverges for {ft} on {it}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_child_labels() {
+        let f = norm("a[b] & !c | ..[d]");
+        assert_eq!(f.top_level_child_labels(), vec!["a", "c"]);
+    }
+}

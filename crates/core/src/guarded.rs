@@ -1,0 +1,548 @@
+//! Guarded forms (Def. 3.11): schema + access rules + initial instance +
+//! completion formula, and their runs.
+//!
+//! The access-rule function `A : {add, del} × E → F` maps each access right
+//! and schema edge to a guard formula. The only updates are leaf-edge
+//! additions and deletions (Sec. 3.4); an update on an edge `e = (n, n')`
+//! is allowed iff `A(right, ê)` holds *at `n`* — the parent — in the
+//! current instance.
+
+use crate::error::{CoreError, Result};
+use crate::formula::{holds, Formula};
+use crate::instance::{InstNodeId, Instance};
+use crate::schema::{Schema, SchemaNodeId};
+use std::fmt;
+use std::sync::Arc;
+
+/// The access rights `R = {add, del}` of Sec. 3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Right {
+    /// The right to create an edge.
+    Add,
+    /// The right to delete an edge.
+    Del,
+}
+
+impl fmt::Display for Right {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Right::Add => write!(f, "add"),
+            Right::Del => write!(f, "del"),
+        }
+    }
+}
+
+/// The access-rule function `A` of a guarded form.
+///
+/// Rules are stored per schema edge (identified by the edge's end node).
+/// Edges without an explicit rule fall back to the table default, which is
+/// `false` — matching the paper's "There are no other access rights"
+/// (Thm 4.6 proof).
+#[derive(Debug, Clone)]
+pub struct AccessRules {
+    add: Vec<Option<Formula>>,
+    del: Vec<Option<Formula>>,
+    default: Formula,
+}
+
+impl AccessRules {
+    /// An empty table over `schema` with default guard `false`.
+    pub fn new(schema: &Schema) -> AccessRules {
+        AccessRules {
+            add: vec![None; schema.node_count()],
+            del: vec![None; schema.node_count()],
+            default: Formula::False,
+        }
+    }
+
+    /// An empty table whose unspecified guards are `default` instead of
+    /// `false` (Thm 5.1 sets *all* rules to `true`).
+    pub fn with_default(schema: &Schema, default: Formula) -> AccessRules {
+        AccessRules {
+            add: vec![None; schema.node_count()],
+            del: vec![None; schema.node_count()],
+            default,
+        }
+    }
+
+    /// Set the guard for `(right, edge)`.
+    pub fn set(&mut self, right: Right, edge: SchemaNodeId, guard: Formula) {
+        let slot = match right {
+            Right::Add => &mut self.add[edge.index()],
+            Right::Del => &mut self.del[edge.index()],
+        };
+        *slot = Some(guard);
+    }
+
+    /// Set both `add` and `del` guards for an edge at once.
+    pub fn set_both(&mut self, edge: SchemaNodeId, add: Formula, del: Formula) {
+        self.set(Right::Add, edge, add);
+        self.set(Right::Del, edge, del);
+    }
+
+    /// OR an extra disjunct onto the existing guard (or the default if
+    /// unset). Reduction constructions use this to merge per-transition
+    /// clauses into shared edges.
+    pub fn add_disjunct(&mut self, right: Right, edge: SchemaNodeId, guard: Formula) {
+        let current = self.get(right, edge).clone();
+        let merged = if current == Formula::False {
+            guard
+        } else {
+            current.or(guard)
+        };
+        self.set(right, edge, merged);
+    }
+
+    /// The guard for `(right, edge)` (the default if unset).
+    pub fn get(&self, right: Right, edge: SchemaNodeId) -> &Formula {
+        let slot = match right {
+            Right::Add => &self.add[edge.index()],
+            Right::Del => &self.del[edge.index()],
+        };
+        slot.as_ref().unwrap_or(&self.default)
+    }
+
+    /// The default guard for unspecified edges.
+    pub fn default_guard(&self) -> &Formula {
+        &self.default
+    }
+
+    /// Are all guards (including the default, if any edge falls through to
+    /// it) positive? This is the `A+` condition of Sec. 3.5.
+    pub fn all_positive(&self, schema: &Schema) -> bool {
+        schema.edge_ids().all(|e| {
+            self.get(Right::Add, e).is_positive() && self.get(Right::Del, e).is_positive()
+        })
+    }
+
+    /// Apply `f` to every guard, rewriting the table in place (the
+    /// Cor. 4.2 / Cor. 4.7 constructions transform whole tables).
+    pub fn map_guards(&mut self, schema: &Schema, mut f: impl FnMut(Right, SchemaNodeId, &Formula) -> Formula) {
+        for e in schema.edge_ids() {
+            let new_add = f(Right::Add, e, self.get(Right::Add, e));
+            self.set(Right::Add, e, new_add);
+            let new_del = f(Right::Del, e, self.get(Right::Del, e));
+            self.set(Right::Del, e, new_del);
+        }
+    }
+}
+
+/// An update: the addition or deletion of a single leaf edge (Sec. 3.4).
+///
+/// Node ids refer to the instance the update is applied to; ids are stable
+/// across [`Instance::clone`], so updates can be generated on one copy and
+/// applied to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Add a fresh leaf under `parent` along the schema edge `edge`.
+    Add {
+        parent: InstNodeId,
+        edge: SchemaNodeId,
+    },
+    /// Delete the (leaf) node `node`.
+    Del { node: InstNodeId },
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Add { parent, edge } => write!(f, "add {edge} under {parent}"),
+            Update::Del { node } => write!(f, "del {node}"),
+        }
+    }
+}
+
+/// A guarded form `(M, A, I₀, φ)` (Def. 3.11).
+#[derive(Debug, Clone)]
+pub struct GuardedForm {
+    schema: Arc<Schema>,
+    rules: AccessRules,
+    initial: Instance,
+    completion: Formula,
+}
+
+/// A run of a guarded form: the sequence of instances visited, paired with
+/// the updates that produced them (Def. 3.11: `I₀, …, Iₙ` with each step a
+/// single allowed update).
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// `instances[0]` is the initial instance; `instances[i+1]` results
+    /// from applying `updates[i]`.
+    pub instances: Vec<Instance>,
+    /// The updates, one per step.
+    pub updates: Vec<Update>,
+}
+
+impl Run {
+    /// The final instance of the run.
+    pub fn last(&self) -> &Instance {
+        self.instances.last().expect("runs are non-empty")
+    }
+
+    /// Number of update steps.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Is this the trivial zero-step run?
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+impl GuardedForm {
+    /// Assemble a guarded form. The initial instance must be an instance of
+    /// `schema` (guaranteed if it was built against the same `Arc`).
+    pub fn new(
+        schema: Arc<Schema>,
+        rules: AccessRules,
+        initial: Instance,
+        completion: Formula,
+    ) -> GuardedForm {
+        assert!(
+            Arc::ptr_eq(initial.schema(), &schema),
+            "initial instance must be built over the same schema"
+        );
+        GuardedForm {
+            schema,
+            rules,
+            initial,
+            completion,
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn rules(&self) -> &AccessRules {
+        &self.rules
+    }
+
+    pub fn initial(&self) -> &Instance {
+        &self.initial
+    }
+
+    pub fn completion(&self) -> &Formula {
+        &self.completion
+    }
+
+    /// Replace the initial instance (Def. 3.14 considers `(M, A, Iₙ, φ)`
+    /// for every reachable `Iₙ`).
+    pub fn with_initial(&self, initial: Instance) -> GuardedForm {
+        GuardedForm {
+            schema: self.schema.clone(),
+            rules: self.rules.clone(),
+            initial,
+            completion: self.completion.clone(),
+        }
+    }
+
+    /// Replace the completion formula (Sec. 3.5 checks invariants by
+    /// swapping φ).
+    pub fn with_completion(&self, completion: Formula) -> GuardedForm {
+        GuardedForm {
+            schema: self.schema.clone(),
+            rules: self.rules.clone(),
+            initial: self.initial.clone(),
+            completion,
+        }
+    }
+
+    /// Does the completion formula hold for `inst` (at the root)?
+    pub fn is_complete(&self, inst: &Instance) -> bool {
+        crate::formula::holds_at_root(inst, &self.completion)
+    }
+
+    /// Is `update` allowed on `inst` by the access rules (and the Sec. 3.4
+    /// structural constraints)?
+    pub fn is_allowed(&self, inst: &Instance, update: &Update) -> bool {
+        match update {
+            Update::Add { parent, edge } => {
+                if !inst.is_live(*parent) {
+                    return false;
+                }
+                if self.schema.parent(*edge) != Some(inst.schema_node(*parent)) {
+                    return false;
+                }
+                holds(inst, *parent, self.rules.get(Right::Add, *edge))
+            }
+            Update::Del { node } => {
+                if !inst.is_live(*node) || *node == InstNodeId::ROOT {
+                    return false;
+                }
+                if !inst.is_leaf(*node) {
+                    return false;
+                }
+                let parent = inst.parent(*node).expect("non-root");
+                let edge = inst.schema_node(*node);
+                holds(inst, parent, self.rules.get(Right::Del, edge))
+            }
+        }
+    }
+
+    /// Enumerate every allowed update on `inst`.
+    ///
+    /// For additions, one update per `(instance parent, schema edge)` pair
+    /// whose guard holds; for deletions, one per deletable leaf.
+    pub fn allowed_updates(&self, inst: &Instance) -> Vec<Update> {
+        let mut out = Vec::new();
+        for n in inst.live_nodes() {
+            let sn = inst.schema_node(n);
+            for &edge in self.schema.children(sn) {
+                if holds(inst, n, self.rules.get(Right::Add, edge)) {
+                    out.push(Update::Add { parent: n, edge });
+                }
+            }
+            if n != InstNodeId::ROOT && inst.is_leaf(n) {
+                let parent = inst.parent(n).expect("non-root");
+                if holds(inst, parent, self.rules.get(Right::Del, inst.schema_node(n))) {
+                    out.push(Update::Del { node: n });
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply an update, checking it is allowed. Returns the id of the added
+    /// node for additions.
+    pub fn apply(&self, inst: &mut Instance, update: &Update) -> Result<Option<InstNodeId>> {
+        if !self.is_allowed(inst, update) {
+            return Err(CoreError::UpdateNotAllowed(update.to_string()));
+        }
+        self.apply_unchecked(inst, update)
+    }
+
+    /// Apply an update without consulting the access rules (structural
+    /// validity is still enforced by [`Instance`]). Solvers that have
+    /// already checked the guard use this.
+    pub fn apply_unchecked(
+        &self,
+        inst: &mut Instance,
+        update: &Update,
+    ) -> Result<Option<InstNodeId>> {
+        match update {
+            Update::Add { parent, edge } => Ok(Some(inst.add_child(*parent, *edge)?)),
+            Update::Del { node } => {
+                inst.remove_leaf(*node)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Validate a sequence of updates as a run from the initial instance
+    /// (Def. 3.11) and return the full run. Fails with the offending step
+    /// if some update is not allowed.
+    pub fn replay(&self, updates: &[Update]) -> Result<Run> {
+        let mut instances = vec![self.initial.clone()];
+        let mut cur = self.initial.clone();
+        for (i, u) in updates.iter().enumerate() {
+            self.apply(&mut cur, u).map_err(|e| CoreError::InvalidRun {
+                step: i,
+                msg: e.to_string(),
+            })?;
+            instances.push(cur.clone());
+        }
+        Ok(Run {
+            instances,
+            updates: updates.to_vec(),
+        })
+    }
+
+    /// Is `updates` a *complete run* (Def. 3.11): a valid run whose final
+    /// instance satisfies the completion formula?
+    pub fn is_complete_run(&self, updates: &[Update]) -> bool {
+        match self.replay(updates) {
+            Ok(run) => self.is_complete(run.last()),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_form() -> GuardedForm {
+        // r with children a, b. a can be added freely; b only after a;
+        // a can be deleted only while b is absent; b never.
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        let a = schema.resolve("a").unwrap();
+        let b = schema.resolve("b").unwrap();
+        rules.set_both(a, Formula::parse("!a").unwrap(), Formula::parse("!b").unwrap());
+        rules.set(Right::Add, b, Formula::parse("a & !b").unwrap());
+        let initial = Instance::empty(schema.clone());
+        GuardedForm::new(schema, rules, initial, Formula::parse("a & b").unwrap())
+    }
+
+    #[test]
+    fn allowed_updates_initial() {
+        let g = tiny_form();
+        let ups = g.allowed_updates(g.initial());
+        // Only `add a` is allowed at the start.
+        assert_eq!(ups.len(), 1);
+        assert!(matches!(ups[0], Update::Add { .. }));
+    }
+
+    #[test]
+    fn replay_and_complete_run() {
+        let g = tiny_form();
+        let a = g.schema().resolve("a").unwrap();
+        let b = g.schema().resolve("b").unwrap();
+        let run = vec![
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: a,
+            },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: b,
+            },
+        ];
+        assert!(g.is_complete_run(&run));
+        let r = g.replay(&run).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.instances.len(), 3);
+        assert!(g.is_complete(r.last()));
+        assert!(!g.is_complete(&r.instances[1]));
+    }
+
+    #[test]
+    fn disallowed_update_rejected() {
+        let g = tiny_form();
+        let b = g.schema().resolve("b").unwrap();
+        // b before a is not allowed.
+        let run = vec![Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: b,
+        }];
+        assert!(!g.is_complete_run(&run));
+        let mut inst = g.initial().clone();
+        let err = g
+            .apply(
+                &mut inst,
+                &Update::Add {
+                    parent: InstNodeId::ROOT,
+                    edge: b,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UpdateNotAllowed(_)));
+    }
+
+    #[test]
+    fn deletion_guard_is_evaluated_at_parent() {
+        let g = tiny_form();
+        let a = g.schema().resolve("a").unwrap();
+        let b = g.schema().resolve("b").unwrap();
+        let mut inst = g.initial().clone();
+        let an = g
+            .apply(
+                &mut inst,
+                &Update::Add {
+                    parent: InstNodeId::ROOT,
+                    edge: a,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        // a deletable while b absent…
+        assert!(g.is_allowed(&inst, &Update::Del { node: an }));
+        g.apply(
+            &mut inst,
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: b,
+            },
+        )
+        .unwrap();
+        // …but not once b is present (guard ¬b at the root).
+        assert!(!g.is_allowed(&inst, &Update::Del { node: an }));
+    }
+
+    #[test]
+    fn default_rule_is_false() {
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let rules = AccessRules::new(&schema);
+        let g = GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::True,
+        );
+        assert!(g.allowed_updates(g.initial()).is_empty());
+    }
+
+    #[test]
+    fn default_rule_true_allows_everything() {
+        // The Thm 5.1 construction: "All access rules are set to true."
+        let schema = Arc::new(Schema::parse("x1, x2").unwrap());
+        let rules = AccessRules::with_default(&schema, Formula::True);
+        let g = GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::True,
+        );
+        assert_eq!(g.allowed_updates(g.initial()).len(), 2);
+    }
+
+    #[test]
+    fn all_positive_detection() {
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::with_default(&schema, Formula::True);
+        assert!(rules.all_positive(&schema));
+        rules.set(
+            Right::Add,
+            schema.resolve("a").unwrap(),
+            Formula::parse("!b").unwrap(),
+        );
+        assert!(!rules.all_positive(&schema));
+    }
+
+    #[test]
+    fn add_disjunct_merges() {
+        let schema = Arc::new(Schema::parse("a").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        let a = schema.resolve("a").unwrap();
+        rules.add_disjunct(Right::Add, a, Formula::label("x"));
+        assert_eq!(rules.get(Right::Add, a).to_string(), "x");
+        rules.add_disjunct(Right::Add, a, Formula::label("y"));
+        assert_eq!(rules.get(Right::Add, a).to_string(), "x | y");
+    }
+
+    #[test]
+    fn deep_guard_contexts() {
+        // A(add, a/n) = ¬../s — evaluated at the a node, `..` reaches the
+        // root (Ex. 3.12's note about ¬../s vs ¬s).
+        let schema = Arc::new(Schema::parse("a(n), s").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        let a = schema.resolve("a").unwrap();
+        let n = schema.resolve("a/n").unwrap();
+        rules.set(Right::Add, a, Formula::True);
+        rules.set(Right::Add, schema.resolve("s").unwrap(), Formula::True);
+        rules.set(Right::Add, n, Formula::parse("!../s & !n").unwrap());
+        let g = GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::True,
+        );
+        let mut inst = g.initial().clone();
+        let an = g
+            .apply(&mut inst, &Update::Add { parent: InstNodeId::ROOT, edge: a })
+            .unwrap()
+            .unwrap();
+        assert!(g.is_allowed(&inst, &Update::Add { parent: an, edge: n }));
+        g.apply(
+            &mut inst,
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: g.schema().resolve("s").unwrap(),
+            },
+        )
+        .unwrap();
+        assert!(!g.is_allowed(&inst, &Update::Add { parent: an, edge: n }));
+    }
+}

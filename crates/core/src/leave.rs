@@ -1,0 +1,292 @@
+//! The paper's running example: the **leave application** form.
+//!
+//! * [`schema`] — Figure 1 (labels abbreviated to first letters, as in the
+//!   paper: `application → a`, `name → n`, …; note `d` is both `dept` under
+//!   `a` and `decision` under the root, and `r` is both `reject` and
+//!   `reason`).
+//! * [`figure2a`] / [`figure2b`] — the two instances of Figure 2.
+//! * [`example_3_12`] — the full guarded form of Example 3.12 (24 access
+//!   rules, initial instance `{r}`, completion formula `f`).
+//! * [`section_3_5_variant`] — the modified form of Sec. 3.5 that is
+//!   completable but **not** semi-sound.
+//! * [`complete_run`] — a witness complete run for Example 3.12.
+
+use crate::formula::Formula;
+use crate::guarded::{AccessRules, GuardedForm, Right, Update};
+use crate::instance::{InstNodeId, Instance};
+use crate::schema::Schema;
+use std::sync::Arc;
+
+/// The Figure 1 schema: `a(n, d, p(b, e)), s, d(a, r(r)), f`.
+pub fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f")
+            .expect("leave schema is well-formed"),
+    )
+}
+
+/// Figure 2(a): a submitted application for two periods.
+pub fn figure2a(schema: Arc<Schema>) -> Instance {
+    Instance::parse(schema, "a(n, d, p(b, e), p(b, e)), s").expect("figure 2a parses")
+}
+
+/// Figure 2(b): an application for a single period that was rejected.
+pub fn figure2b(schema: Arc<Schema>) -> Instance {
+    Instance::parse(schema, "a(n, d, p(b, e)), s, d(r), f").expect("figure 2b parses")
+}
+
+fn f(text: &str) -> Formula {
+    Formula::parse(text).expect("example formulas parse")
+}
+
+/// The guarded form of Example 3.12: empty initial instance, completion
+/// formula `f`, and the access rules exactly as listed in the paper.
+pub fn example_3_12() -> GuardedForm {
+    let schema = schema();
+    let mut rules = AccessRules::new(&schema);
+    let edge = |p: &str| schema.resolve(p).expect("rule edge exists");
+
+    rules.set_both(edge("a"), f("!a"), f("!a"));
+    rules.set_both(edge("a/n"), f("!../s & !n"), f("!../s"));
+    rules.set_both(edge("a/d"), f("!../s & !d"), f("!../s"));
+    rules.set_both(edge("a/p"), f("!../s"), f("!../s"));
+    rules.set_both(edge("a/p/b"), f("!../../s & !b"), f("!../../s"));
+    rules.set_both(edge("a/p/e"), f("!../../s & !e"), f("!../../s"));
+    rules.set_both(
+        edge("s"),
+        f("!s & a[n & d & p] & !a/p[!b | !e]"),
+        f("!s"),
+    );
+    rules.set_both(edge("d"), f("s & !d"), f("!f"));
+    rules.set_both(edge("d/a"), f("!(a | r)"), f("!../f"));
+    rules.set_both(edge("d/r"), f("!(a | r)"), f("!../f"));
+    rules.set_both(edge("d/r/r"), f("!r"), f("!../../f"));
+    rules.set_both(edge("f"), f("d[a | r] & !f"), f("!f"));
+
+    let initial = Instance::empty(schema.clone());
+    GuardedForm::new(schema, rules, initial, f("f"))
+}
+
+/// The Sec. 3.5 variant: completion formula `f ∧ d[a ∨ r]` and weakened
+/// rules `A(add, f) = d ∧ ¬f`, `A(add, d/a) = ¬(a ∨ r) ∧ ¬../f`,
+/// `A(add, d/r) = ¬(a ∨ r) ∧ ¬../f`.
+///
+/// The paper: "the guarded form is still completable but at the same time
+/// it is possible to reach an instance where there is a final field but no
+/// approval or reject field. From that instance the form cannot be
+/// completed."
+pub fn section_3_5_variant() -> GuardedForm {
+    let base = example_3_12();
+    let schema = base.schema().clone();
+    let mut rules = base.rules().clone();
+    let edge = |p: &str| schema.resolve(p).expect("rule edge exists");
+    rules.set(Right::Add, edge("f"), f("d & !f"));
+    rules.set(Right::Add, edge("d/a"), f("!(a | r) & !../f"));
+    rules.set(Right::Add, edge("d/r"), f("!(a | r) & !../f"));
+    GuardedForm::new(
+        schema,
+        rules,
+        base.initial().clone(),
+        f("f & d[a | r]"),
+    )
+}
+
+/// The invariant of Sec. 3.5: "by checking completability for
+/// `φ = d[a ∧ r]` we can check if at any stage there can be a decision
+/// field that contains both accept and reject."
+pub fn both_decisions_invariant() -> Formula {
+    f("d[a & r]")
+}
+
+/// A witness complete run for [`example_3_12`]: create the application,
+/// fill in name/department/one period with dates, submit, approve, mark
+/// final. Returns the update list; replay it with
+/// [`GuardedForm::replay`].
+pub fn complete_run(g: &GuardedForm) -> Vec<Update> {
+    let schema = g.schema();
+    let edge = |p: &str| schema.resolve(p).expect("edge");
+    // Node ids are deterministic: the root is 0 and each addition allocates
+    // the next id in sequence.
+    let root = InstNodeId::ROOT;
+    let a = InstNodeId(1);
+    let p = InstNodeId(4);
+    let d = InstNodeId(8);
+    vec![
+        Update::Add { parent: root, edge: edge("a") }, // -> node 1
+        Update::Add { parent: a, edge: edge("a/n") },  // -> node 2
+        Update::Add { parent: a, edge: edge("a/d") },  // -> node 3
+        Update::Add { parent: a, edge: edge("a/p") },  // -> node 4
+        Update::Add { parent: p, edge: edge("a/p/b") }, // -> node 5
+        Update::Add { parent: p, edge: edge("a/p/e") }, // -> node 6
+        Update::Add { parent: root, edge: edge("s") },  // -> node 7
+        Update::Add { parent: root, edge: edge("d") },  // -> node 8
+        Update::Add { parent: d, edge: edge("d/a") },   // -> node 9
+        Update::Add { parent: root, edge: edge("f") },  // -> node 10
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{classify, DepthClass, Polarity};
+
+    #[test]
+    fn schema_matches_figure1() {
+        let s = schema();
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.node_count(), 13);
+        for p in ["a", "a/n", "a/d", "a/p", "a/p/b", "a/p/e", "s", "d", "d/a", "d/r", "d/r/r", "f"] {
+            assert!(s.resolve(p).is_ok(), "missing {p}");
+        }
+    }
+
+    #[test]
+    fn figure2_instances_are_instances() {
+        let s = schema();
+        let ia = figure2a(s.clone());
+        let ib = figure2b(s);
+        assert_eq!(ia.live_count(), 11);
+        assert_eq!(ib.live_count(), 11);
+    }
+
+    #[test]
+    fn example_3_12_classifies_as_unrestricted_depth3() {
+        let g = example_3_12();
+        let frag = classify(&g);
+        assert_eq!(frag.access, Polarity::Unrestricted);
+        assert_eq!(frag.completion, Polarity::Positive); // φ = f is positive
+        assert_eq!(frag.depth, DepthClass::K(3));
+    }
+
+    #[test]
+    fn complete_run_reaches_completion() {
+        let g = example_3_12();
+        let run = complete_run(&g);
+        assert!(g.is_complete_run(&run), "the witness run must complete");
+        let replayed = g.replay(&run).unwrap();
+        assert!(g.is_complete(replayed.last()));
+        // No intermediate instance is complete.
+        for i in &replayed.instances[..replayed.instances.len() - 1] {
+            assert!(!g.is_complete(i));
+        }
+    }
+
+    #[test]
+    fn at_most_one_application() {
+        // A(add, a) = ¬a: "there cannot be two applications".
+        let g = example_3_12();
+        let mut inst = g.initial().clone();
+        let a_edge = g.schema().resolve("a").unwrap();
+        g.apply(&mut inst, &Update::Add { parent: InstNodeId::ROOT, edge: a_edge })
+            .unwrap();
+        assert!(!g.is_allowed(
+            &inst,
+            &Update::Add { parent: InstNodeId::ROOT, edge: a_edge }
+        ));
+        // A(del, a) = ¬a: "we can never delete an application field once it
+        // has been added".
+        assert!(!g.is_allowed(&inst, &Update::Del { node: InstNodeId(1) }));
+    }
+
+    #[test]
+    fn submission_requires_complete_periods() {
+        let g = example_3_12();
+        let s_edge = g.schema().resolve("s").unwrap();
+        // Application with a period missing its end date: cannot submit.
+        let inst = Instance::parse(g.schema().clone(), "a(n, d, p(b))").unwrap();
+        assert!(!g.is_allowed(
+            &inst,
+            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+        ));
+        // With complete periods it can.
+        let inst = Instance::parse(g.schema().clone(), "a(n, d, p(b, e))").unwrap();
+        assert!(g.is_allowed(
+            &inst,
+            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+        ));
+        // Multiple periods: all must be complete.
+        let inst =
+            Instance::parse(g.schema().clone(), "a(n, d, p(b, e), p(e))").unwrap();
+        assert!(!g.is_allowed(
+            &inst,
+            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+        ));
+    }
+
+    #[test]
+    fn submission_freezes_application() {
+        let g = example_3_12();
+        let run = complete_run(&g);
+        // Replay up to and including the submit step (index 6).
+        let prefix: Vec<_> = run[..7].to_vec();
+        let r = g.replay(&prefix).unwrap();
+        let inst = r.last();
+        // After submission, period fields can no longer change.
+        let p_edge = g.schema().resolve("a/p").unwrap();
+        let a_node = InstNodeId(1);
+        assert!(!g.is_allowed(inst, &Update::Add { parent: a_node, edge: p_edge }));
+        // Begin-date deletion inside the period is also frozen.
+        assert!(!g.is_allowed(inst, &Update::Del { node: InstNodeId(5) }));
+        // And the submit mark itself cannot be retracted (A(del, s) = ¬s).
+        assert!(!g.is_allowed(inst, &Update::Del { node: InstNodeId(7) }));
+    }
+
+    #[test]
+    fn decision_exclusive_until_final() {
+        let g = example_3_12();
+        let run = complete_run(&g);
+        // Up to and including approve (index 8).
+        let r = g.replay(&run[..9]).unwrap();
+        let inst = r.last();
+        let d_node = InstNodeId(8);
+        // Cannot also reject: A(add, d/r) = ¬(a ∨ r).
+        let r_edge = g.schema().resolve("d/r").unwrap();
+        assert!(!g.is_allowed(inst, &Update::Add { parent: d_node, edge: r_edge }));
+        // Approve is deletable before final (A(del, d/a) = ¬../f)…
+        assert!(g.is_allowed(inst, &Update::Del { node: InstNodeId(9) }));
+        // …but not after.
+        let r2 = g.replay(&run).unwrap();
+        assert!(!g.is_allowed(r2.last(), &Update::Del { node: InstNodeId(9) }));
+    }
+
+    #[test]
+    fn variant_still_has_a_complete_run() {
+        // Sec. 3.5: "the guarded form is still completable".
+        let g = section_3_5_variant();
+        let run = complete_run(&g);
+        assert!(g.is_complete_run(&run));
+    }
+
+    #[test]
+    fn variant_reaches_a_stuck_instance() {
+        // Sec. 3.5: reach `…, s, d, f` (final without decision). From there
+        // the approve/reject guards `¬../f` block forever.
+        let g = section_3_5_variant();
+        let sch = g.schema();
+        let run = [
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("a").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/n").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/d").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/p").unwrap() },
+            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/b").unwrap() },
+            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/e").unwrap() },
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("s").unwrap() },
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("d").unwrap() },
+            // Weakened rule lets `f` in before any decision:
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("f").unwrap() },
+        ];
+        let r = g.replay(&run).unwrap();
+        let stuck = r.last();
+        assert!(!g.is_complete(stuck));
+        // The decision children are blocked by ¬../f now:
+        let d_node = InstNodeId(8);
+        for e in ["d/a", "d/r"] {
+            assert!(!g.is_allowed(
+                stuck,
+                &Update::Add { parent: d_node, edge: sch.resolve(e).unwrap() }
+            ));
+        }
+        // f cannot be removed either (A(del, f) = ¬f).
+        assert!(!g.is_allowed(stuck, &Update::Del { node: InstNodeId(9) }));
+    }
+}

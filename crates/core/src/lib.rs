@@ -1,0 +1,46 @@
+//! # idar-core
+//!
+//! The formalism of *Calders, Dekeyser, Hidders, Paredaens — "Analyzing
+//! Workflows implied by Instance-Dependent Access Rules" (PODS 2006)*.
+//!
+//! A **guarded form** ([`GuardedForm`]) couples
+//!
+//! * a tree-shaped [`Schema`] (a nested-relation schema, Def. 3.1),
+//! * an initial [`Instance`] of that schema,
+//! * an access-rule table ([`AccessRules`]) mapping each access right
+//!   (`add`/`del`) and schema edge to a guard [`Formula`] in an
+//!   XPath-abbreviated path logic (Def. 3.4), and
+//! * a *completion formula* that defines when the form is complete.
+//!
+//! The access rules implicitly define a workflow: the only updates are
+//! additions and deletions of leaf edges, and an update is allowed exactly
+//! when its guard holds at the parent node of the touched edge (Sec. 3.4).
+//!
+//! This crate contains the formalism itself: schemas, instances (which carry
+//! their — unique, Prop. 3.3 — homomorphism into the schema), formulas with
+//! parser/evaluator/normal forms, formula equivalence and canonical
+//! instances (bisimulation with bidirectional edges, Defs. 3.7–3.8), guarded
+//! forms and runs, the fragment lattice `F(A±, φ±, d)` of Sec. 3.5, and the
+//! paper's running example (the leave application, Fig. 1 / Ex. 3.12).
+//!
+//! Decision procedures for completability and semi-soundness live in
+//! `idar-solver`; the paper's hardness reductions live in `idar-reductions`.
+
+pub mod bisim;
+pub mod error;
+pub mod formula;
+pub mod fragment;
+pub mod guarded;
+pub mod instance;
+pub mod leave;
+pub mod schema;
+
+pub use error::CoreError;
+pub use formula::{Formula, PathExpr};
+pub use fragment::{DepthClass, Fragment, Polarity};
+pub use guarded::{AccessRules, GuardedForm, Right, Run, Update};
+pub use instance::{InstNodeId, Instance};
+pub use schema::{Schema, SchemaBuilder, SchemaNodeId};
+
+/// The reserved label of every schema (and instance) root, Def. 3.1.
+pub const ROOT_LABEL: &str = "r";

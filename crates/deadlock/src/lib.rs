@@ -1,0 +1,418 @@
+//! # idar-deadlock
+//!
+//! The **reachable deadlock** problem, exactly as defined in the proof of
+//! Theorem 4.6:
+//!
+//! > The input consists of a list of graphs `G₁ = (V₁,E₁), …, Gₖ =
+//! > (Vₖ,Eₖ)` with disjoint sets of vertices, a sequence of vertices
+//! > `v₁, …, vₖ` with `vᵢ ∈ Vᵢ`, and a set `T` of pairs of edges
+//! > `(eᵢ, eⱼ)` with `eᵢ` and `eⱼ` in different graphs. A configuration is
+//! > any set `a₁, …, aₖ` with `aᵢ ∈ Vᵢ`. There is a transition … if there
+//! > exist two indices `i < j` such that … `((aᵢ,aⱼ),(bᵢ,bⱼ)) ∈ T`. The
+//! > reachable deadlock problem: does there exist a configuration
+//! > reachable from `v₁, …, vₖ` that does not have a successor?
+//!
+//! This PSPACE-complete problem is the source of the paper's depth-1
+//! completability hardness; the explicit-state checker here is the
+//! baseline the reduction is validated against. A dining-philosophers
+//! generator provides scalable benchmark families.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// A vertex, globally numbered across all component graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vertex(pub u32);
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A synchronised transition: components `i` and `j` move along edges
+/// `(aᵢ → bᵢ)` and `(aⱼ → bⱼ)` simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncPair {
+    pub i: usize,
+    pub j: usize,
+    pub from_i: Vertex,
+    pub to_i: Vertex,
+    pub from_j: Vertex,
+    pub to_j: Vertex,
+}
+
+/// A reachable-deadlock instance.
+#[derive(Debug, Clone)]
+pub struct DeadlockInstance {
+    /// `component_of[v]` = which graph vertex `v` belongs to.
+    pub component_of: Vec<usize>,
+    /// Number of component graphs `k`.
+    pub components: usize,
+    /// Start vertex per component.
+    pub start: Vec<Vertex>,
+    /// The synchronised transition pairs `T`.
+    pub pairs: Vec<SyncPair>,
+}
+
+/// A configuration: one vertex per component.
+pub type Configuration = Vec<Vertex>;
+
+/// Errors raised by instance validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockError {
+    /// A pair references the same component twice (`eᵢ` and `eⱼ` must be
+    /// in different graphs).
+    SameComponent(usize),
+    /// A vertex is used in the wrong component.
+    WrongComponent { vertex: Vertex, expected: usize },
+    /// Component/start-vector shape mismatch.
+    Malformed(String),
+}
+
+impl fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockError::SameComponent(i) => {
+                write!(f, "sync pair stays within component {i}")
+            }
+            DeadlockError::WrongComponent { vertex, expected } => {
+                write!(f, "{vertex} is not in component {expected}")
+            }
+            DeadlockError::Malformed(m) => write!(f, "malformed instance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeadlockError {}
+
+/// The answer of the explicit-state checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockAnswer {
+    /// A reachable deadlock configuration, if one exists.
+    pub deadlock: Option<Configuration>,
+    /// Number of configurations explored.
+    pub explored: usize,
+}
+
+impl DeadlockInstance {
+    /// Validate the shape constraints from the problem definition.
+    pub fn validate(&self) -> Result<(), DeadlockError> {
+        if self.start.len() != self.components {
+            return Err(DeadlockError::Malformed(format!(
+                "{} start vertices for {} components",
+                self.start.len(),
+                self.components
+            )));
+        }
+        for (i, v) in self.start.iter().enumerate() {
+            if self.component_of.get(v.0 as usize) != Some(&i) {
+                return Err(DeadlockError::WrongComponent {
+                    vertex: *v,
+                    expected: i,
+                });
+            }
+        }
+        for p in &self.pairs {
+            if p.i == p.j {
+                return Err(DeadlockError::SameComponent(p.i));
+            }
+            if p.i >= self.components || p.j >= self.components {
+                return Err(DeadlockError::Malformed("component index".into()));
+            }
+            for (v, c) in [
+                (p.from_i, p.i),
+                (p.to_i, p.i),
+                (p.from_j, p.j),
+                (p.to_j, p.j),
+            ] {
+                if self.component_of.get(v.0 as usize) != Some(&c) {
+                    return Err(DeadlockError::WrongComponent {
+                        vertex: v,
+                        expected: c,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of vertices (across all components).
+    pub fn vertex_count(&self) -> usize {
+        self.component_of.len()
+    }
+
+    /// Successor configurations of `c`.
+    pub fn successors(&self, c: &Configuration) -> Vec<Configuration> {
+        let mut out = Vec::new();
+        for p in &self.pairs {
+            if c[p.i] == p.from_i && c[p.j] == p.from_j {
+                let mut next = c.clone();
+                next[p.i] = p.to_i;
+                next[p.j] = p.to_j;
+                out.push(next);
+            }
+        }
+        out
+    }
+
+    /// Is `c` a deadlock (no successor)?
+    pub fn is_deadlock(&self, c: &Configuration) -> bool {
+        self.pairs
+            .iter()
+            .all(|p| !(c[p.i] == p.from_i && c[p.j] == p.from_j))
+    }
+
+    /// Explicit-state BFS for a reachable deadlock.
+    pub fn find_reachable_deadlock(&self) -> DeadlockAnswer {
+        let start: Configuration = self.start.clone();
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        seen.insert(start.clone());
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        let mut explored = 0usize;
+        while let Some(c) = queue.pop_front() {
+            explored += 1;
+            let succ = self.successors(&c);
+            if succ.is_empty() {
+                return DeadlockAnswer {
+                    deadlock: Some(c),
+                    explored,
+                };
+            }
+            for s in succ {
+                if seen.insert(s.clone()) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        DeadlockAnswer {
+            deadlock: None,
+            explored,
+        }
+    }
+}
+
+/// Builder for deadlock instances.
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockBuilder {
+    component_of: Vec<usize>,
+    starts: Vec<Vertex>,
+    pairs: Vec<SyncPair>,
+}
+
+impl DeadlockBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a component with `n` fresh vertices; returns their ids. The
+    /// first vertex is the component's start unless overridden with
+    /// [`DeadlockBuilder::start`].
+    pub fn component(&mut self, n: usize) -> Vec<Vertex> {
+        let comp = self.starts.len();
+        let base = self.component_of.len() as u32;
+        let vs: Vec<Vertex> = (0..n as u32).map(|i| Vertex(base + i)).collect();
+        self.component_of.extend(std::iter::repeat_n(comp, n));
+        self.starts.push(vs[0]);
+        vs
+    }
+
+    /// Override a component's start vertex.
+    pub fn start(&mut self, component: usize, v: Vertex) {
+        self.starts[component] = v;
+    }
+
+    /// Add a synchronised pair.
+    pub fn pair(
+        &mut self,
+        i: usize,
+        from_i: Vertex,
+        to_i: Vertex,
+        j: usize,
+        from_j: Vertex,
+        to_j: Vertex,
+    ) {
+        self.pairs.push(SyncPair {
+            i,
+            j,
+            from_i,
+            to_i,
+            from_j,
+            to_j,
+        });
+    }
+
+    pub fn build(self) -> Result<DeadlockInstance, DeadlockError> {
+        let inst = DeadlockInstance {
+            components: self.starts.len(),
+            component_of: self.component_of,
+            start: self.starts,
+            pairs: self.pairs,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+}
+
+/// Dining philosophers with `n ≥ 2` philosophers, as a reachable-deadlock
+/// instance.
+///
+/// Component `2i` is philosopher `i` (states: thinking, holding-left,
+/// eating, releasing); component `2i+1` is fork `i` (states: free, taken).
+/// Picking up or putting down a fork synchronises a philosopher edge with
+/// a fork edge; every component edge moves to a *different* vertex (the
+/// Thm 4.6 reduction relies on `from ≠ to`). The classic left-then-right
+/// protocol deadlocks when everyone holds their left fork.
+#[allow(clippy::needless_range_loop)] // `i` is the philosopher index, used for left/right arithmetic
+pub fn dining_philosophers(n: usize) -> DeadlockInstance {
+    assert!(n >= 2);
+    let mut b = DeadlockBuilder::new();
+    let mut phil = Vec::new();
+    let mut fork = Vec::new();
+    for _ in 0..n {
+        // 0 thinking, 1 holding-left, 2 eating, 3 releasing
+        phil.push(b.component(4));
+        fork.push(b.component(2)); // 0 free, 1 taken
+    }
+    let pc = |i: usize| 2 * i; // philosopher component index
+    let fc = |i: usize| 2 * i + 1; // fork component index
+    for i in 0..n {
+        let left = i;
+        let right = (i + 1) % n;
+        // thinking → holding-left, with left fork free → taken.
+        b.pair(
+            pc(i),
+            phil[i][0],
+            phil[i][1],
+            fc(left),
+            fork[left][0],
+            fork[left][1],
+        );
+        // holding-left → eating, with right fork free → taken.
+        b.pair(
+            pc(i),
+            phil[i][1],
+            phil[i][2],
+            fc(right),
+            fork[right][0],
+            fork[right][1],
+        );
+        // eating → releasing, putting the left fork back.
+        b.pair(
+            pc(i),
+            phil[i][2],
+            phil[i][3],
+            fc(left),
+            fork[left][1],
+            fork[left][0],
+        );
+        // releasing → thinking, putting the right fork back.
+        b.pair(
+            pc(i),
+            phil[i][3],
+            phil[i][0],
+            fc(right),
+            fork[right][1],
+            fork[right][0],
+        );
+    }
+    b.build().expect("dining philosophers is well-formed")
+}
+
+/// A trivially deadlock-free instance: two components ping-ponging.
+pub fn ping_pong_free() -> DeadlockInstance {
+    let mut b = DeadlockBuilder::new();
+    let a = b.component(2);
+    let c = b.component(2);
+    b.pair(0, a[0], a[1], 1, c[0], c[1]);
+    b.pair(0, a[1], a[0], 1, c[1], c[0]);
+    b.build().expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_has_no_deadlock() {
+        let inst = ping_pong_free();
+        let ans = inst.find_reachable_deadlock();
+        assert!(ans.deadlock.is_none());
+        assert_eq!(ans.explored, 2);
+    }
+
+    #[test]
+    fn immediate_deadlock() {
+        // No pairs at all: the start configuration is a deadlock.
+        let mut b = DeadlockBuilder::new();
+        b.component(1);
+        b.component(1);
+        let inst = b.build().unwrap();
+        let ans = inst.find_reachable_deadlock();
+        assert_eq!(ans.deadlock, Some(inst.start.clone()));
+    }
+
+    #[test]
+    fn philosophers_deadlock() {
+        for n in 2..=4 {
+            let inst = dining_philosophers(n);
+            let ans = inst.find_reachable_deadlock();
+            let dl = ans.deadlock.expect("left-then-right protocol deadlocks");
+            // The deadlock: every philosopher holds their left fork.
+            assert!(inst.is_deadlock(&dl));
+            for i in 0..n {
+                // philosopher component 2i, state index 1 (holding-left)
+                let base = inst
+                    .start
+                    .iter()
+                    .enumerate()
+                    .find(|(c, _)| *c == 2 * i)
+                    .map(|(_, v)| v.0)
+                    .unwrap();
+                assert_eq!(dl[2 * i].0, base + 1, "philosopher {i} holds left");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_same_component_pairs() {
+        let mut b = DeadlockBuilder::new();
+        let a = b.component(2);
+        b.component(1);
+        b.pair(0, a[0], a[1], 0, a[0], a[1]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            DeadlockError::SameComponent(0)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_cross_component_vertices() {
+        let mut b = DeadlockBuilder::new();
+        let a = b.component(2);
+        let c = b.component(2);
+        b.pair(0, a[0], c[0], 1, c[0], c[1]); // to_i is in component 1
+        assert!(matches!(
+            b.build(),
+            Err(DeadlockError::WrongComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn successor_semantics() {
+        let inst = ping_pong_free();
+        let succ = inst.successors(&inst.start);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(inst.successors(&succ[0]).len(), 1);
+        assert_eq!(inst.successors(&succ[0])[0], inst.start);
+    }
+
+    #[test]
+    fn deadlock_detection_matches_successors() {
+        let inst = dining_philosophers(3);
+        let ans = inst.find_reachable_deadlock();
+        let dl = ans.deadlock.unwrap();
+        assert!(inst.successors(&dl).is_empty());
+    }
+}

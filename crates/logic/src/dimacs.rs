@@ -1,0 +1,185 @@
+//! DIMACS CNF parsing and serialisation.
+//!
+//! The de-facto standard exchange format for SAT instances; supporting it
+//! means the Thm 5.1 / Thm 5.6 reductions can be fed any off-the-shelf
+//! benchmark instance:
+//!
+//! ```text
+//! c a comment
+//! p cnf 3 2
+//! 1 -2 0
+//! 2 3 -1 0
+//! ```
+
+use crate::prop::{Cnf, Lit};
+use std::fmt::Write as _;
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error on line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for DimacsError {}
+
+fn err(line: usize, msg: impl Into<String>) -> DimacsError {
+    DimacsError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a DIMACS CNF document.
+///
+/// Accepts the common dialect: `c` comment lines anywhere, one `p cnf
+/// <vars> <clauses>` header, clauses as whitespace-separated non-zero
+/// literals terminated by `0` (clauses may span lines). The declared
+/// variable count is respected even when variables go unused; literals
+/// beyond it are an error.
+pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
+    let mut declared: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if declared.is_some() {
+                return Err(err(n, "duplicate `p` header"));
+            }
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(err(n, "expected `p cnf <vars> <clauses>`"));
+            }
+            let vars = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| err(n, "bad variable count"))?;
+            let ncl = parts
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| err(n, "bad clause count"))?;
+            declared = Some((vars, ncl));
+            continue;
+        }
+        let Some((vars, _)) = declared else {
+            return Err(err(n, "clause before `p cnf` header"));
+        };
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| err(n, format!("bad literal `{tok}`")))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() - 1;
+                if var as usize >= vars {
+                    return Err(err(
+                        n,
+                        format!("literal {v} exceeds declared {vars} variables"),
+                    ));
+                }
+                current.push(if v > 0 {
+                    Lit::pos(var as u32)
+                } else {
+                    Lit::neg(var as u32)
+                });
+            }
+        }
+    }
+    let Some((vars, ncl)) = declared else {
+        return Err(err(0, "missing `p cnf` header"));
+    };
+    if !current.is_empty() {
+        return Err(err(0, "unterminated clause (missing trailing 0)"));
+    }
+    if clauses.len() != ncl {
+        return Err(err(
+            0,
+            format!("header declared {ncl} clauses, found {}", clauses.len()),
+        ));
+    }
+    Ok(Cnf::new(clauses).with_vars(vars))
+}
+
+/// Serialise a CNF to DIMACS.
+pub fn render(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for l in &c.0 {
+            let v = l.var.0 as i64 + 1;
+            let _ = write!(out, "{} ", if l.positive { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Var;
+
+    #[test]
+    fn parses_the_classic_example() {
+        let cnf = parse("c example\np cnf 3 2\n1 -2 0\n2 3 -1 0\n").unwrap();
+        assert_eq!(cnf.vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].0, vec![Lit::pos(0), Lit::neg(1)]);
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let cnf = parse("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].0.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = crate::gen::random_3cnf(5, 6, 12);
+        let text = render(&original);
+        let back = parse(&text).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn respects_declared_unused_vars() {
+        let cnf = parse("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(cnf.vars, 10);
+        assert_eq!(cnf.used_vars().len(), 1);
+        assert!(cnf.used_vars().contains(&Var(0)));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("1 0\n").is_err()); // clause before header
+        assert!(parse("p cnf 1 1\n2 0\n").is_err()); // var out of range
+        assert!(parse("p cnf 1 1\n1\n").is_err()); // missing terminator
+        assert!(parse("p cnf 1 2\n1 0\n").is_err()); // clause count mismatch
+        assert!(parse("p cnf 1 1\np cnf 1 1\n1 0\n").is_err()); // dup header
+        assert!(parse("p dnf 1 1\n1 0\n").is_err()); // not cnf
+        assert!(parse("p cnf 1 1\nx 0\n").is_err()); // bad literal
+    }
+
+    #[test]
+    fn solves_parsed_instances() {
+        // A tiny UNSAT instance in DIMACS: (x) ∧ (¬x).
+        let cnf = parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(crate::dpll::solve(&cnf).is_none());
+        let sat = parse("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        assert!(crate::dpll::solve(&sat).is_some());
+    }
+}

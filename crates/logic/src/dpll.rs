@@ -1,0 +1,276 @@
+//! A DPLL SAT solver: unit propagation, pure-literal elimination, and
+//! first-unassigned branching.
+//!
+//! This is the independent baseline used to validate the Thm 5.1 and
+//! Thm 5.6 reductions: SAT instances are compiled into guarded forms, the
+//! guarded-form solvers produce a verdict, and the verdict must match what
+//! DPLL says about the original instance.
+
+use crate::prop::{Assignment, Cnf, Lit, Var};
+
+/// Tri-state assignment during search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Unset,
+    True,
+    False,
+}
+
+/// Decide satisfiability; returns a satisfying assignment if one exists.
+pub fn solve(cnf: &Cnf) -> Option<Assignment> {
+    let mut vals = vec![Val::Unset; cnf.vars];
+    if dpll(cnf, &mut vals) {
+        Some(Assignment::from_bits(
+            vals.iter().map(|v| *v == Val::True).collect(),
+        ))
+    } else {
+        None
+    }
+}
+
+fn lit_val(l: Lit, vals: &[Val]) -> Val {
+    match (vals[l.var.index()], l.positive) {
+        (Val::Unset, _) => Val::Unset,
+        (Val::True, true) | (Val::False, false) => Val::True,
+        _ => Val::False,
+    }
+}
+
+fn dpll(cnf: &Cnf, vals: &mut Vec<Val>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        for clause in &cnf.clauses {
+            let mut unassigned = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in &clause.0 {
+                match lit_val(l, vals) {
+                    Val::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    Val::Unset => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    Val::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Conflict: undo and fail.
+                    for v in trail {
+                        vals[v.index()] = Val::Unset;
+                    }
+                    return false;
+                }
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match unit {
+            Some(l) => {
+                vals[l.var.index()] = if l.positive { Val::True } else { Val::False };
+                trail.push(l.var);
+            }
+            None => break,
+        }
+    }
+
+    // Pure-literal elimination.
+    let mut seen_pos = vec![false; cnf.vars];
+    let mut seen_neg = vec![false; cnf.vars];
+    for clause in &cnf.clauses {
+        if clause.0.iter().any(|&l| lit_val(l, vals) == Val::True) {
+            continue;
+        }
+        for &l in &clause.0 {
+            if lit_val(l, vals) == Val::Unset {
+                if l.positive {
+                    seen_pos[l.var.index()] = true;
+                } else {
+                    seen_neg[l.var.index()] = true;
+                }
+            }
+        }
+    }
+    for i in 0..cnf.vars {
+        if vals[i] == Val::Unset && (seen_pos[i] ^ seen_neg[i]) {
+            vals[i] = if seen_pos[i] { Val::True } else { Val::False };
+            trail.push(Var(i as u32));
+        }
+    }
+
+    // Check state: all clauses satisfied / any falsified / branch.
+    let mut all_satisfied = true;
+    let mut branch_var = None;
+    for clause in &cnf.clauses {
+        let mut satisfied = false;
+        let mut has_unset = false;
+        for &l in &clause.0 {
+            match lit_val(l, vals) {
+                Val::True => {
+                    satisfied = true;
+                    break;
+                }
+                Val::Unset => {
+                    has_unset = true;
+                    if branch_var.is_none() {
+                        branch_var = Some(l.var);
+                    }
+                }
+                Val::False => {}
+            }
+        }
+        if !satisfied {
+            if !has_unset {
+                for v in trail {
+                    vals[v.index()] = Val::Unset;
+                }
+                return false;
+            }
+            all_satisfied = false;
+        }
+    }
+    if all_satisfied {
+        // Leave remaining vars Unset (reported as false); success.
+        return true;
+    }
+
+    let v = branch_var.expect("unsatisfied clause has an unset literal");
+    for value in [Val::True, Val::False] {
+        vals[v.index()] = value;
+        if dpll(cnf, vals) {
+            return true;
+        }
+    }
+    vals[v.index()] = Val::Unset;
+    for v in trail {
+        vals[v.index()] = Val::Unset;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Lit;
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(&Cnf::new(vec![])).is_some());
+        assert!(solve(&Cnf::new(vec![vec![]])).is_none());
+        assert!(solve(&Cnf::new(vec![vec![Lit::pos(0)]])).is_some());
+        assert!(solve(&Cnf::new(vec![vec![Lit::pos(0)], vec![Lit::neg(0)]])).is_none());
+    }
+
+    #[test]
+    fn model_is_returned() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(0)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ]);
+        let a = solve(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn unsat_chain() {
+        // x0, x0→x1, x1→x2, ¬x2
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+            vec![Lit::neg(2)],
+        ]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): pigeon i in hole j is var 2i + j.
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..3u32 {
+            clauses.push(vec![Lit::pos(2 * i), Lit::pos(2 * i + 1)]);
+        }
+        for j in 0..2u32 {
+            for i1 in 0..3u32 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![Lit::neg(2 * i1 + j), Lit::neg(2 * i2 + j)]);
+                }
+            }
+        }
+        assert!(solve(&Cnf::new(clauses)).is_none());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_exhaustively() {
+        // All 3-clause 3-var 3-CNFs over a small literal menu.
+        let menu = [
+            Lit::pos(0),
+            Lit::neg(0),
+            Lit::pos(1),
+            Lit::neg(1),
+            Lit::pos(2),
+            Lit::neg(2),
+        ];
+        let mut checked = 0;
+        for a in 0..menu.len() {
+            for b in 0..menu.len() {
+                for c in 0..menu.len() {
+                    let cnf = Cnf::new(vec![
+                        vec![menu[a]],
+                        vec![menu[b], menu[c]],
+                        vec![menu[c].negated(), menu[a]],
+                    ]);
+                    let dpll_sat = solve(&cnf).is_some();
+                    let bf_sat = cnf.brute_force().is_some();
+                    assert_eq!(dpll_sat, bf_sat, "menu ({a},{b},{c})");
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, 216);
+    }
+
+    #[test]
+    fn random_instances_cross_checked() {
+        // Deterministic pseudo-random 3-CNFs, checked against brute force.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let nvars = 3 + (next() % 6) as usize; // 3..8
+            let nclauses = 2 + (next() % 20) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u64) as u32;
+                    let pos = next() % 2 == 0;
+                    clause.push(if pos { Lit::pos(v) } else { Lit::neg(v) });
+                }
+                clauses.push(clause);
+            }
+            let cnf = Cnf::new(clauses).with_vars(nvars);
+            let dpll_model = solve(&cnf);
+            if let Some(m) = &dpll_model {
+                assert!(cnf.eval(m), "returned model must satisfy");
+            }
+            assert_eq!(dpll_model.is_some(), cnf.brute_force().is_some());
+        }
+    }
+}

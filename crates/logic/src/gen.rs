@@ -1,0 +1,153 @@
+//! Deterministic (seeded) instance generators for tests and benchmarks.
+//!
+//! A tiny xorshift PRNG keeps this crate dependency-free; the benchmark
+//! harness re-seeds per workload so every run regenerates identical
+//! instances.
+
+use crate::prop::{Cnf, Lit, PropFormula};
+use crate::qbf::Qbf;
+
+/// Minimal xorshift64* PRNG.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    pub fn new(seed: u64) -> XorShift {
+        XorShift {
+            state: seed.max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A random 3-CNF with `vars` variables and `clauses` clauses (distinct
+/// variables within each clause when possible).
+pub fn random_3cnf(seed: u64, vars: usize, clauses: usize) -> Cnf {
+    assert!(vars >= 1);
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::with_capacity(clauses);
+    for _ in 0..clauses {
+        let mut clause = Vec::with_capacity(3);
+        let mut used = Vec::new();
+        for _ in 0..3.min(vars) {
+            let mut v = rng.below(vars);
+            let mut tries = 0;
+            while used.contains(&v) && tries < 8 {
+                v = rng.below(vars);
+                tries += 1;
+            }
+            used.push(v);
+            clause.push(if rng.bool() {
+                Lit::pos(v as u32)
+            } else {
+                Lit::neg(v as u32)
+            });
+        }
+        out.push(clause);
+    }
+    Cnf::new(out).with_vars(vars)
+}
+
+/// A random propositional formula over `vars` variables with `size`
+/// internal connectives.
+pub fn random_prop(seed: u64, vars: usize, size: usize) -> PropFormula {
+    let mut rng = XorShift::new(seed);
+    random_prop_inner(&mut rng, vars, size)
+}
+
+fn random_prop_inner(rng: &mut XorShift, vars: usize, size: usize) -> PropFormula {
+    if size == 0 {
+        return PropFormula::var(rng.below(vars) as u32);
+    }
+    match rng.below(3) {
+        0 => random_prop_inner(rng, vars, size - 1).not(),
+        1 => {
+            let l = size - 1;
+            let left = rng.below(l + 1);
+            random_prop_inner(rng, vars, left).and(random_prop_inner(rng, vars, l - left))
+        }
+        _ => {
+            let l = size - 1;
+            let left = rng.below(l + 1);
+            random_prop_inner(rng, vars, left).or(random_prop_inner(rng, vars, l - left))
+        }
+    }
+}
+
+/// A random `QSAT_2k` instance (k ∃/∀ block pairs, n variables each) whose
+/// matrix is a random formula over all `2·k·n` variables.
+pub fn random_qsat2k(seed: u64, k: usize, n: usize, matrix_size: usize) -> Qbf {
+    let vars = 2 * k * n;
+    let matrix = random_prop(seed ^ 0x9E3779B97F4A7C15, vars, matrix_size);
+    Qbf::qsat2k(k, n, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = random_3cnf(42, 10, 30);
+        let b = random_3cnf(42, 10, 30);
+        assert_eq!(a, b);
+        let c = random_3cnf(43, 10, 30);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes() {
+        let cnf = random_3cnf(7, 8, 20);
+        assert_eq!(cnf.vars, 8);
+        assert_eq!(cnf.clauses.len(), 20);
+        for c in &cnf.clauses {
+            assert_eq!(c.0.len(), 3);
+        }
+    }
+
+    #[test]
+    fn clause_vars_distinct() {
+        let cnf = random_3cnf(11, 20, 50);
+        for c in &cnf.clauses {
+            let mut vars: Vec<_> = c.0.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "clause {c} repeats a variable");
+        }
+    }
+
+    #[test]
+    fn random_prop_size_zero_is_var() {
+        assert!(matches!(random_prop(3, 4, 0), PropFormula::Var(_)));
+    }
+
+    #[test]
+    fn random_qbf_evaluates() {
+        // Just exercise determinism + evaluation on small instances.
+        for seed in 0..10 {
+            let q = random_qsat2k(seed, 1, 2, 6);
+            let r1 = q.eval();
+            let r2 = random_qsat2k(seed, 1, 2, 6).eval();
+            assert_eq!(r1, r2);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # idar-logic
+//!
+//! Propositional substrate for the paper's hardness reductions:
+//!
+//! * [`prop`] — propositional formulas (AST, parser, evaluation) and CNF.
+//! * [`dpll`] — a DPLL SAT solver (unit propagation + pure literals),
+//!   the *baseline* the Thm 5.1 / Thm 5.6 reductions are validated
+//!   against.
+//! * [`qbf`] — prenex quantified Boolean formulas with alternating blocks
+//!   (`QSAT_2k`) and a recursive evaluation solver, the baseline for
+//!   Thm 5.3 / Cor. 5.4 and for Cor. 4.5's PSPACE encoding.
+//! * [`gen`] — seeded random instance generators for tests and the
+//!   benchmark harness.
+//! * [`dimacs`] — DIMACS CNF I/O, so the reductions can consume standard
+//!   benchmark instances.
+//!
+//! Everything here is implemented from scratch — the paper treats SAT and
+//! QSAT as known-hard problems; we need executable versions to round-trip
+//! the reductions.
+
+pub mod dimacs;
+pub mod dpll;
+pub mod gen;
+pub mod prop;
+pub mod qbf;
+
+pub use dpll::solve as sat_solve;
+pub use prop::{Assignment, Clause, Cnf, Lit, PropFormula, Var};
+pub use qbf::{Qbf, Quantifier};

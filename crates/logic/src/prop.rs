@@ -1,0 +1,374 @@
+//! Propositional formulas, assignments, and CNF.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    pub var: Var,
+    pub positive: bool,
+}
+
+impl Lit {
+    pub fn pos(v: u32) -> Lit {
+        Lit {
+            var: Var(v),
+            positive: true,
+        }
+    }
+
+    pub fn neg(v: u32) -> Lit {
+        Lit {
+            var: Var(v),
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Truth value under an assignment.
+    pub fn eval(self, a: &Assignment) -> bool {
+        a.get(self.var) == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "!{}", self.var)
+        }
+    }
+}
+
+/// A total assignment over variables `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    bits: Vec<bool>,
+}
+
+impl Assignment {
+    /// The all-false assignment over `n` variables.
+    pub fn all_false(n: usize) -> Assignment {
+        Assignment {
+            bits: vec![false; n],
+        }
+    }
+
+    /// Build from a bit vector.
+    pub fn from_bits(bits: Vec<bool>) -> Assignment {
+        Assignment { bits }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    pub fn get(&self, v: Var) -> bool {
+        self.bits[v.index()]
+    }
+
+    pub fn set(&mut self, v: Var, value: bool) {
+        self.bits[v.index()] = value;
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.0.iter().any(|l| l.eval(a))
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over variables `0..vars`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    pub vars: usize,
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build from literal lists; `vars` is inferred as max var + 1.
+    pub fn new(clauses: Vec<Vec<Lit>>) -> Cnf {
+        let vars = clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Cnf {
+            vars,
+            clauses: clauses.into_iter().map(Clause).collect(),
+        }
+    }
+
+    /// Fix the variable count explicitly (for formulas with unused vars).
+    pub fn with_vars(mut self, vars: usize) -> Cnf {
+        assert!(vars >= self.vars, "cannot shrink below used variables");
+        self.vars = vars;
+        self
+    }
+
+    pub fn eval(&self, a: &Assignment) -> bool {
+        self.clauses.iter().all(|c| c.eval(a))
+    }
+
+    /// Brute-force satisfiability (for cross-checking DPLL in tests; only
+    /// usable for small `vars`).
+    pub fn brute_force(&self) -> Option<Assignment> {
+        assert!(self.vars <= 24, "brute force limited to 24 variables");
+        for bits in 0u64..(1 << self.vars) {
+            let a = Assignment::from_bits((0..self.vars).map(|i| bits >> i & 1 == 1).collect());
+            if self.eval(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// The set of variables that actually occur.
+    pub fn used_vars(&self) -> BTreeSet<Var> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.0.iter().map(|l| l.var))
+            .collect()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A general propositional formula (used as QBF matrix; the guarded-form
+/// reductions need non-CNF shapes too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropFormula {
+    Const(bool),
+    Var(Var),
+    Not(Box<PropFormula>),
+    And(Box<PropFormula>, Box<PropFormula>),
+    Or(Box<PropFormula>, Box<PropFormula>),
+}
+
+impl PropFormula {
+    pub fn var(v: u32) -> PropFormula {
+        PropFormula::Var(Var(v))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> PropFormula {
+        PropFormula::Not(Box::new(self))
+    }
+
+    pub fn and(self, rhs: PropFormula) -> PropFormula {
+        PropFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn or(self, rhs: PropFormula) -> PropFormula {
+        PropFormula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of an iterator (`true` if empty).
+    pub fn conj<I: IntoIterator<Item = PropFormula>>(items: I) -> PropFormula {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => PropFormula::Const(true),
+            Some(first) => it.fold(first, PropFormula::and),
+        }
+    }
+
+    /// Disjunction of an iterator (`false` if empty).
+    pub fn disj<I: IntoIterator<Item = PropFormula>>(items: I) -> PropFormula {
+        let mut it = items.into_iter();
+        match it.next() {
+            None => PropFormula::Const(false),
+            Some(first) => it.fold(first, PropFormula::or),
+        }
+    }
+
+    pub fn eval(&self, a: &Assignment) -> bool {
+        match self {
+            PropFormula::Const(c) => *c,
+            PropFormula::Var(v) => a.get(*v),
+            PropFormula::Not(f) => !f.eval(a),
+            PropFormula::And(x, y) => x.eval(a) && y.eval(a),
+            PropFormula::Or(x, y) => x.eval(a) || y.eval(a),
+        }
+    }
+
+    /// All variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            PropFormula::Const(_) => {}
+            PropFormula::Var(v) => {
+                out.insert(*v);
+            }
+            PropFormula::Not(f) => f.collect_vars(out),
+            PropFormula::And(x, y) | PropFormula::Or(x, y) => {
+                x.collect_vars(out);
+                y.collect_vars(out);
+            }
+        }
+    }
+
+    /// View a CNF as a `PropFormula`.
+    pub fn from_cnf(cnf: &Cnf) -> PropFormula {
+        PropFormula::conj(cnf.clauses.iter().map(|c| {
+            PropFormula::disj(c.0.iter().map(|l| {
+                let v = PropFormula::Var(l.var);
+                if l.positive {
+                    v
+                } else {
+                    v.not()
+                }
+            }))
+        }))
+    }
+}
+
+impl fmt::Display for PropFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropFormula::Const(c) => write!(f, "{c}"),
+            PropFormula::Var(v) => write!(f, "{v}"),
+            PropFormula::Not(g) => write!(f, "!({g})"),
+            PropFormula::And(x, y) => write!(f, "({x} & {y})"),
+            PropFormula::Or(x, y) => write!(f, "({x} | {y})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval() {
+        let mut a = Assignment::all_false(2);
+        a.set(Var(1), true);
+        assert!(!Lit::pos(0).eval(&a));
+        assert!(Lit::neg(0).eval(&a));
+        assert!(Lit::pos(1).eval(&a));
+        assert_eq!(Lit::pos(0).negated(), Lit::neg(0));
+    }
+
+    #[test]
+    fn cnf_eval() {
+        // (x0 | !x1) & (x1 | x2)
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::neg(1)],
+            vec![Lit::pos(1), Lit::pos(2)],
+        ]);
+        assert_eq!(cnf.vars, 3);
+        let mut a = Assignment::all_false(3);
+        assert!(!cnf.eval(&a)); // second clause fails
+        a.set(Var(2), true);
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let cnf = Cnf::new(vec![]);
+        assert!(cnf.eval(&Assignment::all_false(0)));
+        assert!(cnf.brute_force().is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let cnf = Cnf::new(vec![vec![]]);
+        assert!(cnf.brute_force().is_none());
+    }
+
+    #[test]
+    fn brute_force_finds_model() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ]);
+        let a = cnf.brute_force().unwrap();
+        assert!(cnf.eval(&a));
+        assert!(a.get(Var(0)) && a.get(Var(1)) && a.get(Var(2)));
+    }
+
+    #[test]
+    fn prop_formula_matches_cnf() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::neg(1)],
+            vec![Lit::pos(1), Lit::pos(2)],
+        ]);
+        let pf = PropFormula::from_cnf(&cnf);
+        for bits in 0u64..8 {
+            let a = Assignment::from_bits((0..3).map(|i| bits >> i & 1 == 1).collect());
+            assert_eq!(cnf.eval(&a), pf.eval(&a));
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let cnf = Cnf::new(vec![vec![Lit::pos(0), Lit::neg(1)]]);
+        assert_eq!(cnf.to_string(), "(x0 | !x1)");
+    }
+}

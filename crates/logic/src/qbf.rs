@@ -1,0 +1,259 @@
+//! Prenex quantified Boolean formulas and the `QSAT_2k` form used by
+//! Thm 5.3: `∃x¹₁…x¹ₙ ∀y¹₁…y¹ₙ … ∃xᵏ₁…xᵏₙ ∀yᵏ₁…yᵏₙ ψ` — `2k`
+//! alternating blocks starting existentially.
+//!
+//! Solved by straightforward recursive evaluation (exponential, as
+//! PSPACE-completeness warrants for a baseline oracle).
+
+use crate::prop::{Assignment, PropFormula, Var};
+use std::fmt;
+
+/// A quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    Exists,
+    ForAll,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "exists"),
+            Quantifier::ForAll => write!(f, "forall"),
+        }
+    }
+}
+
+/// A prenex QBF: quantifier blocks over disjoint variables, then a matrix.
+///
+/// Variables not bound by any block are an error at evaluation time — the
+/// constructor checks coverage.
+#[derive(Debug, Clone)]
+pub struct Qbf {
+    pub blocks: Vec<(Quantifier, Vec<Var>)>,
+    pub matrix: PropFormula,
+    vars: usize,
+}
+
+impl Qbf {
+    /// Build and validate: blocks must cover every matrix variable exactly
+    /// once.
+    pub fn new(blocks: Vec<(Quantifier, Vec<Var>)>, matrix: PropFormula) -> Qbf {
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, vs) in &blocks {
+            for v in vs {
+                assert!(seen.insert(*v), "variable {v} bound twice");
+            }
+        }
+        for v in matrix.vars() {
+            assert!(seen.contains(&v), "matrix variable {v} is unbound");
+        }
+        let vars = seen.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        Qbf {
+            blocks,
+            matrix,
+            vars,
+        }
+    }
+
+    /// Number of variables (max index + 1).
+    pub fn var_count(&self) -> usize {
+        self.vars
+    }
+
+    /// Recursive QBF evaluation.
+    pub fn eval(&self) -> bool {
+        let mut a = Assignment::all_false(self.vars);
+        self.eval_from(0, 0, &mut a)
+    }
+
+    fn eval_from(&self, block: usize, offset: usize, a: &mut Assignment) -> bool {
+        if block == self.blocks.len() {
+            return self.matrix.eval(a);
+        }
+        let (q, vars) = &self.blocks[block];
+        if offset == vars.len() {
+            return self.eval_from(block + 1, 0, a);
+        }
+        let v = vars[offset];
+        let mut results = [false, false];
+        for (i, value) in [false, true].into_iter().enumerate() {
+            a.set(v, value);
+            results[i] = self.eval_from(block, offset + 1, a);
+            // Short-circuit.
+            match q {
+                Quantifier::Exists if results[i] => return true,
+                Quantifier::ForAll if !results[i] => return false,
+                _ => {}
+            }
+        }
+        match q {
+            Quantifier::Exists => results[0] || results[1],
+            Quantifier::ForAll => results[0] && results[1],
+        }
+    }
+
+    /// Construct a `QSAT_2k` instance: `k` pairs of (∃ block, ∀ block),
+    /// each of `n` variables, over matrix `psi`.
+    ///
+    /// Variable numbering convention (shared with the Thm 5.3 reduction):
+    /// block pair `i ∈ 0..k` owns `x`-vars `[2·i·n, 2·i·n + n)` and
+    /// `y`-vars `[2·i·n + n, 2·(i+1)·n)`.
+    pub fn qsat2k(k: usize, n: usize, psi: PropFormula) -> Qbf {
+        let mut blocks = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            let x: Vec<Var> = (0..n).map(|j| Var((2 * i * n + j) as u32)).collect();
+            let y: Vec<Var> = (0..n).map(|j| Var((2 * i * n + n + j) as u32)).collect();
+            blocks.push((Quantifier::Exists, x));
+            blocks.push((Quantifier::ForAll, y));
+        }
+        Qbf::new(blocks, psi)
+    }
+
+    /// The x-variable `xⁱⱼ` (existential, block pair `i ∈ 0..k`) in the
+    /// [`Qbf::qsat2k`] numbering.
+    pub fn x(i: usize, j: usize, n: usize) -> Var {
+        Var((2 * i * n + j) as u32)
+    }
+
+    /// The y-variable `yⁱⱼ` (universal) in the [`Qbf::qsat2k`] numbering.
+    pub fn y(i: usize, j: usize, n: usize) -> Var {
+        Var((2 * i * n + n + j) as u32)
+    }
+}
+
+impl fmt::Display for Qbf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (q, vars) in &self.blocks {
+            write!(f, "{q} ")?;
+            for v in vars {
+                write!(f, "{v} ")?;
+            }
+        }
+        write!(f, ". {}", self.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> PropFormula {
+        PropFormula::var(i)
+    }
+
+    #[test]
+    fn simple_exists() {
+        // ∃x. x
+        let q = Qbf::new(vec![(Quantifier::Exists, vec![Var(0)])], v(0));
+        assert!(q.eval());
+        // ∃x. x ∧ ¬x
+        let q = Qbf::new(
+            vec![(Quantifier::Exists, vec![Var(0)])],
+            v(0).and(v(0).not()),
+        );
+        assert!(!q.eval());
+    }
+
+    #[test]
+    fn simple_forall() {
+        // ∀x. x ∨ ¬x
+        let q = Qbf::new(
+            vec![(Quantifier::ForAll, vec![Var(0)])],
+            v(0).or(v(0).not()),
+        );
+        assert!(q.eval());
+        // ∀x. x
+        let q = Qbf::new(vec![(Quantifier::ForAll, vec![Var(0)])], v(0));
+        assert!(!q.eval());
+    }
+
+    #[test]
+    fn alternation() {
+        // ∃x ∀y. (x ∨ y) — pick x = true.
+        let q = Qbf::new(
+            vec![
+                (Quantifier::Exists, vec![Var(0)]),
+                (Quantifier::ForAll, vec![Var(1)]),
+            ],
+            v(0).or(v(1)),
+        );
+        assert!(q.eval());
+        // ∀x ∃y. (x ↔ y) — y can copy x.
+        let iff = (v(0).and(v(1))).or(v(0).not().and(v(1).not()));
+        let q = Qbf::new(
+            vec![
+                (Quantifier::ForAll, vec![Var(0)]),
+                (Quantifier::Exists, vec![Var(1)]),
+            ],
+            iff.clone(),
+        );
+        assert!(q.eval());
+        // ∃y ∀x. (x ↔ y) — impossible.
+        let iff_flipped = (v(0).and(v(1))).or(v(0).not().and(v(1).not()));
+        let q = Qbf::new(
+            vec![
+                (Quantifier::Exists, vec![Var(1)]),
+                (Quantifier::ForAll, vec![Var(0)]),
+            ],
+            iff_flipped,
+        );
+        assert!(!q.eval());
+    }
+
+    #[test]
+    fn the_paper_example() {
+        // ∃x ∀y ∃z : (x ∨ y ∧ ¬z) — the Cor. 4.5 running example; with
+        // Rust-style precedence (∧ over ∨) this is x ∨ (y ∧ ¬z). Pick
+        // x = true: holds regardless of y, z. True.
+        let q = Qbf::new(
+            vec![
+                (Quantifier::Exists, vec![Var(0)]),
+                (Quantifier::ForAll, vec![Var(1)]),
+                (Quantifier::Exists, vec![Var(2)]),
+            ],
+            v(0).or(v(1).and(v(2).not())),
+        );
+        assert!(q.eval());
+    }
+
+    #[test]
+    fn qsat2k_numbering() {
+        assert_eq!(Qbf::x(0, 0, 2), Var(0));
+        assert_eq!(Qbf::y(0, 0, 2), Var(2));
+        assert_eq!(Qbf::x(1, 1, 2), Var(5));
+        let q = Qbf::qsat2k(2, 2, PropFormula::Const(true));
+        assert_eq!(q.blocks.len(), 4);
+        assert_eq!(q.var_count(), 8);
+        assert!(q.eval());
+    }
+
+    #[test]
+    fn qsat2k_nontrivial() {
+        let n = 1;
+        // k=1: ∃x ∀y. (x ∨ y): x := true works. True.
+        let x = PropFormula::Var(Qbf::x(0, 0, n));
+        let y = PropFormula::Var(Qbf::y(0, 0, n));
+        assert!(Qbf::qsat2k(1, n, x.clone().or(y.clone())).eval());
+        // ∃x ∀y. (x ∧ y): fails on y = false. False.
+        assert!(!Qbf::qsat2k(1, n, x.and(y)).eval());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound")]
+    fn unbound_variable_panics() {
+        Qbf::new(vec![(Quantifier::Exists, vec![Var(0)])], PropFormula::var(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_binding_panics() {
+        Qbf::new(
+            vec![
+                (Quantifier::Exists, vec![Var(0)]),
+                (Quantifier::ForAll, vec![Var(0)]),
+            ],
+            PropFormula::var(0),
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! # idar-machines
+//!
+//! Two-counter (Minsky) machines — the substrate of the paper's Theorem 4.1
+//! undecidability proof.
+//!
+//! Sec. 4.1: "a two-counter machine without input can be modelled as a
+//! three-tuple `(Q, F, δ)`, with `Q` a finite set of states, `F ⊆ Q` the
+//! set of accepting states, and `δ` the transition function that maps
+//! `Q × {0,+} × {0,+}` to `Q × {−,0,+} × {−,0,+}`". Configurations are
+//! `(q, n, m)`; a machine *halts* when it reaches an accepting state (or
+//! gets stuck with no applicable transition — only acceptance counts as
+//! halting here, matching the paper's "the stopping condition … will
+//! simply be the disjunction of all accepting states").
+//!
+//! The crate provides the machine model with validation, a reference
+//! simulator with a step budget, and a library of machines with known
+//! behaviour for validating the Theorem 4.1 reduction.
+
+pub mod library;
+pub mod program;
+
+pub use program::{Counter, Instr, Program};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A machine state, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub u32);
+
+impl State {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Zero-test outcome for a counter: zero or strictly positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Test {
+    /// Counter is zero (`0`).
+    Zero,
+    /// Counter is strictly positive (`+`).
+    Positive,
+}
+
+impl Test {
+    pub fn of(value: u64) -> Test {
+        if value == 0 {
+            Test::Zero
+        } else {
+            Test::Positive
+        }
+    }
+
+    /// Both outcomes, for iteration.
+    pub const ALL: [Test; 2] = [Test::Zero, Test::Positive];
+}
+
+impl fmt::Display for Test {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Test::Zero => write!(f, "0"),
+            Test::Positive => write!(f, "+"),
+        }
+    }
+}
+
+/// A counter action: decrement, keep, increment (`−`, `0`, `+`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    Dec,
+    Keep,
+    Inc,
+}
+
+impl Action {
+    pub fn apply(self, value: u64) -> Option<u64> {
+        match self {
+            Action::Dec => value.checked_sub(1),
+            Action::Keep => Some(value),
+            Action::Inc => Some(value + 1),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Dec => write!(f, "-"),
+            Action::Keep => write!(f, "0"),
+            Action::Inc => write!(f, "+"),
+        }
+    }
+}
+
+/// The left-hand side of a transition: state + zero-tests of both counters.
+pub type Domain = (State, Test, Test);
+
+/// The right-hand side: target state + counter actions.
+pub type Effect = (State, Action, Action);
+
+/// A configuration `(q, n, m)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Config {
+    pub state: State,
+    pub c1: u64,
+    pub c2: u64,
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.state, self.c1, self.c2)
+    }
+}
+
+/// A deterministic two-counter machine without input (Sec. 4.1).
+#[derive(Debug, Clone)]
+pub struct TwoCounterMachine {
+    /// Number of states (`Q = {q0, …}`), state 0 is initial.
+    pub states: u32,
+    /// Accepting states `F`.
+    pub accepting: Vec<State>,
+    /// The (partial) transition function δ.
+    pub delta: BTreeMap<Domain, Effect>,
+}
+
+/// Validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A transition references a state ≥ `states`.
+    BadState(State),
+    /// A transition decrements a counter whose test is `Zero`.
+    DecrementOfZero(Domain),
+    /// An accepting state has outgoing transitions (acceptance must halt;
+    /// keeps "halting ⇔ reaching F" unambiguous).
+    AcceptingNotFinal(State),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::BadState(s) => write!(f, "state {s} out of range"),
+            MachineError::DecrementOfZero((q, t1, t2)) => {
+                write!(f, "transition delta({q},{t1},{t2}) decrements a zero counter")
+            }
+            MachineError::AcceptingNotFinal(s) => {
+                write!(f, "accepting state {s} has outgoing transitions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The outcome of a bounded simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Reached an accepting state after the given number of steps.
+    Halted { steps: u64, config: Config },
+    /// No transition applies (and the state is not accepting).
+    Stuck { steps: u64, config: Config },
+    /// The step budget ran out.
+    OutOfBudget { config: Config },
+}
+
+impl RunOutcome {
+    /// Did the machine accept within the budget?
+    pub fn halted(&self) -> bool {
+        matches!(self, RunOutcome::Halted { .. })
+    }
+}
+
+impl TwoCounterMachine {
+    /// Construct and validate.
+    pub fn new(
+        states: u32,
+        accepting: Vec<State>,
+        delta: BTreeMap<Domain, Effect>,
+    ) -> Result<TwoCounterMachine, MachineError> {
+        let m = TwoCounterMachine {
+            states,
+            accepting,
+            delta,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    fn validate(&self) -> Result<(), MachineError> {
+        for s in &self.accepting {
+            if s.0 >= self.states {
+                return Err(MachineError::BadState(*s));
+            }
+        }
+        for (&(q, t1, t2), &(p, a1, a2)) in &self.delta {
+            if q.0 >= self.states {
+                return Err(MachineError::BadState(q));
+            }
+            if p.0 >= self.states {
+                return Err(MachineError::BadState(p));
+            }
+            if (t1 == Test::Zero && a1 == Action::Dec)
+                || (t2 == Test::Zero && a2 == Action::Dec)
+            {
+                return Err(MachineError::DecrementOfZero((q, t1, t2)));
+            }
+            if self.accepting.contains(&q) {
+                return Err(MachineError::AcceptingNotFinal(q));
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `s` accepting?
+    pub fn is_accepting(&self, s: State) -> bool {
+        self.accepting.contains(&s)
+    }
+
+    /// The initial configuration `(q0, 0, 0)` ("the empty string as
+    /// input").
+    pub fn initial(&self) -> Config {
+        Config {
+            state: State(0),
+            c1: 0,
+            c2: 0,
+        }
+    }
+
+    /// One step of the machine, if a transition applies.
+    pub fn step(&self, c: Config) -> Option<Config> {
+        let key = (c.state, Test::of(c.c1), Test::of(c.c2));
+        let &(p, a1, a2) = self.delta.get(&key)?;
+        Some(Config {
+            state: p,
+            c1: a1.apply(c.c1).expect("validated: no decrement of zero"),
+            c2: a2.apply(c.c2).expect("validated: no decrement of zero"),
+        })
+    }
+
+    /// Simulate from the initial configuration with a step budget.
+    pub fn run(&self, max_steps: u64) -> RunOutcome {
+        self.run_from(self.initial(), max_steps)
+    }
+
+    /// Simulate from an arbitrary configuration.
+    pub fn run_from(&self, mut c: Config, max_steps: u64) -> RunOutcome {
+        let mut steps = 0u64;
+        loop {
+            if self.is_accepting(c.state) {
+                return RunOutcome::Halted { steps, config: c };
+            }
+            if steps >= max_steps {
+                return RunOutcome::OutOfBudget { config: c };
+            }
+            match self.step(c) {
+                Some(next) => {
+                    c = next;
+                    steps += 1;
+                }
+                None => return RunOutcome::Stuck { steps, config: c },
+            }
+        }
+    }
+
+    /// The full trace from the initial configuration (bounded), including
+    /// the initial configuration itself. Used to validate the Thm 4.1
+    /// compilation step by step.
+    pub fn trace(&self, max_steps: u64) -> Vec<Config> {
+        let mut out = vec![self.initial()];
+        let mut c = self.initial();
+        for _ in 0..max_steps {
+            if self.is_accepting(c.state) {
+                break;
+            }
+            match self.step(c) {
+                Some(next) => {
+                    out.push(next);
+                    c = next;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Convenience builder for transition tables.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBuilder {
+    delta: BTreeMap<Domain, Effect>,
+}
+
+impl DeltaBuilder {
+    pub fn new() -> DeltaBuilder {
+        DeltaBuilder::default()
+    }
+
+    /// Add `δ(q, t1, t2) = (p, a1, a2)`.
+    pub fn rule(
+        mut self,
+        q: u32,
+        t1: Test,
+        t2: Test,
+        p: u32,
+        a1: Action,
+        a2: Action,
+    ) -> DeltaBuilder {
+        self.delta
+            .insert((State(q), t1, t2), (State(p), a1, a2));
+        self
+    }
+
+    /// Add rules for *all four* test combinations of state `q` with the
+    /// same effect (when the effect never decrements, this is safe).
+    pub fn rule_any(self, q: u32, p: u32, a1: Action, a2: Action) -> DeltaBuilder {
+        let mut b = self;
+        for t1 in Test::ALL {
+            for t2 in Test::ALL {
+                if (t1 == Test::Zero && a1 == Action::Dec)
+                    || (t2 == Test::Zero && a2 == Action::Dec)
+                {
+                    continue;
+                }
+                b = b.rule(q, t1, t2, p, a1, a2);
+            }
+        }
+        b
+    }
+
+    pub fn build(self) -> BTreeMap<Domain, Effect> {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_zero_decrement() {
+        let delta = DeltaBuilder::new()
+            .rule(0, Test::Zero, Test::Zero, 1, Action::Dec, Action::Keep)
+            .build();
+        assert_eq!(
+            TwoCounterMachine::new(2, vec![State(1)], delta).unwrap_err(),
+            MachineError::DecrementOfZero((State(0), Test::Zero, Test::Zero))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_states() {
+        let delta = DeltaBuilder::new()
+            .rule(0, Test::Zero, Test::Zero, 7, Action::Keep, Action::Keep)
+            .build();
+        assert!(matches!(
+            TwoCounterMachine::new(2, vec![State(1)], delta),
+            Err(MachineError::BadState(State(7)))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_accepting_with_outgoing() {
+        let delta = DeltaBuilder::new()
+            .rule(0, Test::Zero, Test::Zero, 0, Action::Inc, Action::Keep)
+            .build();
+        assert!(matches!(
+            TwoCounterMachine::new(1, vec![State(0)], delta),
+            Err(MachineError::AcceptingNotFinal(State(0)))
+        ));
+    }
+
+    #[test]
+    fn count_to_three() {
+        let m = library::count_up_then_accept(3);
+        let out = m.run(100);
+        let RunOutcome::Halted { config, .. } = out else {
+            panic!("should halt, got {out:?}");
+        };
+        assert_eq!(config.c1, 3);
+    }
+
+    #[test]
+    fn diverging_machine_exhausts_budget() {
+        let m = library::diverge();
+        assert!(matches!(m.run(10_000), RunOutcome::OutOfBudget { .. }));
+    }
+
+    #[test]
+    fn stuck_machine() {
+        // A machine with no transitions at all gets stuck immediately.
+        let m = TwoCounterMachine::new(2, vec![State(1)], BTreeMap::new()).unwrap();
+        assert!(matches!(m.run(10), RunOutcome::Stuck { steps: 0, .. }));
+    }
+
+    #[test]
+    fn transfer_preserves_total() {
+        let m = library::transfer_c1_to_c2(5);
+        let out = m.run(1000);
+        let RunOutcome::Halted { config, .. } = out else {
+            panic!("should halt, got {out:?}");
+        };
+        assert_eq!(config.c1, 0);
+        assert_eq!(config.c2, 5);
+    }
+
+    #[test]
+    fn parity_machines() {
+        for n in 0..8 {
+            let m = library::accept_iff_even(n);
+            assert_eq!(
+                m.run(10_000).halted(),
+                n % 2 == 0,
+                "even-accepting machine on n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_step_consistent() {
+        let m = library::count_up_then_accept(4);
+        let t = m.trace(1000);
+        for w in t.windows(2) {
+            assert_eq!(m.step(w[0]), Some(w[1]));
+        }
+        assert!(m.is_accepting(t.last().unwrap().state));
+    }
+}

@@ -1,0 +1,184 @@
+//! A library of two-counter machines with *known* halting behaviour,
+//! used to validate the Theorem 4.1 reduction: the compiled guarded form
+//! must be completable exactly for the halting machines.
+
+use crate::{Action, DeltaBuilder, State, Test, TwoCounterMachine};
+
+/// Increment counter 1 up to `n`, then accept. Halts for every `n`.
+///
+/// States: `0` = counting (with a unary encoding of progress in the
+/// machine's *structure*: one state per count), `n+1` = accept.
+pub fn count_up_then_accept(n: u32) -> TwoCounterMachine {
+    let mut b = DeltaBuilder::new();
+    for i in 0..n {
+        b = b.rule_any(i, i + 1, Action::Inc, Action::Keep);
+    }
+    TwoCounterMachine::new(n + 2, vec![State(n)], b.build()).expect("valid by construction")
+    // note: n+2 states so the table stays valid for n = 0 (state 1 unused)
+}
+
+/// A minimal diverging machine: a self-loop that increments forever.
+pub fn diverge() -> TwoCounterMachine {
+    let delta = DeltaBuilder::new()
+        .rule_any(0, 0, Action::Inc, Action::Keep)
+        .build();
+    TwoCounterMachine::new(2, vec![State(1)], delta).expect("valid by construction")
+}
+
+/// A two-state ping-pong that never accepts (loops without growing).
+pub fn ping_pong() -> TwoCounterMachine {
+    let delta = DeltaBuilder::new()
+        .rule_any(0, 1, Action::Inc, Action::Keep)
+        .rule(1, Test::Positive, Test::Zero, 0, Action::Dec, Action::Keep)
+        .rule(1, Test::Positive, Test::Positive, 0, Action::Dec, Action::Keep)
+        .build();
+    TwoCounterMachine::new(3, vec![State(2)], delta).expect("valid by construction")
+}
+
+/// Pump counter 1 to `n` (one state per unit), then move everything to
+/// counter 2, then accept. Exercises increments *and* decrements.
+pub fn transfer_c1_to_c2(n: u32) -> TwoCounterMachine {
+    let mut b = DeltaBuilder::new();
+    // Phase 1: states 0..n pump c1.
+    for i in 0..n {
+        b = b.rule_any(i, i + 1, Action::Inc, Action::Keep);
+    }
+    // Phase 2: state n moves c1 to c2 until c1 = 0, then accepts (n+1).
+    let pump = n;
+    let accept = n + 1;
+    b = b
+        .rule(pump, Test::Positive, Test::Zero, pump, Action::Dec, Action::Inc)
+        .rule(
+            pump,
+            Test::Positive,
+            Test::Positive,
+            pump,
+            Action::Dec,
+            Action::Inc,
+        )
+        .rule(pump, Test::Zero, Test::Zero, accept, Action::Keep, Action::Keep)
+        .rule(
+            pump,
+            Test::Zero,
+            Test::Positive,
+            accept,
+            Action::Keep,
+            Action::Keep,
+        );
+    TwoCounterMachine::new(n + 2, vec![State(accept)], b.build())
+        .expect("valid by construction")
+}
+
+/// Pump counter 1 to `n`, then repeatedly subtract 2; accept iff the
+/// counter reaches exactly 0 (i.e. iff `n` is even). For odd `n` the
+/// machine gets stuck at `c1 = 1` in a non-accepting state — it never
+/// halts (acceptance-wise).
+pub fn accept_iff_even(n: u32) -> TwoCounterMachine {
+    let mut b = DeltaBuilder::new();
+    for i in 0..n {
+        b = b.rule_any(i, i + 1, Action::Inc, Action::Keep);
+    }
+    let sub_outer = n; // c1 > 0: subtract one, go to inner
+    let sub_inner = n + 1; // c1 > 0: subtract one, back to outer; c1 = 0: stuck
+    let accept = n + 2;
+    b = b
+        .rule(
+            sub_outer,
+            Test::Positive,
+            Test::Zero,
+            sub_inner,
+            Action::Dec,
+            Action::Keep,
+        )
+        .rule(
+            sub_outer,
+            Test::Positive,
+            Test::Positive,
+            sub_inner,
+            Action::Dec,
+            Action::Keep,
+        )
+        .rule(
+            sub_outer,
+            Test::Zero,
+            Test::Zero,
+            accept,
+            Action::Keep,
+            Action::Keep,
+        )
+        .rule(
+            sub_outer,
+            Test::Zero,
+            Test::Positive,
+            accept,
+            Action::Keep,
+            Action::Keep,
+        )
+        .rule(
+            sub_inner,
+            Test::Positive,
+            Test::Zero,
+            sub_outer,
+            Action::Dec,
+            Action::Keep,
+        )
+        .rule(
+            sub_inner,
+            Test::Positive,
+            Test::Positive,
+            sub_outer,
+            Action::Dec,
+            Action::Keep,
+        );
+    // sub_inner with c1 = 0: no rule — stuck (odd n).
+    TwoCounterMachine::new(n + 3, vec![State(accept)], b.build())
+        .expect("valid by construction")
+}
+
+/// The paper's own single-transition example (Sec. 4.1, Increments):
+/// `δ(q0, 0, +) = (q1, +, 0)`. From `(q0, 0, 0)` nothing applies (the
+/// machine is stuck); from `(q0, 0, m)` with `m > 0` it makes one step to
+/// `(q1, 1, m)` and accepts iff `q1 ∈ F`.
+pub fn paper_single_transition() -> TwoCounterMachine {
+    let delta = DeltaBuilder::new()
+        .rule(0, Test::Zero, Test::Positive, 1, Action::Inc, Action::Keep)
+        .build();
+    TwoCounterMachine::new(2, vec![State(1)], delta).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunOutcome;
+
+    #[test]
+    fn library_halting_behaviour() {
+        assert!(count_up_then_accept(0).run(10).halted());
+        assert!(count_up_then_accept(5).run(100).halted());
+        assert!(!diverge().run(5_000).halted());
+        assert!(!ping_pong().run(5_000).halted());
+        assert!(transfer_c1_to_c2(3).run(100).halted());
+        assert!(accept_iff_even(4).run(100).halted());
+        assert!(!accept_iff_even(5).run(100).halted());
+    }
+
+    #[test]
+    fn odd_machine_gets_stuck_not_budget() {
+        let m = accept_iff_even(3);
+        assert!(matches!(m.run(1_000), RunOutcome::Stuck { .. }));
+    }
+
+    #[test]
+    fn paper_example_is_stuck_on_empty_input() {
+        // With both counters 0, δ(q0, 0, +) does not apply.
+        let m = paper_single_transition();
+        assert!(matches!(m.run(10), RunOutcome::Stuck { steps: 0, .. }));
+        // From (q0, 0, 1) it accepts in one step.
+        let c = crate::Config {
+            state: State(0),
+            c1: 0,
+            c2: 1,
+        };
+        assert!(m.run_from(c, 10).halted());
+    }
+}

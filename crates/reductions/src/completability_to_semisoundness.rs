@@ -1,0 +1,312 @@
+//! **Corollary 4.7**: completability reduces to semi-soundness for
+//! depth-1 guarded forms (the `reset`/`build` construction), giving
+//! PSPACE-hardness of semi-soundness for `F(A−, φ−, 1)`.
+//!
+//! From a guarded form `G` we build `G'` with two extra root fields:
+//!
+//! * `reset` — "the instance is being torn down": while present, every
+//!   original field is deletable and nothing is addable;
+//! * `build` — "the initial instance is being rebuilt": addable once the
+//!   teardown emptied the form, and deletable exactly when the instance is
+//!   `can(I₀)` again (tested by the characteristic formula χ, which is why
+//!   this crate leans on [`idar_core::bisim::characteristic_formula`]).
+//!
+//! Net effect: `G'` can always return to (the canonical form of) its
+//! initial instance, so *every* reachable instance of `G'` is completable
+//! iff `G` is completable at all.
+//!
+//! **Documented paper repair**: the published rewriting "for additions the
+//! formula ψ is transformed to `ψ ∨ ¬reset ∨ ¬build`" makes every addition
+//! allowed whenever `reset` is absent (the disjunct `¬reset` is then
+//! true), which breaks faithfulness. We use `ψ ∧ ¬reset ∧ ¬build` —
+//! ordinary rules apply only outside the teardown/rebuild phases. The
+//! deletion rewriting `ψ ∨ reset` is as printed.
+
+use idar_core::bisim;
+use idar_core::{AccessRules, Formula, GuardedForm, Right, SchemaBuilder, SchemaNodeId};
+use std::sync::Arc;
+
+/// The label of the teardown-phase marker.
+pub const RESET: &str = "reset";
+/// The label of the rebuild-phase marker.
+pub const BUILD: &str = "build";
+
+/// Why a form cannot be reduced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The construction is stated (and sound) for depth-1 forms only.
+    NotDepthOne(u32),
+    /// The form already uses a reserved label.
+    ReservedLabel(String),
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::NotDepthOne(d) => {
+                write!(f, "Cor 4.7 construction requires depth 1, got {d}")
+            }
+            ReduceError::ReservedLabel(l) => write!(f, "schema already uses `{l}`"),
+        }
+    }
+}
+impl std::error::Error for ReduceError {}
+
+/// Build `G'` from `G` per Cor. 4.7: `G'` is semi-sound iff `G` is
+/// completable. Stays within `F(A−, φ−, 1)`.
+pub fn reduce(g: &GuardedForm) -> Result<GuardedForm, ReduceError> {
+    let schema = g.schema();
+    if schema.depth() > 1 {
+        return Err(ReduceError::NotDepthOne(schema.depth()));
+    }
+    for l in [RESET, BUILD] {
+        if schema.child_by_label(SchemaNodeId::ROOT, l).is_some() {
+            return Err(ReduceError::ReservedLabel(l.to_string()));
+        }
+    }
+
+    // Extended schema: original root labels + reset + build.
+    let mut b = SchemaBuilder::new();
+    let original_edges: Vec<(SchemaNodeId, String)> = schema
+        .children(SchemaNodeId::ROOT)
+        .iter()
+        .map(|&e| (e, schema.label(e).to_string()))
+        .collect();
+    let mut new_edge_of = std::collections::HashMap::new();
+    for (old, label) in &original_edges {
+        let ne = b.child(SchemaNodeId::ROOT, label).expect("labels distinct");
+        new_edge_of.insert(*old, ne);
+    }
+    let reset_edge = b.child(SchemaNodeId::ROOT, RESET).expect("fresh");
+    let build_edge = b.child(SchemaNodeId::ROOT, BUILD).expect("fresh");
+    let new_schema = Arc::new(b.build());
+
+    let not_reset = Formula::label(RESET).not();
+    let not_build = Formula::label(BUILD).not();
+    let phase_free = not_reset.clone().and(not_build.clone());
+
+    // The canonical initial instance: which labels must the rebuild
+    // produce? (Depth 1: can(I₀) ⇔ the set of present labels.)
+    let canonical_initial = bisim::canonical(g.initial());
+    let initial_labels: std::collections::HashSet<String> = canonical_initial
+        .children(idar_core::InstNodeId::ROOT)
+        .iter()
+        .map(|&c| canonical_initial.label(c).to_string())
+        .collect();
+
+    let mut rules = AccessRules::new(&new_schema);
+    for (old, label) in &original_edges {
+        let ne = new_edge_of[old];
+        // Additions: (A(add,e) ∧ ¬reset ∧ ¬build) ∨ (build ∧ missing-from-I₀-rebuild).
+        let mut add = g
+            .rules()
+            .get(Right::Add, *old)
+            .clone()
+            .and(phase_free.clone());
+        if initial_labels.contains(label) {
+            add = add.or(Formula::label(BUILD)
+                .and(Formula::label(label).not()));
+        }
+        rules.set(Right::Add, ne, add);
+        // Deletions: A(del,e) ∨ reset (as printed in the paper), with the
+        // ordinary branch gated out of the phases.
+        let del = g
+            .rules()
+            .get(Right::Del, *old)
+            .clone()
+            .and(phase_free.clone())
+            .or(Formula::label(RESET));
+        rules.set(Right::Del, ne, del);
+    }
+
+    // A(add, reset) = ¬build ∧ ¬reset ; A(del, reset) = build.
+    rules.set(Right::Add, reset_edge, phase_free.clone());
+    rules.set(Right::Del, reset_edge, Formula::label(BUILD));
+    // A(add, build) = reset ∧ ¬build ∧ ¬(l₁ ∨ … ∨ lₙ).
+    let any_original = Formula::disj(
+        original_edges
+            .iter()
+            .map(|(_, l)| Formula::label(l)),
+    );
+    rules.set(
+        Right::Add,
+        build_edge,
+        Formula::label(RESET)
+            .and(not_build)
+            .and(any_original.not()),
+    );
+    // A(del, build) tests "the instance is can(I₀)" over the original
+    // labels (χ), with reset already gone.
+    let chi = bisim::characteristic_formula(g.initial());
+    rules.set(Right::Del, build_edge, chi.and(not_reset.clone()));
+
+    // φ' = φ ∧ ¬reset ∧ ¬build.
+    let completion = g.completion().clone().and(phase_free);
+
+    // Initial instance: same content, rebuilt over the new schema.
+    let mut initial = idar_core::Instance::empty(new_schema.clone());
+    for c in g.initial().children(idar_core::InstNodeId::ROOT) {
+        let label = g.initial().label(*c);
+        initial
+            .add_child_by_label(idar_core::InstNodeId::ROOT, label)
+            .expect("original labels exist in extended schema");
+    }
+
+    Ok(GuardedForm::new(new_schema, rules, initial, completion))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{Instance, Schema};
+    use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
+    use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+    fn form(
+        schema: &str,
+        rules: &[(&str, &str, &str)],
+        initial: &str,
+        completion: &str,
+    ) -> GuardedForm {
+        let schema = Arc::new(Schema::parse(schema).unwrap());
+        let mut table = AccessRules::new(&schema);
+        for (l, add, del) in rules {
+            table.set_both(
+                schema.resolve(l).unwrap(),
+                Formula::parse(add).unwrap(),
+                Formula::parse(del).unwrap(),
+            );
+        }
+        let init = Instance::parse(schema.clone(), initial).unwrap();
+        GuardedForm::new(schema, table, init, Formula::parse(completion).unwrap())
+    }
+
+    fn roundtrip(g: &GuardedForm) {
+        let completable =
+            completability(g, &CompletabilityOptions::default()).verdict;
+        let g2 = reduce(g).unwrap();
+        let semisound = semisoundness(&g2, &SemisoundnessOptions::default()).verdict;
+        assert_eq!(
+            completable, semisound,
+            "Cor 4.7: G completable iff G' semi-sound"
+        );
+    }
+
+    #[test]
+    fn completable_forms_become_semisound() {
+        // A form that is completable but NOT semi-sound (trap label t):
+        // the reduction must yield a semi-sound G' anyway, because the
+        // reset cycle can escape the trap.
+        let g = form(
+            "g, t",
+            &[("g", "!t & !g", "false"), ("t", "!t", "false")],
+            "",
+            "g",
+        );
+        assert_eq!(
+            semisoundness(&g, &SemisoundnessOptions::default()).verdict,
+            Verdict::Fails
+        );
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn incompletable_forms_stay_unsound() {
+        let g = form(
+            "a, b",
+            &[("a", "b", "true"), ("b", "a", "true")],
+            "",
+            "a",
+        );
+        assert_eq!(
+            completability(&g, &CompletabilityOptions::default()).verdict,
+            Verdict::Fails
+        );
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn nonempty_initial_instance() {
+        // Completion requires deleting the pre-existing `a` then adding b;
+        // the reduction must rebuild `a` during the build phase.
+        let g = form(
+            "a, b",
+            &[("a", "false", "true"), ("b", "!a & !b", "false")],
+            "a",
+            "b & !a",
+        );
+        roundtrip(&g);
+        // And a variant whose completion is impossible.
+        let g = form("a, b", &[("a", "false", "false")], "a", "b");
+        roundtrip(&g);
+    }
+
+    #[test]
+    fn reduction_rejects_deep_forms() {
+        let g = form("a(b)", &[], "", "a");
+        assert_eq!(reduce(&g).unwrap_err(), ReduceError::NotDepthOne(2));
+    }
+
+    #[test]
+    fn reduction_rejects_reserved_labels() {
+        let g = form("reset", &[], "", "reset");
+        assert!(matches!(
+            reduce(&g).unwrap_err(),
+            ReduceError::ReservedLabel(_)
+        ));
+    }
+
+    #[test]
+    fn reset_cycle_is_executable() {
+        // Drive the cycle by hand on a tiny form: tear down, rebuild,
+        // verify we are back at (the canonical form of) the start.
+        let g = form("a, b", &[("b", "a & !b", "false")], "a", "b");
+        let g2 = reduce(&g).unwrap();
+        let sch = g2.schema().clone();
+        let root = idar_core::InstNodeId::ROOT;
+        let mut inst = g2.initial().clone();
+        let e = |l: &str| sch.resolve(l).unwrap();
+        // add reset
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(RESET) })
+            .unwrap();
+        // delete the original a
+        let a_node = inst.children_with_label(root, "a").next().unwrap();
+        g2.apply(&mut inst, &idar_core::Update::Del { node: a_node })
+            .unwrap();
+        // add build (form is empty of original labels)
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) })
+            .unwrap();
+        // delete reset (build present)
+        let r_node = inst.children_with_label(root, RESET).next().unwrap();
+        g2.apply(&mut inst, &idar_core::Update::Del { node: r_node })
+            .unwrap();
+        // rebuild a
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e("a") })
+            .unwrap();
+        // delete build: allowed because the instance now matches can(I₀)
+        let b_node = inst.children_with_label(root, BUILD).next().unwrap();
+        g2.apply(&mut inst, &idar_core::Update::Del { node: b_node })
+            .unwrap();
+        // Back at the start (canonically).
+        assert!(idar_core::bisim::equivalent(&inst, g2.initial()));
+        // …and the original completion still works from here.
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e("b") })
+            .unwrap();
+        assert!(g2.is_complete(&inst));
+    }
+
+    #[test]
+    fn build_cannot_start_early() {
+        let g = form("a, b", &[("b", "a & !b", "false")], "a", "b");
+        let g2 = reduce(&g).unwrap();
+        let root = idar_core::InstNodeId::ROOT;
+        let mut inst = g2.initial().clone();
+        let e = |l: &str| g2.schema().resolve(l).unwrap();
+        // build without reset: rejected.
+        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) }));
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(RESET) })
+            .unwrap();
+        // build while `a` still present: rejected.
+        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) }));
+    }
+}

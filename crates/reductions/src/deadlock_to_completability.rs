@@ -1,0 +1,314 @@
+//! **Theorem 4.6**: the PSPACE-complete *reachable deadlock* problem
+//! reduces to completability for depth-1 guarded forms (`F(A−, φ−, 1)`).
+//!
+//! Construction (verbatim from the proof):
+//!
+//! * one root label `n(v)` per vertex and `n(t)` per synchronised pair;
+//! * the initial instance encodes the start configuration;
+//! * `conf ≝ ¬(∨_{t∈T} n(t))` — "no transition in progress";
+//! * completion formula `φ = conf ∧ ∧_{((a,b),(c,d))∈T} ¬(n(a) ∧ n(c))` —
+//!   a configuration with no enabled pair, i.e. a deadlock;
+//! * a pair `t = ((a,b),(c,d))` executes via its control node: add `n(t)`
+//!   when `conf ∧ n(a) ∧ n(c)`; the sources become deletable and the
+//!   targets addable while `n(t)` is present; remove `n(t)` once
+//!   `¬n(a) ∧ ¬n(c) ∧ n(b) ∧ n(d)`.
+//! * "There are no other access rights" — the default guard is `false`.
+//!
+//! The construction needs `a ≠ b` and `c ≠ d` on every pair (else
+//! `¬n(a) ∧ n(b)` is unsatisfiable); [`reduce`] rejects self-loop edges.
+
+use idar_core::{
+    AccessRules, Formula, GuardedForm, Instance, InstNodeId, Right, SchemaBuilder, SchemaNodeId,
+};
+use idar_deadlock::{Configuration, DeadlockInstance, SyncPair, Vertex};
+use std::sync::Arc;
+
+/// The label of a vertex node `n(v)`.
+pub fn vertex_label(v: Vertex) -> String {
+    format!("n{}", v.0)
+}
+
+/// The label of a transition control node `n(t)` (by pair index).
+pub fn pair_label(idx: usize) -> String {
+    format!("t{idx}")
+}
+
+/// Why an instance cannot be reduced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfLoopPair(pub usize);
+
+impl std::fmt::Display for SelfLoopPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sync pair {} moves a component onto itself; the Thm 4.6 \
+             encoding requires from != to",
+            self.0
+        )
+    }
+}
+impl std::error::Error for SelfLoopPair {}
+
+/// Compile a reachable-deadlock instance into a depth-1 guarded form that
+/// is completable iff the instance has a reachable deadlock.
+pub fn reduce(inst: &DeadlockInstance) -> Result<GuardedForm, SelfLoopPair> {
+    for (idx, p) in inst.pairs.iter().enumerate() {
+        if p.from_i == p.to_i || p.from_j == p.to_j {
+            return Err(SelfLoopPair(idx));
+        }
+    }
+
+    let mut b = SchemaBuilder::new();
+    let mut vertex_edges = Vec::with_capacity(inst.vertex_count());
+    for v in 0..inst.vertex_count() {
+        vertex_edges.push(
+            b.child(SchemaNodeId::ROOT, &vertex_label(Vertex(v as u32)))
+                .expect("distinct vertex labels"),
+        );
+    }
+    let mut pair_edges = Vec::with_capacity(inst.pairs.len());
+    for idx in 0..inst.pairs.len() {
+        pair_edges.push(
+            b.child(SchemaNodeId::ROOT, &pair_label(idx))
+                .expect("distinct pair labels"),
+        );
+    }
+    let schema = Arc::new(b.build());
+
+    // conf = ¬(∨_t n(t))
+    let conf = Formula::disj((0..inst.pairs.len()).map(|i| Formula::label(&pair_label(i)))).not();
+
+    let mut rules = AccessRules::new(&schema); // default false: no other rights
+    let vl = |v: Vertex| Formula::label(&vertex_label(v));
+
+    for (idx, p) in inst.pairs.iter().enumerate() {
+        // A(add, n(t)) = conf ∧ n(a) ∧ n(c)
+        rules.set(
+            Right::Add,
+            pair_edges[idx],
+            conf.clone().and(vl(p.from_i)).and(vl(p.from_j)),
+        );
+        // A(del, n(t)) = ¬n(a) ∧ ¬n(c) ∧ n(b) ∧ n(d)
+        rules.set(
+            Right::Del,
+            pair_edges[idx],
+            vl(p.from_i)
+                .not()
+                .and(vl(p.from_j).not())
+                .and(vl(p.to_i))
+                .and(vl(p.to_j)),
+        );
+    }
+
+    // Vertex rules: addable when some in-flight pair targets v, deletable
+    // when some in-flight pair sources v.
+    #[allow(clippy::needless_range_loop)] // `v` is the vertex id itself
+    for v in 0..inst.vertex_count() {
+        let vert = Vertex(v as u32);
+        let targeting: Vec<Formula> = inst
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.to_i == vert || p.to_j == vert)
+            .map(|(idx, _)| Formula::label(&pair_label(idx)))
+            .collect();
+        let sourcing: Vec<Formula> = inst
+            .pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.from_i == vert || p.from_j == vert)
+            .map(|(idx, _)| Formula::label(&pair_label(idx)))
+            .collect();
+        if !targeting.is_empty() {
+            rules.set(
+                Right::Add,
+                vertex_edges[v],
+                vl(vert).not().and(Formula::disj(targeting)),
+            );
+        }
+        if !sourcing.is_empty() {
+            rules.set(Right::Del, vertex_edges[v], Formula::disj(sourcing));
+        }
+    }
+
+    rules.map_guards(&schema, |_, _, g| g.simplified());
+
+    // φ = conf ∧ ∧_{((a,b),(c,d))} ¬(n(a) ∧ n(c))
+    let completion = inst.pairs.iter().fold(conf, |acc, p| {
+        acc.and(vl(p.from_i).and(vl(p.from_j)).not())
+    });
+
+    // Initial instance: the start configuration.
+    let mut initial = Instance::empty(schema.clone());
+    for v in &inst.start {
+        initial
+            .add_child(InstNodeId::ROOT, vertex_edges[v.0 as usize])
+            .expect("start vertices exist");
+    }
+
+    Ok(GuardedForm::new(schema, rules, initial, completion))
+}
+
+/// Decode a "quiet" instance (no control nodes) back into a configuration.
+/// Returns `None` if a control node is present or some component has no
+/// unique vertex.
+pub fn decode_configuration(
+    deadlock: &DeadlockInstance,
+    inst: &Instance,
+) -> Option<Configuration> {
+    for idx in 0..deadlock.pairs.len() {
+        if inst
+            .children_with_label(InstNodeId::ROOT, &pair_label(idx))
+            .next()
+            .is_some()
+        {
+            return None;
+        }
+    }
+    let mut config: Vec<Option<Vertex>> = vec![None; deadlock.components];
+    for v in 0..deadlock.vertex_count() {
+        let vert = Vertex(v as u32);
+        if inst
+            .children_with_label(InstNodeId::ROOT, &vertex_label(vert))
+            .next()
+            .is_some()
+        {
+            let comp = deadlock.component_of[v];
+            if config[comp].replace(vert).is_some() {
+                return None; // two vertices in one component
+            }
+        }
+    }
+    config.into_iter().collect()
+}
+
+/// Convenience: does this `SyncPair` list make `reduce` applicable?
+pub fn reducible(pairs: &[SyncPair]) -> bool {
+    pairs
+        .iter()
+        .all(|p| p.from_i != p.to_i && p.from_j != p.to_j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::fragment::{classify, DepthClass, Polarity};
+    use idar_deadlock::{dining_philosophers, ping_pong_free, DeadlockBuilder};
+    use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+    fn verdict(inst: &DeadlockInstance) -> Verdict {
+        let g = reduce(inst).expect("reducible");
+        completability(&g, &CompletabilityOptions::default()).verdict
+    }
+
+    #[test]
+    fn fragment_is_depth1_unrestricted() {
+        let g = reduce(&ping_pong_free()).unwrap();
+        let f = classify(&g);
+        assert_eq!(f.depth, DepthClass::One);
+        assert_eq!(f.access, Polarity::Unrestricted);
+        assert_eq!(f.completion, Polarity::Unrestricted);
+    }
+
+    #[test]
+    fn deadlock_free_system_is_incompletable() {
+        let inst = ping_pong_free();
+        assert!(inst.find_reachable_deadlock().deadlock.is_none());
+        assert_eq!(verdict(&inst), Verdict::Fails);
+    }
+
+    #[test]
+    fn philosophers_deadlock_is_found() {
+        for n in 2..=3 {
+            let inst = dining_philosophers(n);
+            assert!(inst.find_reachable_deadlock().deadlock.is_some());
+            assert_eq!(verdict(&inst), Verdict::Holds, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn witness_run_decodes_to_the_deadlock() {
+        let inst = dining_philosophers(2);
+        let g = reduce(&inst).unwrap();
+        let r = completability(&g, &CompletabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Holds);
+        let run = r.witness_run.unwrap();
+        let replay = g.replay(&run).unwrap();
+        let config = decode_configuration(&inst, replay.last())
+            .expect("complete instance is a quiet configuration");
+        assert!(inst.is_deadlock(&config));
+        // And it is genuinely reachable in the baseline semantics.
+        let baseline = inst.find_reachable_deadlock();
+        assert!(baseline.deadlock.is_some());
+    }
+
+    #[test]
+    fn immediate_deadlock_at_start() {
+        let mut b = DeadlockBuilder::new();
+        b.component(1);
+        b.component(1);
+        let inst = b.build().unwrap();
+        assert_eq!(verdict(&inst), Verdict::Holds);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut b = DeadlockBuilder::new();
+        let a = b.component(2);
+        let c = b.component(2);
+        b.pair(0, a[0], a[0], 1, c[0], c[1]);
+        let inst = b.build().unwrap();
+        assert_eq!(reduce(&inst).unwrap_err(), SelfLoopPair(0));
+    }
+
+    #[test]
+    fn random_systems_agree_with_baseline() {
+        // Small random synchronised systems; compare reduction verdict
+        // with the explicit checker.
+        use idar_logic::gen::XorShift;
+        let mut rng = XorShift::new(2024);
+        let mut holds = 0;
+        let mut fails = 0;
+        for _ in 0..12 {
+            let mut b = DeadlockBuilder::new();
+            let k = 2 + rng.below(2); // 2..3 components
+            let mut comps = Vec::new();
+            for _ in 0..k {
+                comps.push(b.component(2 + rng.below(2))); // 2..3 vertices
+            }
+            let pairs = 2 + rng.below(4);
+            for _ in 0..pairs {
+                let i = rng.below(k);
+                let mut j = rng.below(k);
+                while j == i {
+                    j = rng.below(k);
+                }
+                let (i, j) = (i.min(j), i.max(j));
+                let pick2 = |rng: &mut XorShift, comp: &Vec<Vertex>| {
+                    let a = rng.below(comp.len());
+                    let mut b2 = rng.below(comp.len());
+                    while b2 == a {
+                        b2 = rng.below(comp.len());
+                    }
+                    (comp[a], comp[b2])
+                };
+                let (fi, ti) = pick2(&mut rng, &comps[i]);
+                let (fj, tj) = pick2(&mut rng, &comps[j]);
+                b.pair(i, fi, ti, j, fj, tj);
+            }
+            let inst = b.build().unwrap();
+            let baseline = inst.find_reachable_deadlock().deadlock.is_some();
+            let v = verdict(&inst);
+            let expected = if baseline { Verdict::Holds } else { Verdict::Fails };
+            assert_eq!(v, expected, "random system diverged from baseline");
+            if baseline {
+                holds += 1;
+            } else {
+                fails += 1;
+            }
+        }
+        // The workload should exercise both outcomes.
+        assert!(holds > 0, "no deadlocking system generated");
+        assert!(fails > 0, "no deadlock-free system generated");
+    }
+}

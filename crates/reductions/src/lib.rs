@@ -1,0 +1,32 @@
+//! # idar-reductions
+//!
+//! Every reduction in the paper, as an executable compiler between problem
+//! representations, each validated against an independent baseline solver:
+//!
+//! | module | paper | maps |
+//! |---|---|---|
+//! | [`sat_to_completability`] | Thm 5.1 | SAT → completability, `F(A+, φ−, 1)` |
+//! | [`sat_to_satisfiability`] | Cor 4.5 | SAT → formula satisfiability |
+//! | [`qsat_to_satisfiability`] | Cor 4.5 | QSAT → formula satisfiability |
+//! | [`sat_to_non_semisoundness`] | Thm 5.6 | SAT → ¬semi-soundness, `F(A+, φ+, 1)` |
+//! | [`qsat_to_semisoundness`] | Thm 5.3 | QSAT_2k → ¬semi-soundness, `F(A+, φ−, k)` |
+//! | [`deadlock_to_completability`] | Thm 4.6 | reachable deadlock → completability, `F(A−, φ−, 1)` |
+//! | [`completability_to_semisoundness`] | Cor 4.7 | completability → semi-soundness (reset/build) |
+//! | [`tcm_to_completability`] | Thm 4.1 | two-counter machine → guarded form, depth 2 |
+//! | [`deletion_elimination`] | Cor 4.2 | deletions → `deleted`-marker additions |
+//! | [`positive_completion`] | Sec 4.2 | φ− → φ+ via a `final` field |
+//!
+//! Where the paper's published rule listing contains typos or leaves a
+//! protocol under-specified (Thm 4.1's re-execution guard, Cor. 4.7's
+//! `∨`/`∧` swap), the repaired construction is documented in the module.
+
+pub mod completability_to_semisoundness;
+pub mod deadlock_to_completability;
+pub mod deletion_elimination;
+pub mod positive_completion;
+pub mod qsat_to_satisfiability;
+pub mod qsat_to_semisoundness;
+pub mod sat_to_completability;
+pub mod sat_to_non_semisoundness;
+pub mod sat_to_satisfiability;
+pub mod tcm_to_completability;

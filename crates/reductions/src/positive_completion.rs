@@ -1,0 +1,202 @@
+//! **Section 4.2**: with unrestricted access rules, a negative completion
+//! formula can be compiled away — `F(A−, φ−, d)` reduces to
+//! `F(A−, φ+, d)` — so every hardness result for unrestricted completion
+//! formulas carries over to positive ones.
+//!
+//! "We add in the schema a new field `final` under the root `r`, let the
+//! completion formula be `final` and add access rules for `final` such
+//! that it can be added if the old completion formula holds."
+//!
+//! Note the new `A(add, final) = φ ∧ ¬final` generally contains negation:
+//! the transformation *stays within* `A−` (which is exactly why the
+//! positive-completion rows of Table 1 are only claimed for `A−`).
+
+use idar_core::{Formula, GuardedForm, Right, SchemaBuilder, SchemaNodeId};
+use std::sync::Arc;
+
+/// The completion-marker label.
+pub const FINAL: &str = "final";
+
+/// Why a form cannot be transformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservedFinal;
+
+impl std::fmt::Display for ReservedFinal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema already has a root field `{FINAL}`")
+    }
+}
+impl std::error::Error for ReservedFinal {}
+
+/// Transform `G` so its completion formula is the single positive atom
+/// `final`, preserving both completability and semi-soundness.
+pub fn reduce(g: &GuardedForm) -> Result<GuardedForm, ReservedFinal> {
+    let schema = g.schema();
+    if schema.child_by_label(SchemaNodeId::ROOT, FINAL).is_some() {
+        return Err(ReservedFinal);
+    }
+
+    // Rebuild the schema with the extra root field. Schema node ids are
+    // assigned in creation order, so replaying the original creation order
+    // first keeps every existing id stable, letting us reuse the original
+    // rule table and initial instance topology directly.
+    let mut b = SchemaBuilder::new();
+    let mut id_map = std::collections::HashMap::new();
+    id_map.insert(SchemaNodeId::ROOT, SchemaNodeId::ROOT);
+    for old in schema.edge_ids() {
+        let parent = id_map[&schema.parent(old).expect("edge has parent")];
+        let ne = b.child(parent, schema.label(old)).expect("same labels");
+        id_map.insert(old, ne);
+        debug_assert_eq!(old, ne, "creation order preserves ids");
+    }
+    let final_edge = b.child(SchemaNodeId::ROOT, FINAL).expect("fresh label");
+    let new_schema = Arc::new(b.build());
+
+    let mut rules = idar_core::AccessRules::new(&new_schema);
+    for old in schema.edge_ids() {
+        rules.set(Right::Add, id_map[&old], g.rules().get(Right::Add, old).clone());
+        rules.set(Right::Del, id_map[&old], g.rules().get(Right::Del, old).clone());
+    }
+    rules.set(
+        Right::Add,
+        final_edge,
+        g.completion().clone().and(Formula::label(FINAL).not()),
+    );
+    // `final` is never deletable (default false).
+
+    // Initial instance rebuilt over the new schema (same shape).
+    let mut initial = idar_core::Instance::empty(new_schema.clone());
+    let mut node_map = std::collections::HashMap::new();
+    node_map.insert(idar_core::InstNodeId::ROOT, idar_core::InstNodeId::ROOT);
+    for n in g.initial().live_nodes() {
+        if n == idar_core::InstNodeId::ROOT {
+            continue;
+        }
+        let p = node_map[&g.initial().parent(n).expect("non-root")];
+        let nn = initial
+            .add_child(p, id_map[&g.initial().schema_node(n)])
+            .expect("same topology");
+        node_map.insert(n, nn);
+    }
+
+    Ok(GuardedForm::new(
+        new_schema,
+        rules,
+        initial,
+        Formula::label(FINAL),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::fragment::{classify, Polarity};
+    use idar_core::{AccessRules, Instance, Schema};
+    use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
+    use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+    fn form(
+        schema: &str,
+        rules: &[(&str, &str, &str)],
+        initial: &str,
+        completion: &str,
+    ) -> GuardedForm {
+        let schema = Arc::new(Schema::parse(schema).unwrap());
+        let mut table = AccessRules::new(&schema);
+        for (l, add, del) in rules {
+            table.set_both(
+                schema.resolve(l).unwrap(),
+                Formula::parse(add).unwrap(),
+                Formula::parse(del).unwrap(),
+            );
+        }
+        let init = Instance::parse(schema.clone(), initial).unwrap();
+        GuardedForm::new(schema, table, init, Formula::parse(completion).unwrap())
+    }
+
+    #[test]
+    fn completion_becomes_positive() {
+        let g = form("a, b", &[("a", "!a", "false")], "", "a & !b");
+        assert_eq!(classify(&g).completion, Polarity::Unrestricted);
+        let g2 = reduce(&g).unwrap();
+        assert_eq!(classify(&g2).completion, Polarity::Positive);
+        assert_eq!(g2.completion().to_string(), "final");
+    }
+
+    #[test]
+    fn completability_preserved() {
+        let cases = [
+            // (schema, rules, initial, completion)
+            ("a, b", vec![("a", "!a", "false"), ("b", "a", "false")], "", "a & !b"),
+            ("a, b", vec![("a", "b", "true")], "", "a"), // incompletable
+            ("a, b", vec![("a", "false", "true"), ("b", "true", "false")], "a", "b & !a"),
+        ];
+        for (schema, rules, initial, completion) in cases {
+            let g = form(schema, &rules, initial, completion);
+            let before = completability(&g, &CompletabilityOptions::default()).verdict;
+            let g2 = reduce(&g).unwrap();
+            let after = completability(&g2, &CompletabilityOptions::default()).verdict;
+            assert_eq!(before, after, "completability changed for φ = {completion}");
+        }
+    }
+
+    #[test]
+    fn semisoundness_preserved() {
+        let cases = [
+            // Semi-sound: everything stays completable.
+            ("a, b", vec![("a", "!a", "true"), ("b", "a & !b", "true")], "", "a"),
+            // Not semi-sound: trap t blocks the goal.
+            ("g, t", vec![("g", "!t & !g", "false"), ("t", "!t", "false")], "", "g"),
+        ];
+        for (schema, rules, initial, completion) in cases {
+            let g = form(schema, &rules, initial, completion);
+            let before = semisoundness(&g, &SemisoundnessOptions::default()).verdict;
+            let g2 = reduce(&g).unwrap();
+            let after = semisoundness(&g2, &SemisoundnessOptions::default()).verdict;
+            assert_eq!(before, after, "semi-soundness changed for {schema}");
+        }
+    }
+
+    #[test]
+    fn final_cannot_be_added_early_or_twice() {
+        let g = form("a", &[("a", "!a", "false")], "", "a");
+        let g2 = reduce(&g).unwrap();
+        let root = idar_core::InstNodeId::ROOT;
+        let fe = g2.schema().resolve(FINAL).unwrap();
+        let mut inst = g2.initial().clone();
+        // φ (= a) does not hold yet.
+        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: fe }));
+        let ae = g2.schema().resolve("a").unwrap();
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: ae })
+            .unwrap();
+        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: fe })
+            .unwrap();
+        assert!(g2.is_complete(&inst));
+        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: fe }));
+        // final is frozen.
+        let fnode = inst.children_with_label(root, FINAL).next().unwrap();
+        assert!(!g2.is_allowed(&inst, &idar_core::Update::Del { node: fnode }));
+    }
+
+    #[test]
+    fn deep_schemas_supported() {
+        let g = form(
+            "a(p(b))",
+            &[("a", "!a", "false"), ("a/p", "true", "false"), ("a/p/b", "!b", "false")],
+            "",
+            "a/p[b] & !a/p[!b]",
+        );
+        let g2 = reduce(&g).unwrap();
+        assert_eq!(g2.schema().depth(), 3);
+        let before = completability(&g, &CompletabilityOptions::default()).verdict;
+        let after = completability(&g2, &CompletabilityOptions::default()).verdict;
+        assert_eq!(before, Verdict::Holds);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reserved_label_rejected() {
+        let g = form("final", &[], "", "final");
+        assert_eq!(reduce(&g).unwrap_err(), ReservedFinal);
+    }
+}

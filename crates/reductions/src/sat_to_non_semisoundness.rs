@@ -1,0 +1,185 @@
+//! **Theorem 5.6**: SAT reduces to the *complement* of semi-soundness for
+//! `F(A+, φ+, 1)`, establishing coNP-hardness (and, with Cor. 5.7,
+//! coNP-completeness).
+//!
+//! Construction, for a 3-CNF ψ over variables `x₁ … xₖ`:
+//!
+//! * two root labels per variable — `xᵢ` ("xᵢ is true") and `x̄ᵢ`
+//!   (rendered `nxᵢ`, "xᵢ is false");
+//! * the initial instance contains *all* `2k` nodes;
+//! * `A(del, xᵢ) = x̄ᵢ` and `A(del, x̄ᵢ) = xᵢ` — one of each pair can be
+//!   deleted, but never both (carving an assignment out of the full set);
+//!   `A(add, xᵢ) = xᵢ` — additions are canonical no-ops;
+//! * the completion formula is `neg(ψ)`: clauses become conjunctions of
+//!   complemented-literal labels, the CNF becomes their disjunction — a
+//!   **positive** formula that holds exactly when ψ is *falsified*.
+//!
+//! A reachable assignment-state is incompletable iff it satisfies ψ (the
+//! completion formula is monotone and deletions only shrink the state), so
+//! the form fails semi-soundness iff ψ is satisfiable.
+
+use idar_core::{
+    AccessRules, Formula, GuardedForm, Instance, InstNodeId, Right, SchemaBuilder, SchemaNodeId,
+};
+use idar_logic::prop::{Cnf, Lit, Var};
+use std::sync::Arc;
+
+/// Label asserting variable `v` is true.
+pub fn pos_label(v: Var) -> String {
+    format!("x{}", v.0)
+}
+
+/// Label asserting variable `v` is false (the paper's `x̄`).
+pub fn neg_label(v: Var) -> String {
+    format!("nx{}", v.0)
+}
+
+/// The label complementing a literal: `neg(xᵢ) = x̄ᵢ`, `neg(¬xᵢ) = xᵢ`.
+fn complement_label(l: Lit) -> String {
+    if l.positive {
+        neg_label(l.var)
+    } else {
+        pos_label(l.var)
+    }
+}
+
+/// Compile a CNF into the Thm 5.6 guarded form: in `F(A+, φ+, 1)`, and
+/// **not** semi-sound iff the CNF is satisfiable.
+pub fn reduce(cnf: &Cnf) -> GuardedForm {
+    let mut b = SchemaBuilder::new();
+    let mut pos_edges = Vec::with_capacity(cnf.vars);
+    let mut neg_edges = Vec::with_capacity(cnf.vars);
+    for v in 0..cnf.vars {
+        let var = Var(v as u32);
+        pos_edges.push(b.child(SchemaNodeId::ROOT, &pos_label(var)).unwrap());
+        neg_edges.push(b.child(SchemaNodeId::ROOT, &neg_label(var)).unwrap());
+    }
+    let schema = Arc::new(b.build());
+
+    let mut rules = AccessRules::new(&schema);
+    for v in 0..cnf.vars {
+        let var = Var(v as u32);
+        // A(del, xᵢ) = x̄ᵢ ; A(add, xᵢ) = xᵢ (and symmetrically).
+        rules.set(Right::Del, pos_edges[v], Formula::label(&neg_label(var)));
+        rules.set(Right::Add, pos_edges[v], Formula::label(&pos_label(var)));
+        rules.set(Right::Del, neg_edges[v], Formula::label(&pos_label(var)));
+        rules.set(Right::Add, neg_edges[v], Formula::label(&neg_label(var)));
+    }
+
+    // neg(ψ): ∨ over clauses of ∧ over complemented literals.
+    let completion = Formula::disj(cnf.clauses.iter().map(|c| {
+        Formula::conj(c.0.iter().map(|&l| Formula::label(&complement_label(l))))
+    }));
+
+    // Initial instance: the root with all xᵢ and x̄ᵢ.
+    let mut initial = Instance::empty(schema.clone());
+    for v in 0..cnf.vars {
+        initial.add_child(InstNodeId::ROOT, pos_edges[v]).unwrap();
+        initial.add_child(InstNodeId::ROOT, neg_edges[v]).unwrap();
+    }
+
+    GuardedForm::new(schema, rules, initial, completion)
+}
+
+/// Decode a counterexample instance (a reachable incompletable state) into
+/// the satisfying assignment it represents. Variables with both labels
+/// still present default to `true` (any completion of the partial
+/// assignment satisfies ψ in that case — ψ's satisfied clauses only
+/// mention carved-out pairs).
+pub fn decode_assignment(inst: &Instance, vars: usize) -> idar_logic::Assignment {
+    let mut a = idar_logic::Assignment::all_false(vars);
+    for v in 0..vars {
+        let var = Var(v as u32);
+        let has_neg = inst
+            .children_with_label(InstNodeId::ROOT, &neg_label(var))
+            .next()
+            .is_some();
+        a.set(var, !has_neg);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::fragment::{classify, DepthClass, Polarity};
+    use idar_logic::sat_solve;
+    use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
+    use idar_solver::Verdict;
+
+    fn check(cnf: &Cnf) -> (Verdict, Option<Vec<idar_core::Update>>) {
+        let g = reduce(cnf);
+        let r = semisoundness(&g, &SemisoundnessOptions::default());
+        (r.verdict, r.counterexample)
+    }
+
+    #[test]
+    fn fragment_is_a_plus_phi_plus_depth1() {
+        let cnf = Cnf::new(vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]]);
+        let f = classify(&reduce(&cnf));
+        assert_eq!(f.access, Polarity::Positive);
+        assert_eq!(f.completion, Polarity::Positive);
+        assert_eq!(f.depth, DepthClass::One);
+    }
+
+    #[test]
+    fn satisfiable_cnf_breaks_semisoundness() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+        ]);
+        assert!(sat_solve(&cnf).is_some());
+        let (v, cex) = check(&cnf);
+        assert_eq!(v, Verdict::Fails);
+        assert!(cex.is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_cnf_is_semisound() {
+        // x ∧ ¬x as 1-literal clauses.
+        let cnf = Cnf::new(vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        assert!(sat_solve(&cnf).is_none());
+        let (v, _) = check(&cnf);
+        assert_eq!(v, Verdict::Holds);
+    }
+
+    #[test]
+    fn counterexample_decodes_to_model() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(2), Lit::pos(1), Lit::neg(0)],
+        ]);
+        let g = reduce(&cnf);
+        let r = semisoundness(&g, &SemisoundnessOptions::default());
+        assert_eq!(r.verdict, Verdict::Fails);
+        let cex = r.counterexample.unwrap();
+        let replay = g.replay(&cex).unwrap();
+        let a = decode_assignment(replay.last(), cnf.vars);
+        assert!(cnf.eval(&a), "counterexample must decode to a model");
+    }
+
+    #[test]
+    fn agrees_with_dpll_on_random_instances() {
+        for seed in 100..130 {
+            let cnf = idar_logic::gen::random_3cnf(seed, 4, 6 + (seed as usize % 10));
+            let baseline_sat = sat_solve(&cnf).is_some();
+            let (v, _) = check(&cnf);
+            let expected = if baseline_sat {
+                Verdict::Fails // sat ⇒ not semi-sound
+            } else {
+                Verdict::Holds
+            };
+            assert_eq!(v, expected, "seed {seed}: {cnf}");
+        }
+    }
+
+    #[test]
+    fn initial_state_is_completable() {
+        // The all-labels state satisfies neg(ψ) for any non-trivial ψ with
+        // at least one clause (every complemented label is present).
+        let cnf = Cnf::new(vec![vec![Lit::pos(0), Lit::neg(1)]]);
+        let g = reduce(&cnf);
+        assert!(g.is_complete(g.initial()));
+    }
+}

@@ -1,0 +1,78 @@
+//! **Corollary 4.5, NP-hardness direction**: SAT reduces to formula
+//! satisfiability.
+//!
+//! "The NP-hardness proof is a straightforward reduction from SAT to
+//! satisfiability; e.g., the satisfiability of the propositional formula
+//! `(x1 ∨ x2) ∧ ¬x3` corresponds to the satisfiability of the formula
+//! `(a ∨ b) ∧ ¬c`." — variables become label steps evaluated at the root.
+
+use crate::sat_to_completability::prop_to_formula;
+use idar_core::Formula;
+use idar_logic::prop::{Cnf, PropFormula};
+
+/// Translate a CNF into a root-evaluated path formula whose satisfiability
+/// (over arbitrary trees) coincides with propositional satisfiability.
+pub fn reduce(cnf: &Cnf) -> Formula {
+    prop_to_formula(&PropFormula::from_cnf(cnf))
+}
+
+/// Translate an arbitrary propositional formula.
+pub fn reduce_prop(f: &PropFormula) -> Formula {
+    prop_to_formula(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_logic::prop::Lit;
+    use idar_solver::satisfiability::{satisfiable, SatOptions, SatResult};
+
+    #[test]
+    fn the_paper_example() {
+        // (x1 ∨ x2) ∧ ¬x3 ↦ (a ∨ b) ∧ ¬c — satisfiable.
+        let cnf = Cnf::new(vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(2)]]);
+        let f = reduce(&cnf);
+        assert!(satisfiable(&f, &SatOptions::default()).is_sat());
+    }
+
+    #[test]
+    fn agrees_with_dpll() {
+        for seed in 0..40 {
+            let cnf = idar_logic::gen::random_3cnf(seed, 5, 8 + (seed as usize % 14));
+            let f = reduce(&cnf);
+            let tableau = satisfiable(&f, &SatOptions::default());
+            let baseline = idar_logic::sat_solve(&cnf).is_some();
+            assert_eq!(
+                tableau.is_sat(),
+                baseline,
+                "seed {seed}: {cnf} vs {f}"
+            );
+            assert_ne!(tableau, SatResult::BudgetExhausted);
+        }
+    }
+
+    #[test]
+    fn arbitrary_prop_formulas() {
+        use idar_logic::gen::random_prop;
+        for seed in 0..40 {
+            let pf = random_prop(seed, 4, 8);
+            let f = reduce_prop(&pf);
+            // Baseline: brute force over the 4 variables.
+            let mut baseline = false;
+            for bits in 0u8..16 {
+                let a = idar_logic::Assignment::from_bits(
+                    (0..4).map(|i| bits >> i & 1 == 1).collect(),
+                );
+                if pf.eval(&a) {
+                    baseline = true;
+                    break;
+                }
+            }
+            assert_eq!(
+                satisfiable(&f, &SatOptions::default()).is_sat(),
+                baseline,
+                "seed {seed}: {pf}"
+            );
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Bounded explicit-state exploration of a guarded form's run space.
+//!
+//! States are instances *up to isomorphism* — deduplicated via
+//! [`Instance::iso_code`], which preserves sibling multiplicity. This is
+//! deliberately **not** the bisimulation quotient: Lemma 4.3 makes the
+//! canonical-instance abstraction sound for depth-1 forms only, and Thm 4.1
+//! shows that at depth ≥ 2 multiplicities carry real information (they
+//! encode counter values!). The depth-1 fast path lives in
+//! [`crate::depth1`]; this explorer is the general-purpose engine.
+//!
+//! Because completability is undecidable in general (Thm 4.1), the
+//! exploration is bounded, and the outcome records whether the search
+//! *closed* — i.e. exhausted every reachable state without hitting a limit.
+//! When it closed, negative answers are exact; otherwise they are reported
+//! as [`Verdict::Unknown`](crate::Verdict) by the callers.
+
+use crate::verdict::{LimitKind, SearchStats};
+use idar_core::{GuardedForm, Instance, Update};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Resource limits for bounded exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states to visit.
+    pub max_states: usize,
+    /// Maximum live-node count per instance; additions beyond it are pruned.
+    pub max_state_size: usize,
+    /// Maximum run length (steps from the initial instance).
+    pub max_depth: usize,
+    /// If set, prune additions that would give a parent more than this many
+    /// children along one schema edge. Sound completeness bounds for this
+    /// cap exist in fragment `F(A+, φ−, k)` (Thm 5.2 / Lemma 4.4); the
+    /// [`crate::np`] solver computes one. Elsewhere it is a heuristic and
+    /// de-closes the search.
+    pub multiplicity_cap: Option<usize>,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 200_000,
+            max_state_size: 160,
+            max_depth: usize::MAX,
+            multiplicity_cap: None,
+        }
+    }
+}
+
+impl ExploreLimits {
+    /// Limits suitable for small exhaustive checks in tests.
+    pub fn small() -> Self {
+        ExploreLimits {
+            max_states: 20_000,
+            max_state_size: 64,
+            max_depth: usize::MAX,
+            multiplicity_cap: None,
+        }
+    }
+}
+
+/// The result of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// A run (update sequence from the initial instance) reaching the first
+    /// goal state found, if any.
+    pub goal_run: Option<Vec<Update>>,
+    /// Search statistics; `stats.closed` reports exhaustiveness.
+    pub stats: SearchStats,
+}
+
+/// The full reachable state graph produced by [`Explorer::graph`].
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    /// Distinct reachable states; index 0 is the initial instance.
+    pub states: Vec<Instance>,
+    /// BFS tree pointers: `parents[i] = (j, u)` means state `i` was first
+    /// reached from state `j` by update `u` (`None` for the initial state).
+    pub parents: Vec<Option<(usize, Update)>>,
+    /// All state-graph edges: `edges[i]` lists `(update, successor index)`.
+    pub edges: Vec<Vec<(Update, usize)>>,
+    /// BFS depth of each state.
+    pub depth: Vec<usize>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl StateGraph {
+    /// Reconstruct the update sequence leading from the initial instance to
+    /// state `i` (replayable via [`GuardedForm::replay`]).
+    pub fn run_to(&self, mut i: usize) -> Vec<Update> {
+        let mut rev = Vec::new();
+        while let Some((p, u)) = self.parents[i] {
+            rev.push(u);
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Bounded breadth-first explorer over a guarded form's instances.
+#[derive(Debug, Clone)]
+pub struct Explorer<'a> {
+    form: &'a GuardedForm,
+    limits: ExploreLimits,
+}
+
+impl<'a> Explorer<'a> {
+    pub fn new(form: &'a GuardedForm, limits: ExploreLimits) -> Self {
+        Explorer { form, limits }
+    }
+
+    /// BFS from the initial instance until `goal` holds for some state (or
+    /// the space/limits are exhausted). Returns the shortest-in-BFS run to
+    /// the goal, if found.
+    pub fn find(&self, mut goal: impl FnMut(&Instance) -> bool) -> ExploreOutcome {
+        let g = self.run(Some(&mut goal), false);
+        ExploreOutcome {
+            goal_run: g.goal.map(|i| g.graph.run_to(i)),
+            stats: g.graph.stats,
+        }
+    }
+
+    /// Exhaustively (within limits) build the reachable state graph.
+    pub fn graph(&self) -> StateGraph {
+        self.run(None, true).graph
+    }
+
+    fn run(
+        &self,
+        mut goal: Option<&mut dyn FnMut(&Instance) -> bool>,
+        want_edges: bool,
+    ) -> RunResult {
+        let mut stats = SearchStats::default();
+        let initial = self.form.initial().clone();
+
+        let mut states: Vec<Instance> = Vec::new();
+        let mut parents: Vec<Option<(usize, Update)>> = Vec::new();
+        let mut depth: Vec<usize> = Vec::new();
+        let mut edges: Vec<Vec<(Update, usize)>> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+
+        index.insert(initial.iso_code(), 0);
+        states.push(initial);
+        parents.push(None);
+        depth.push(0);
+        edges.push(Vec::new());
+        stats.states = 1;
+
+        if let Some(goal) = goal.as_deref_mut() {
+            if goal(&states[0]) {
+                return RunResult {
+                    graph: StateGraph {
+                        states,
+                        parents,
+                        edges,
+                        depth,
+                        stats: SearchStats {
+                            closed: true,
+                            ..stats
+                        },
+                    },
+                    goal: Some(0),
+                };
+            }
+        }
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+        let mut pruned = false;
+
+        while let Some(i) = queue.pop_front() {
+            if depth[i] >= self.limits.max_depth {
+                // Unexpanded frontier state: search no longer exhaustive
+                // (unless the state has no successors at all, checked below).
+                if !self.form.allowed_updates(&states[i]).is_empty() {
+                    pruned = true;
+                    stats.limit_hit = Some(LimitKind::Depth);
+                }
+                continue;
+            }
+            let updates = self.form.allowed_updates(&states[i]);
+            for u in updates {
+                stats.transitions += 1;
+                if let Update::Add { parent, edge } = u {
+                    if states[i].live_count() >= self.limits.max_state_size {
+                        pruned = true;
+                        stats.limit_hit = Some(LimitKind::StateSize);
+                        continue;
+                    }
+                    if let Some(cap) = self.limits.multiplicity_cap {
+                        if states[i].children_at(parent, edge).count() >= cap {
+                            pruned = true;
+                            stats.limit_hit = Some(LimitKind::Multiplicity);
+                            continue;
+                        }
+                    }
+                }
+                let mut next = states[i].clone();
+                self.form
+                    .apply_unchecked(&mut next, &u)
+                    .expect("allowed updates apply");
+                let code = next.iso_code();
+                let j = match index.entry(code) {
+                    Entry::Occupied(e) => {
+                        let j = *e.get();
+                        if want_edges {
+                            edges[i].push((u, j));
+                        }
+                        continue;
+                    }
+                    Entry::Vacant(e) => {
+                        let j = states.len();
+                        e.insert(j);
+                        j
+                    }
+                };
+                states.push(next);
+                parents.push(Some((i, u)));
+                depth.push(depth[i] + 1);
+                edges.push(Vec::new());
+                if want_edges {
+                    edges[i].push((u, j));
+                }
+                stats.states += 1;
+
+                if let Some(goal) = goal.as_deref_mut() {
+                    if goal(&states[j]) {
+                        return RunResult {
+                            graph: StateGraph {
+                                states,
+                                parents,
+                                edges,
+                                depth,
+                                stats,
+                            },
+                            goal: Some(j),
+                        };
+                    }
+                }
+
+                if stats.states >= self.limits.max_states {
+                    stats.limit_hit = Some(LimitKind::States);
+                    return RunResult {
+                        graph: StateGraph {
+                            states,
+                            parents,
+                            edges,
+                            depth,
+                            stats,
+                        },
+                        goal: None,
+                    };
+                }
+                queue.push_back(j);
+            }
+        }
+
+        stats.closed = !pruned;
+        RunResult {
+            graph: StateGraph {
+                states,
+                parents,
+                edges,
+                depth,
+                stats,
+            },
+            goal: None,
+        }
+    }
+}
+
+struct RunResult {
+    graph: StateGraph,
+    goal: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{AccessRules, Formula, GuardedForm, Schema};
+    use std::sync::Arc;
+
+    /// r with children a, b; free add/del of both but at most one of each
+    /// (¬a / ¬b add guards). 4 reachable states.
+    fn toggle_form() -> GuardedForm {
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set_both(
+            schema.resolve("a").unwrap(),
+            Formula::parse("!a").unwrap(),
+            Formula::True,
+        );
+        rules.set_both(
+            schema.resolve("b").unwrap(),
+            Formula::parse("!b").unwrap(),
+            Formula::True,
+        );
+        let init = Instance::empty(schema.clone());
+        GuardedForm::new(schema, rules, init, Formula::parse("a & b").unwrap())
+    }
+
+    #[test]
+    fn finds_goal_and_run_replays() {
+        let g = toggle_form();
+        let ex = Explorer::new(&g, ExploreLimits::small());
+        let out = ex.find(|i| g.is_complete(i));
+        let run = out.goal_run.expect("goal reachable");
+        assert_eq!(run.len(), 2);
+        assert!(g.is_complete_run(&run));
+    }
+
+    #[test]
+    fn graph_closes_on_finite_space() {
+        let g = toggle_form();
+        let graph = Explorer::new(&g, ExploreLimits::small()).graph();
+        assert_eq!(graph.states.len(), 4); // {}, {a}, {b}, {a,b}
+        assert!(graph.stats.closed);
+        // Every non-initial state's reconstructed run replays.
+        for i in 1..graph.states.len() {
+            let run = graph.run_to(i);
+            let r = g.replay(&run).unwrap();
+            assert!(r.last().isomorphic(&graph.states[i]));
+        }
+    }
+
+    #[test]
+    fn edges_cover_all_transitions() {
+        let g = toggle_form();
+        let graph = Explorer::new(&g, ExploreLimits::small()).graph();
+        // state {}: 2 adds; {a}: del a + add b; {b}: del b + add a;
+        // {a,b}: del a + del b. Total 8 directed edges.
+        let total: usize = graph.edges.iter().map(|e| e.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn state_limit_reported() {
+        let g = toggle_form();
+        let lim = ExploreLimits {
+            max_states: 2,
+            ..ExploreLimits::small()
+        };
+        let graph = Explorer::new(&g, lim).graph();
+        assert!(!graph.stats.closed);
+        assert_eq!(graph.stats.limit_hit, Some(LimitKind::States));
+    }
+
+    #[test]
+    fn unbounded_growth_hits_size_limit() {
+        // A form whose instances grow forever: add `a` always allowed.
+        let schema = Arc::new(Schema::parse("a").unwrap());
+        let rules = AccessRules::with_default(&schema, Formula::True);
+        let init = Instance::empty(schema.clone());
+        let g = GuardedForm::new(schema, rules, init, Formula::False);
+        let lim = ExploreLimits {
+            max_states: 1000,
+            max_state_size: 16,
+            max_depth: usize::MAX,
+            multiplicity_cap: None,
+        };
+        let graph = Explorer::new(&g, lim).graph();
+        assert!(!graph.stats.closed);
+        assert_eq!(graph.stats.limit_hit, Some(LimitKind::StateSize));
+        // 16 states: 0..=15 copies of `a` … plus none beyond the cap.
+        assert_eq!(graph.states.len(), 16);
+    }
+
+    #[test]
+    fn multiplicity_cap_prunes() {
+        let schema = Arc::new(Schema::parse("a").unwrap());
+        let rules = AccessRules::with_default(&schema, Formula::True);
+        let init = Instance::empty(schema.clone());
+        let g = GuardedForm::new(schema, rules, init, Formula::False);
+        let lim = ExploreLimits {
+            multiplicity_cap: Some(3),
+            ..ExploreLimits::small()
+        };
+        let graph = Explorer::new(&g, lim).graph();
+        assert_eq!(graph.states.len(), 4); // 0,1,2,3 copies
+        assert!(!graph.stats.closed);
+        assert_eq!(graph.stats.limit_hit, Some(LimitKind::Multiplicity));
+    }
+
+    #[test]
+    fn goal_at_initial_state() {
+        let g = toggle_form().with_completion(Formula::True);
+        let out = Explorer::new(&g, ExploreLimits::small()).find(|i| g.is_complete(i));
+        assert_eq!(out.goal_run, Some(vec![]));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let g = toggle_form();
+        let lim = ExploreLimits {
+            max_depth: 1,
+            ..ExploreLimits::small()
+        };
+        let graph = Explorer::new(&g, lim).graph();
+        // initial + {a} + {b}; {a,b} is at depth 2.
+        assert_eq!(graph.states.len(), 3);
+        assert!(!graph.stats.closed);
+    }
+}

@@ -1,0 +1,141 @@
+//! Invariant checking through completability.
+//!
+//! Sec. 3.5: "completability is not only interesting as a correctness
+//! requirement but also important for deciding invariants. For example, by
+//! checking completability for φ = d[a ∧ r] we can check if at any stage
+//! there can be a decision field that contains both accept and reject."
+//!
+//! An *invariant* is a formula that must hold at the root of **every**
+//! reachable instance. It holds iff its negation is never reachable — i.e.
+//! iff the guarded form with completion formula `¬invariant` is *not*
+//! completable. The three-valued solver verdicts invert accordingly.
+
+use crate::completability::{completability, CompletabilityOptions};
+use crate::verdict::{SearchStats, Verdict};
+use idar_core::{Formula, GuardedForm, Update};
+
+/// The result of an invariant check.
+#[derive(Debug, Clone)]
+pub struct InvariantResult {
+    /// `Holds`: no reachable instance violates the invariant (exact only
+    /// when the underlying completability answer was exact). `Fails`: a
+    /// violating instance is reachable — see `violation`.
+    pub verdict: Verdict,
+    /// A run from the initial instance to a violating instance, when one
+    /// was found.
+    pub violation: Option<Vec<Update>>,
+    pub stats: SearchStats,
+}
+
+/// Check whether `invariant` holds at the root of every reachable instance
+/// of `form`.
+pub fn check_invariant(
+    form: &GuardedForm,
+    invariant: &Formula,
+    options: &CompletabilityOptions,
+) -> InvariantResult {
+    let probe = form.with_completion(invariant.clone().not());
+    let r = completability(&probe, options);
+    InvariantResult {
+        verdict: r.verdict.not(),
+        violation: r.witness_run,
+        stats: r.stats,
+    }
+}
+
+/// Check several invariants at once, returning the per-invariant results
+/// in order. (Each probe is independent; a production fb-wis would run
+/// this when a form definition is saved.)
+pub fn check_invariants(
+    form: &GuardedForm,
+    invariants: &[Formula],
+    options: &CompletabilityOptions,
+) -> Vec<InvariantResult> {
+    invariants
+        .iter()
+        .map(|inv| check_invariant(form, inv, options))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::ExploreLimits;
+    use idar_core::leave;
+
+    fn capped() -> CompletabilityOptions {
+        CompletabilityOptions::with_limits(ExploreLimits {
+            multiplicity_cap: Some(2),
+            ..ExploreLimits::small()
+        })
+    }
+
+    #[test]
+    fn paper_invariant_no_double_decision() {
+        // Sec. 3.5's example: a decision can never hold accept AND reject.
+        let g = leave::example_3_12();
+        let inv = Formula::parse("!d[a & r]").unwrap();
+        let r = check_invariant(&g, &inv, &capped());
+        assert_ne!(r.verdict, Verdict::Fails);
+        assert!(r.violation.is_none());
+    }
+
+    #[test]
+    fn violated_invariant_yields_a_run() {
+        // "no final without submit" is violated by… nothing in Ex 3.12 —
+        // use "never a decision" which plainly breaks.
+        let g = leave::example_3_12();
+        let inv = Formula::parse("!d").unwrap();
+        let r = check_invariant(&g, &inv, &capped());
+        assert_eq!(r.verdict, Verdict::Fails);
+        let run = r.violation.unwrap();
+        let replay = g.replay(&run).unwrap();
+        assert!(idar_core::formula::holds_at_root(
+            replay.last(),
+            &Formula::parse("d").unwrap()
+        ));
+    }
+
+    #[test]
+    fn structural_invariants_of_the_leave_form() {
+        // A bundle of workflow facts implied by Ex. 3.12's rules.
+        let g = leave::example_3_12();
+        let invariants: Vec<Formula> = [
+            "!d[a & r]",     // decisions exclusive
+            "!(f & !d)",     // final only after a decision field exists
+            "!(d & !s)",     // decision only after submission
+            "!(s & !a)",     // submission only with an application
+        ]
+        .iter()
+        .map(|s| Formula::parse(s).unwrap())
+        .collect();
+        for (i, r) in check_invariants(&g, &invariants, &capped())
+            .into_iter()
+            .enumerate()
+        {
+            assert_ne!(r.verdict, Verdict::Fails, "invariant {i} violated");
+        }
+    }
+
+    #[test]
+    fn depth1_invariants_are_exact() {
+        use idar_core::{AccessRules, GuardedForm, Instance, Right, Schema};
+        use std::sync::Arc;
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set(Right::Add, schema.resolve("a").unwrap(), Formula::parse("!a").unwrap());
+        rules.set(Right::Add, schema.resolve("b").unwrap(), Formula::parse("a & !b").unwrap());
+        let g = GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::True,
+        );
+        // b implies a — exact on the canonical space.
+        let r = check_invariant(&g, &Formula::parse("!b | a").unwrap(), &Default::default());
+        assert_eq!(r.verdict, Verdict::Holds);
+        // a implies b — false (a can exist alone).
+        let r = check_invariant(&g, &Formula::parse("!a | b").unwrap(), &Default::default());
+        assert_eq!(r.verdict, Verdict::Fails);
+    }
+}

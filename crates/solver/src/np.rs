@@ -1,0 +1,270 @@
+//! **Exact** completability for `F(A+, φ−, k)` — Thm 5.2.
+//!
+//! The theorem's proof normalises any completing run into additions
+//! followed by deletions (with positive rules a deletion and a subsequent
+//! addition always commute) and then shrinks the additions phase: to make
+//! a sub-formula true at a node one never needs more than one child per
+//! obligation, so the witness instance has per-node fan-out linear in the
+//! *size of the guarded form*, and — the schema depth being a constant `k`
+//! — polynomial size overall. That bound is what makes the problem NP
+//! (a polynomial certificate) rather than merely semi-decidable.
+//!
+//! We realise the bound as a **sibling-multiplicity cap** handed to the
+//! bounded explorer: a breadth-first search over the capped space is a
+//! complete decision procedure for this fragment — if the capped search
+//! exhausts without finding a complete instance, the form is
+//! incompletable. Worst-case exponential time, as expected for an
+//! NP-complete problem.
+
+use crate::explore::{ExploreLimits, Explorer};
+use crate::verdict::{LimitKind, SearchStats, Verdict};
+use idar_core::{GuardedForm, Right, Update};
+
+/// The per-(node, schema-edge) sibling multiplicity that Thm 5.2's witness
+/// argument justifies.
+///
+/// The proof adds at most one child per obligation ("we add at most one
+/// addition that adds a child under that node" per sub-formula ψ), and an
+/// obligation can only demand an `l`-child if `l` occurs as a path step in
+/// one of the guarded form's formulas. So per label `l` the witness never
+/// needs more than (#occurrences of `l` across the completion formula and
+/// all guards) fresh siblings, on top of whatever multiplicity the initial
+/// instance already has. We use the maximum over all labels as a uniform
+/// per-edge cap (a superset of the per-label-capped space, still finite).
+pub fn theorem_5_2_bound(form: &GuardedForm) -> usize {
+    use std::collections::HashMap;
+    let mut occurrences: HashMap<String, usize> = HashMap::new();
+    let mut count = |f: &idar_core::Formula| {
+        for l in f.label_occurrences() {
+            *occurrences.entry(l.to_string()).or_insert(0) += 1;
+        }
+    };
+    count(form.completion());
+    for e in form.schema().edge_ids() {
+        count(form.rules().get(Right::Add, e));
+        count(form.rules().get(Right::Del, e));
+    }
+    let max_occurrences = occurrences.values().copied().max().unwrap_or(0);
+    let init_mult = form
+        .initial()
+        .live_nodes()
+        .map(|n| {
+            form.schema()
+                .children(form.initial().schema_node(n))
+                .iter()
+                .map(|&e| form.initial().children_at(n, e).count())
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    max_occurrences + init_mult + 1
+}
+
+/// Result of the NP-fragment solver.
+#[derive(Debug, Clone)]
+pub struct NpAnswer {
+    /// `Holds`/`Fails` are exact (Thm 5.2); `Unknown` means an *auxiliary*
+    /// limit (state count / state size) was hit before the capped space was
+    /// exhausted.
+    pub verdict: Verdict,
+    /// A complete run when `Holds`.
+    pub run: Option<Vec<Update>>,
+    /// The multiplicity cap used.
+    pub cap: usize,
+    pub stats: SearchStats,
+}
+
+/// Preconditions for this solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotNpFragment(pub String);
+
+impl std::fmt::Display for NotNpFragment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "form is outside F(A+, phi-, k): {}", self.0)
+    }
+}
+impl std::error::Error for NotNpFragment {}
+
+/// Decide completability for a form with positive access rules (the
+/// completion formula may use negation) — `F(A+, φ−, k)`, Thm 5.2.
+///
+/// `aux_limits` bounds only time/memory (states, state size); the
+/// multiplicity cap is computed from the theorem and overrides whatever the
+/// caller put there.
+pub fn completability_np(
+    form: &GuardedForm,
+    aux_limits: &ExploreLimits,
+) -> Result<NpAnswer, NotNpFragment> {
+    for e in form.schema().edge_ids() {
+        for right in [Right::Add, Right::Del] {
+            let g = form.rules().get(right, e);
+            if !g.is_positive() {
+                return Err(NotNpFragment(format!(
+                    "A({right}, {}) = `{g}` contains negation",
+                    form.schema().path_of(e)
+                )));
+            }
+        }
+    }
+    let cap = theorem_5_2_bound(form);
+    let limits = ExploreLimits {
+        multiplicity_cap: Some(cap),
+        // The capped witness instance is polynomial for constant depth;
+        // make sure the size limit does not cut below it.
+        max_state_size: aux_limits.max_state_size.max(
+            form.initial()
+                .live_count()
+                .saturating_mul(cap.saturating_mul(form.schema().node_count()).max(1)),
+        ),
+        ..*aux_limits
+    };
+    let explorer = Explorer::new(form, limits);
+    let out = explorer.find(|i| form.is_complete(i));
+    match out.goal_run {
+        Some(run) => Ok(NpAnswer {
+            verdict: Verdict::Holds,
+            run: Some(run),
+            cap,
+            stats: out.stats,
+        }),
+        None => {
+            // Exhausted: if the only pruning was the theorem-justified
+            // multiplicity cap, the negative answer is exact.
+            let exact = out.stats.closed
+                || matches!(out.stats.limit_hit, Some(LimitKind::Multiplicity));
+            Ok(NpAnswer {
+                verdict: if exact { Verdict::Fails } else { Verdict::Unknown },
+                run: None,
+                cap,
+                stats: out.stats,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{AccessRules, Formula, Instance, Schema};
+    use std::sync::Arc;
+
+    fn form(
+        schema: &str,
+        rules: &[(&str, &str, &str)],
+        initial: &str,
+        completion: &str,
+    ) -> GuardedForm {
+        let schema = Arc::new(Schema::parse(schema).unwrap());
+        let mut table = AccessRules::new(&schema);
+        for (l, add, del) in rules {
+            table.set_both(
+                schema.resolve(l).unwrap(),
+                Formula::parse(add).unwrap(),
+                Formula::parse(del).unwrap(),
+            );
+        }
+        let init = Instance::parse(schema.clone(), initial).unwrap();
+        GuardedForm::new(schema, table, init, Formula::parse(completion).unwrap())
+    }
+
+    #[test]
+    fn negative_completion_needs_deletion() {
+        // φ = b ∧ ¬a with a initially present; positive del guard `b`.
+        let g = form(
+            "a, b",
+            &[("a", "false", "b"), ("b", "true", "false")],
+            "a",
+            "b & !a",
+        );
+        let ans = completability_np(&g, &ExploreLimits::small()).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        assert!(g.is_complete_run(ans.run.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn incompletable_is_exact() {
+        // φ = ¬a but a is frozen (no delete right).
+        let g = form("a, b", &[("b", "true", "true")], "a", "!a");
+        let ans = completability_np(&g, &ExploreLimits::small()).unwrap();
+        assert_eq!(ans.verdict, Verdict::Fails);
+    }
+
+    #[test]
+    fn needs_two_siblings() {
+        // φ = a[b] ∧ a[¬b]: requires two distinct `a` children. The
+        // multiplicity cap must not cut below 2.
+        let g = form(
+            "a(b)",
+            &[("a", "true", "false"), ("a/b", "a[!b]", "false")],
+            "",
+            "a[b] & a[!b]",
+        );
+        // A(add, a/b) = a[!b] (evaluated at the a node… `a[!b]` from an `a`
+        // node looks for an a-child of a — none; so use a guard at the
+        // right level: rewrite so b is addable whenever two a's exist).
+        let g = {
+            let schema = g.schema().clone();
+            let mut rules = AccessRules::new(&schema);
+            rules.set(Right::Add, schema.resolve("a").unwrap(), Formula::True);
+            rules.set(Right::Add, schema.resolve("a/b").unwrap(), Formula::True);
+            GuardedForm::new(
+                schema.clone(),
+                rules,
+                Instance::empty(schema),
+                Formula::parse("a[b] & a[!b]").unwrap(),
+            )
+        };
+        let ans = completability_np(&g, &ExploreLimits::small()).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        let run = ans.run.unwrap();
+        assert!(g.is_complete_run(&run));
+        assert!(ans.cap >= 2);
+    }
+
+    #[test]
+    fn depth2_interplay() {
+        // Reach a(p(b)) then delete b to satisfy a[p[¬b]] ∧ s, where s is
+        // only addable once a/p/b existed (positive chain), forcing a real
+        // add-then-delete schedule.
+        let g = form(
+            "a(p(b)), s",
+            &[
+                ("a", "true", "false"),
+                ("a/p", "true", "false"),
+                ("a/p/b", "true", "true"),
+                ("s", "a/p[b]", "false"),
+            ],
+            "",
+            "s & a[p] & !a/p[b]",
+        );
+        let ans = completability_np(&g, &ExploreLimits::small()).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        let run = ans.run.unwrap();
+        assert!(g.is_complete_run(&run));
+        // The run must contain at least one deletion.
+        assert!(run.iter().any(|u| matches!(u, Update::Del { .. })));
+    }
+
+    #[test]
+    fn rejects_negative_rules() {
+        let g = form("a", &[("a", "!a", "false")], "", "a");
+        assert!(completability_np(&g, &ExploreLimits::small()).is_err());
+    }
+
+    #[test]
+    fn agrees_with_positive_solver_on_positive_forms() {
+        // When φ is also positive both exact solvers must agree.
+        for (completion, _expected) in [("a & b", true), ("a & zz", false)] {
+            let g = form(
+                "a, b",
+                &[("a", "true", "false"), ("b", "a", "false")],
+                "",
+                completion,
+            );
+            let np = completability_np(&g, &ExploreLimits::small()).unwrap();
+            let pos = crate::positive::completability_positive(&g).unwrap();
+            assert_eq!(np.verdict, pos.verdict, "{completion}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! **Exact polynomial-time** completability for `F(A+, φ+, ∞)` — Thm 5.5.
+//!
+//! With positive (negation-free) access rules, guards are *monotone* under
+//! edge additions: adding an edge can only turn guards from false to true.
+//! With a positive completion formula, deletions can never help either
+//! (they only falsify positive formulas and never enable anything). The
+//! paper's argument then shows a guarded form is completable iff the
+//! *saturation* — obtained by adding as many edges as possible while never
+//! duplicating a sibling label — satisfies φ. Positive formulas are
+//! multiplicity-blind, so one copy per (node, schema-edge) suffices, which
+//! bounds the saturated instance by `|I₀| · |M|` nodes and yields the
+//! polynomial bound.
+
+use crate::verdict::{SearchStats, Verdict};
+use idar_core::{GuardedForm, Instance, Right, Update};
+
+/// Why the positive solver refused a form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositive {
+    /// Human-readable description of the offending formula.
+    pub offender: String,
+}
+
+impl std::fmt::Display for NotPositive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "form is outside F(A+, phi+, inf): {} contains negation",
+            self.offender
+        )
+    }
+}
+
+impl std::error::Error for NotPositive {}
+
+/// The saturation result.
+#[derive(Debug, Clone)]
+pub struct PositiveAnswer {
+    /// `Holds` iff the saturated instance satisfies the completion formula
+    /// (exact, Thm 5.5).
+    pub verdict: Verdict,
+    /// The saturated instance.
+    pub saturated: Instance,
+    /// The additions performed, in order — a valid run from the initial
+    /// instance to the saturated instance. When the verdict is `Holds`
+    /// this is a complete run.
+    pub run: Vec<Update>,
+    pub stats: SearchStats,
+}
+
+/// Check the `F(A+, φ+, ·)` preconditions.
+pub fn check_positive(form: &GuardedForm) -> Result<(), NotPositive> {
+    if !form.completion().is_positive() {
+        return Err(NotPositive {
+            offender: format!("completion formula `{}`", form.completion()),
+        });
+    }
+    for e in form.schema().edge_ids() {
+        for right in [Right::Add, Right::Del] {
+            let g = form.rules().get(right, e);
+            if !g.is_positive() {
+                return Err(NotPositive {
+                    offender: format!(
+                        "A({right}, {}) = `{g}`",
+                        form.schema().path_of(e)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decide completability of a form in `F(A+, φ+, ∞)` (Thm 5.5). Exact.
+pub fn completability_positive(form: &GuardedForm) -> Result<PositiveAnswer, NotPositive> {
+    check_positive(form)?;
+    let (saturated, run, stats) = saturate(form);
+    let verdict = if form.is_complete(&saturated) {
+        Verdict::Holds
+    } else {
+        Verdict::Fails
+    };
+    Ok(PositiveAnswer {
+        verdict,
+        saturated,
+        run,
+        stats,
+    })
+}
+
+/// Monotone saturation: repeatedly add any allowed edge whose parent does
+/// not already have a child along the same schema edge, to fixpoint.
+///
+/// The run returned is valid (each addition's guard held when applied).
+/// Exposed separately because the semi-soundness checker uses it as a
+/// per-state completability oracle.
+pub fn saturate(form: &GuardedForm) -> (Instance, Vec<Update>, SearchStats) {
+    let schema = form.schema().clone();
+    let mut inst = form.initial().clone();
+    let mut run = Vec::new();
+    let mut stats = SearchStats {
+        closed: true,
+        ..Default::default()
+    };
+    loop {
+        let mut progressed = false;
+        // Snapshot node list: newly added nodes are picked up on the next
+        // sweep (they are leaves; their own children need a fresh guard
+        // evaluation anyway).
+        let nodes: Vec<_> = inst.live_nodes().collect();
+        for n in nodes {
+            let sn = inst.schema_node(n);
+            for &edge in schema.children(sn) {
+                if inst.children_at(n, edge).next().is_some() {
+                    continue; // never duplicate a sibling label
+                }
+                stats.transitions += 1;
+                let guard = form.rules().get(Right::Add, edge);
+                if idar_core::formula::holds(&inst, n, guard) {
+                    let u = Update::Add { parent: n, edge };
+                    form.apply_unchecked(&mut inst, &u)
+                        .expect("guard checked, schema edge valid");
+                    run.push(u);
+                    progressed = true;
+                }
+            }
+        }
+        stats.states += 1; // one sweep
+        if !progressed {
+            return (inst, run, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{AccessRules, Formula, Schema};
+    use std::sync::Arc;
+
+    fn form(
+        schema: &str,
+        rules: &[(&str, &str)],
+        initial: &str,
+        completion: &str,
+    ) -> GuardedForm {
+        let schema = Arc::new(Schema::parse(schema).unwrap());
+        let mut table = AccessRules::new(&schema);
+        for (l, add) in rules {
+            table.set(
+                Right::Add,
+                schema.resolve(l).unwrap(),
+                Formula::parse(add).unwrap(),
+            );
+        }
+        let init = Instance::parse(schema.clone(), initial).unwrap();
+        GuardedForm::new(schema, table, init, Formula::parse(completion).unwrap())
+    }
+
+    #[test]
+    fn chain_completes() {
+        // b needs a, c needs b — saturation threads the chain.
+        let g = form(
+            "a, b, c",
+            &[("a", "true"), ("b", "a"), ("c", "b")],
+            "",
+            "a & b & c",
+        );
+        let ans = completability_positive(&g).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        assert!(g.is_complete_run(&ans.run));
+        assert_eq!(ans.run.len(), 3);
+    }
+
+    #[test]
+    fn unreachable_guard_fails() {
+        // c's guard mentions a label that can never appear.
+        let g = form("a, c", &[("a", "true"), ("c", "zz")], "", "c");
+        let ans = completability_positive(&g).unwrap();
+        assert_eq!(ans.verdict, Verdict::Fails);
+    }
+
+    #[test]
+    fn deep_saturation() {
+        // Each level requires the previous one; depth 4.
+        let g = form(
+            "a(b(c(d)))",
+            &[("a", "true"), ("a/b", "true"), ("a/b/c", "..[..[a[b]]]"), ("a/b/c/d", "true")],
+            "",
+            "a/b/c/d",
+        );
+        let ans = completability_positive(&g).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        assert!(g.is_complete_run(&ans.run));
+    }
+
+    #[test]
+    fn initial_duplicates_preserved_but_not_extended() {
+        // The initial instance has duplicate `p` siblings; saturation must
+        // not add more, but must extend each with children.
+        let g = form(
+            "a(p(b)), s",
+            &[("a", "true"), ("a/p", "true"), ("a/p/b", "true"), ("s", "a/p[b]")],
+            "a(p, p)",
+            "s",
+        );
+        let ans = completability_positive(&g).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        // Both existing p's got their b (guards are per-parent), no third p.
+        let a = ans
+            .saturated
+            .children_with_label(idar_core::InstNodeId::ROOT, "a")
+            .next()
+            .unwrap();
+        assert_eq!(ans.saturated.children_with_label(a, "p").count(), 2);
+    }
+
+    #[test]
+    fn rejects_negative_rules() {
+        let g = form("a", &[("a", "!a")], "", "a");
+        let err = completability_positive(&g).unwrap_err();
+        assert!(err.offender.contains("A(add, a)"));
+    }
+
+    #[test]
+    fn rejects_negative_completion() {
+        let g = form("a", &[("a", "true")], "", "!a");
+        let err = completability_positive(&g).unwrap_err();
+        assert!(err.offender.contains("completion"));
+    }
+
+    #[test]
+    fn saturation_is_a_valid_run() {
+        let g = form(
+            "x, y, z",
+            &[("x", "true"), ("y", "x"), ("z", "x & y")],
+            "",
+            "z",
+        );
+        let (sat, run, _) = saturate(&g);
+        let replayed = g.replay(&run).unwrap();
+        assert!(replayed.last().isomorphic(&sat));
+    }
+
+    #[test]
+    fn true_default_guards() {
+        let schema = Arc::new(Schema::parse("x1, x2, x3").unwrap());
+        let table = AccessRules::with_default(&schema, Formula::True);
+        let init = Instance::empty(schema.clone());
+        let g = GuardedForm::new(
+            schema,
+            table,
+            init,
+            Formula::parse("x1 & x2 & x3").unwrap(),
+        );
+        let ans = completability_positive(&g).unwrap();
+        assert_eq!(ans.verdict, Verdict::Holds);
+        assert_eq!(ans.saturated.live_count(), 4);
+    }
+}

@@ -1,0 +1,572 @@
+//! Formula satisfiability (Cor. 4.5): is there a rooted node-labelled tree
+//! whose **root** satisfies φ?
+//!
+//! Cor. 4.5: NP-complete when tree depth is bounded by a constant,
+//! PSPACE-complete unbounded. The procedure here is an obligation-driven
+//! tableau built directly on the Lemma 4.4 machinery:
+//!
+//! * φ is normalised to [`StepFormula`] (every path is a single child- or
+//!   parent-step with a residual filter) and negation normal form, so every
+//!   obligation speaks about the current node, one child, or the parent.
+//! * A witness tree is grown from the root. Positive child obligations
+//!   `l[ψ]` spawn a fresh `l`-child carrying `ψ` — sound *and* complete
+//!   because formulas are multiplicity-blind (Ex. 3.2): if one child could
+//!   serve two obligations, two children each serving one work as well.
+//! * Negative child obligations `¬l[ξ]` are recorded and pushed (as
+//!   `nnf(¬ξ)`) into every existing and future `l`-child.
+//! * Parent obligations `..[ψ]` travel up to the (already-materialised)
+//!   parent, whose obligation set grows and is re-processed — this is the
+//!   fixpoint the paper's PSPACE walk performs with guessed `Φ(n)` sets.
+//! * `∨` creates a backtracking choice point (the tableau state is cloned).
+//!
+//! Obligations are deduplicated per node and drawn from the finite closure
+//! of φ's subformulas under negation, so each branch terminates; the number
+//! of branches is exponential, as the complexity results demand.
+
+use idar_core::formula::StepFormula;
+use idar_core::{Formula, Schema, SchemaNodeId};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Options for the satisfiability search.
+#[derive(Debug, Clone, Default)]
+pub struct SatOptions {
+    /// Constrain witnesses to be instances of this schema (labels and
+    /// parent/child relations must follow it; the root is the schema root).
+    pub schema: Option<Arc<Schema>>,
+    /// Cap on witness-tree depth. `None`: the child-nesting depth of φ
+    /// (sufficient — deeper nodes can never be referenced from the root),
+    /// additionally clamped by the schema's depth when one is given.
+    pub max_depth: Option<usize>,
+    /// Safety cap on tableau branches explored (default 1 << 22).
+    pub max_branches: Option<usize>,
+}
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness tree.
+    Sat(WitnessTree),
+    /// No witness within the (complete, see module docs) bounds.
+    Unsat,
+    /// The branch budget ran out (pathological inputs only).
+    BudgetExhausted,
+}
+
+impl SatResult {
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// A rooted labelled tree produced as a satisfiability witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessTree {
+    /// `(label, parent index)`; entry 0 is the root (parent = usize::MAX).
+    pub nodes: Vec<(String, usize)>,
+}
+
+impl WitnessTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluate a formula at node `at` of this tree (used for the
+    /// verification pass and tests; same semantics as Def. 3.5).
+    pub fn holds(&self, at: usize, f: &Formula) -> bool {
+        let n = StepFormula::from_formula(f);
+        self.holds_step(at, &n)
+    }
+
+    fn children(&self, at: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(move |&i| i != 0 && self.nodes[i].1 == at)
+    }
+
+    fn holds_step(&self, at: usize, f: &StepFormula) -> bool {
+        match f {
+            StepFormula::True => true,
+            StepFormula::False => false,
+            StepFormula::Child(l) => self.children(at).any(|c| self.nodes[c].0 == *l),
+            StepFormula::Parent => at != 0,
+            StepFormula::ChildSat(l, g) => self
+                .children(at)
+                .any(|c| self.nodes[c].0 == *l && self.holds_step(c, g)),
+            StepFormula::ParentSat(g) => at != 0 && self.holds_step(self.nodes[at].1, g),
+            StepFormula::Not(g) => !self.holds_step(at, g),
+            StepFormula::And(a, b) => self.holds_step(at, a) && self.holds_step(at, b),
+            StepFormula::Or(a, b) => self.holds_step(at, a) || self.holds_step(at, b),
+        }
+    }
+
+    /// Maximum branching factor (for the Lemma 4.4 bound checks).
+    pub fn max_branching(&self) -> usize {
+        (0..self.nodes.len())
+            .map(|i| self.children(i).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for i in 1..self.nodes.len() {
+            d[i] = d[self.nodes[i].1] + 1;
+            max = max.max(d[i]);
+        }
+        max
+    }
+}
+
+/// Decide whether some tree's root satisfies `f`.
+pub fn satisfiable(f: &Formula, opts: &SatOptions) -> SatResult {
+    let step = StepFormula::from_formula(f).nnf();
+    let default_depth = child_nesting(&step);
+    let mut max_depth = opts.max_depth.unwrap_or(default_depth);
+    if let Some(schema) = &opts.schema {
+        max_depth = max_depth.min(schema.depth() as usize);
+    }
+    let budget = opts.max_branches.unwrap_or(1 << 22);
+    let mut searcher = Searcher {
+        schema: opts.schema.clone(),
+        max_depth,
+        branches: 0,
+        budget,
+    };
+    let mut state = Tableau::root(opts.schema.as_deref());
+    state.push(0, step);
+    match searcher.solve(state) {
+        Some(t) => {
+            let tree = t.into_witness();
+            debug_assert!(tree.holds(0, f), "tableau produced a non-model for {f}");
+            SatResult::Sat(tree)
+        }
+        None => {
+            if searcher.branches >= searcher.budget {
+                SatResult::BudgetExhausted
+            } else {
+                SatResult::Unsat
+            }
+        }
+    }
+}
+
+/// Maximum nesting of child steps — a sufficient witness depth for
+/// root-evaluated formulas (parent steps never descend).
+fn child_nesting(f: &StepFormula) -> usize {
+    match f {
+        StepFormula::True
+        | StepFormula::False
+        | StepFormula::Child(_)
+        | StepFormula::Parent => 1,
+        StepFormula::ChildSat(_, g) => 1 + child_nesting(g),
+        StepFormula::ParentSat(g) => child_nesting(g), // does not descend
+        StepFormula::Not(g) => child_nesting(g),
+        StepFormula::And(a, b) | StepFormula::Or(a, b) => {
+            child_nesting(a).max(child_nesting(b))
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TabNode {
+    label: String,
+    parent: usize, // usize::MAX for root
+    depth: usize,
+    schema_node: Option<SchemaNodeId>,
+    /// Per-label constraints every child must satisfy: (label, pushed ψ).
+    child_constraints: Vec<(String, StepFormula)>,
+    /// Labels that must not occur among children.
+    forbidden: HashSet<String>,
+    /// Obligations already processed (dedup to guarantee termination).
+    done: HashSet<StepFormula>,
+}
+
+#[derive(Debug, Clone)]
+struct Tableau {
+    nodes: Vec<TabNode>,
+    /// Deterministic obligations (no choice involved).
+    pending: VecDeque<(usize, StepFormula)>,
+    /// Disjunctions, deferred until the deterministic queue drains — the
+    /// tableau analogue of unit propagation: contradictions surface before
+    /// we commit to a branch, pruning the search massively on CNF-shaped
+    /// inputs (the Cor 4.5 SAT encodings).
+    choices: VecDeque<(usize, StepFormula)>,
+}
+
+impl Tableau {
+    fn root(schema: Option<&Schema>) -> Tableau {
+        Tableau {
+            nodes: vec![TabNode {
+                label: idar_core::ROOT_LABEL.to_string(),
+                parent: usize::MAX,
+                depth: 0,
+                schema_node: schema.map(|_| SchemaNodeId::ROOT),
+                child_constraints: Vec::new(),
+                forbidden: HashSet::new(),
+                done: HashSet::new(),
+            }],
+            pending: VecDeque::new(),
+            choices: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, node: usize, f: StepFormula) {
+        if matches!(f, StepFormula::Or(..)) {
+            self.choices.push_back((node, f));
+        } else {
+            self.pending.push_back((node, f));
+        }
+    }
+
+    fn pop(&mut self) -> Option<(usize, StepFormula)> {
+        self.pending
+            .pop_front()
+            .or_else(|| self.choices.pop_front())
+    }
+
+    fn children_of(&self, node: usize) -> Vec<usize> {
+        (1..self.nodes.len())
+            .filter(|&i| self.nodes[i].parent == node)
+            .collect()
+    }
+
+    /// Cheap monotone truth check: `true` only if `f` is *guaranteed* to
+    /// hold in every extension of the current tableau (children are only
+    /// ever added, never removed, so positive child facts are stable; the
+    /// `done` set records obligations already enforced).
+    fn surely_true(&self, node: usize, f: &StepFormula) -> bool {
+        if self.nodes[node].done.contains(f) {
+            return true;
+        }
+        match f {
+            StepFormula::True => true,
+            StepFormula::Child(l) => self
+                .children_of(node)
+                .iter()
+                .any(|&c| self.nodes[c].label == *l),
+            StepFormula::Not(inner) => match &**inner {
+                StepFormula::Child(l) => self.nodes[node].forbidden.contains(l),
+                StepFormula::ChildSat(l, _) => self.nodes[node].forbidden.contains(l),
+                StepFormula::False => true,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Cheap certain-failure check (the dual).
+    fn surely_false(&self, node: usize, f: &StepFormula) -> bool {
+        match f {
+            StepFormula::False => true,
+            StepFormula::Child(l) | StepFormula::ChildSat(l, _) => {
+                self.nodes[node].forbidden.contains(l)
+            }
+            StepFormula::Not(inner) => match &**inner {
+                StepFormula::Child(l) => self
+                    .children_of(node)
+                    .iter()
+                    .any(|&c| self.nodes[c].label == *l),
+                StepFormula::True => true,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn into_witness(self) -> WitnessTree {
+        WitnessTree {
+            nodes: self
+                .nodes
+                .into_iter()
+                .map(|n| (n.label, n.parent))
+                .collect(),
+        }
+    }
+}
+
+struct Searcher {
+    schema: Option<Arc<Schema>>,
+    max_depth: usize,
+    branches: usize,
+    budget: usize,
+}
+
+impl Searcher {
+    /// Process pending obligations to a fixpoint; `None` on contradiction.
+    fn solve(&mut self, mut state: Tableau) -> Option<Tableau> {
+        while let Some((node, f)) = state.pop() {
+            if !state.nodes[node].done.insert(f.clone()) {
+                continue; // already handled at this node
+            }
+            match f {
+                StepFormula::True => {}
+                StepFormula::False => return None,
+                StepFormula::And(a, b) => {
+                    state.push(node, *a);
+                    state.push(node, *b);
+                }
+                StepFormula::Or(a, b) => {
+                    // Propagation-style shortcuts before committing to a
+                    // branch: a surely-true disjunct discharges the
+                    // obligation, a surely-false one forces the other side.
+                    if state.surely_true(node, &a) || state.surely_true(node, &b) {
+                        continue;
+                    }
+                    if state.surely_false(node, &a) {
+                        state.push(node, *b);
+                        continue;
+                    }
+                    if state.surely_false(node, &b) {
+                        state.push(node, *a);
+                        continue;
+                    }
+                    self.branches += 1;
+                    if self.branches >= self.budget {
+                        return None;
+                    }
+                    // Try the left disjunct on a cloned tableau.
+                    let mut left = state.clone();
+                    left.push(node, *a);
+                    if let Some(sol) = self.solve(left) {
+                        return Some(sol);
+                    }
+                    state.push(node, *b);
+                }
+                StepFormula::Child(l) => {
+                    state.push(node, StepFormula::ChildSat(l, Box::new(StepFormula::True)));
+                }
+                StepFormula::ChildSat(l, psi) => {
+                    if state.nodes[node].forbidden.contains(&l) {
+                        return None;
+                    }
+                    let c = self.create_child(&mut state, node, &l)?;
+                    state.push(c, *psi);
+                    // Existing per-label constraints apply to the new child.
+                    let constraints: Vec<StepFormula> = state.nodes[node]
+                        .child_constraints
+                        .iter()
+                        .filter(|(cl, _)| *cl == l)
+                        .map(|(_, g)| g.clone())
+                        .collect();
+                    for g in constraints {
+                        state.push(c, g);
+                    }
+                }
+                StepFormula::Parent => {
+                    if node == 0 {
+                        return None; // the root has no parent
+                    }
+                }
+                StepFormula::ParentSat(psi) => {
+                    if node == 0 {
+                        return None;
+                    }
+                    let p = state.nodes[node].parent;
+                    state.push(p, *psi);
+                }
+                StepFormula::Not(inner) => match *inner {
+                    StepFormula::Child(l) => {
+                        // No l-child may exist, now or later.
+                        if state
+                            .children_of(node)
+                            .iter()
+                            .any(|&c| state.nodes[c].label == l)
+                        {
+                            return None;
+                        }
+                        state.nodes[node].forbidden.insert(l);
+                    }
+                    StepFormula::ChildSat(l, xi) => {
+                        let neg = StepFormula::Not(Box::new(*xi)).nnf();
+                        for c in state.children_of(node) {
+                            if state.nodes[c].label == l {
+                                state.push(c, neg.clone());
+                            }
+                        }
+                        state.nodes[node].child_constraints.push((l, neg));
+                    }
+                    StepFormula::Parent => {
+                        if node != 0 {
+                            return None; // non-root nodes do have parents
+                        }
+                    }
+                    StepFormula::ParentSat(psi) => {
+                        if node != 0 {
+                            let p = state.nodes[node].parent;
+                            let neg = StepFormula::Not(psi).nnf();
+                            state.push(p, neg);
+                        }
+                        // At the root: vacuously true.
+                    }
+                    StepFormula::True => return None,
+                    StepFormula::False => {}
+                    other => {
+                        // nnf leaves Not only on atoms; be defensive.
+                        state.push(node, StepFormula::Not(Box::new(other)).nnf());
+                    }
+                },
+            }
+        }
+        Some(state)
+    }
+
+    fn create_child(&self, state: &mut Tableau, node: usize, label: &str) -> Option<usize> {
+        let depth = state.nodes[node].depth;
+        if depth >= self.max_depth {
+            return None;
+        }
+        let schema_node = match (&self.schema, state.nodes[node].schema_node) {
+            (Some(schema), Some(sn)) => Some(schema.child_by_label(sn, label)?),
+            _ => None,
+        };
+        let c = state.nodes.len();
+        state.nodes.push(TabNode {
+            label: label.to_string(),
+            parent: node,
+            depth: depth + 1,
+            schema_node,
+            child_constraints: Vec::new(),
+            forbidden: HashSet::new(),
+            done: HashSet::new(),
+        });
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(s: &str) -> SatResult {
+        satisfiable(&Formula::parse(s).unwrap(), &SatOptions::default())
+    }
+
+    #[test]
+    fn propositional_cases() {
+        // Cor. 4.5's NP-hardness direction: propositional formulas over
+        // labels. (x1 ∨ x2) ∧ ¬x3 ↦ (a ∨ b) ∧ ¬c.
+        assert!(sat("(a | b) & !c").is_sat());
+        assert_eq!(sat("a & !a"), SatResult::Unsat);
+        assert!(sat("a & b & c").is_sat());
+        assert_eq!(sat("(a | b) & !a & !b"), SatResult::Unsat);
+        assert_eq!(sat("false"), SatResult::Unsat);
+        assert!(sat("true").is_sat());
+    }
+
+    #[test]
+    fn nested_paths() {
+        assert!(sat("a/b/c").is_sat());
+        assert!(sat("a[b & c] & !a[d]").is_sat());
+        assert_eq!(sat("a[b] & !a"), SatResult::Unsat);
+        assert_eq!(sat("a/b & !a[b]"), SatResult::Unsat);
+    }
+
+    #[test]
+    fn negated_filters_need_separate_children() {
+        // Needs one a-child with b and one without.
+        let r = sat("a[b] & a[!b]");
+        let SatResult::Sat(t) = r else {
+            panic!("expected sat")
+        };
+        assert!(t.holds(0, &Formula::parse("a[b] & a[!b]").unwrap()));
+    }
+
+    #[test]
+    fn contradictory_universal() {
+        // Every a-child must and must not have b, and an a-child exists.
+        assert_eq!(sat("a & !a[b] & !a[!b]"), SatResult::Unsat);
+        // Without an a-child, both universals hold vacuously.
+        assert!(sat("!a[b] & !a[!b]").is_sat());
+    }
+
+    #[test]
+    fn parent_references() {
+        // A child whose parent must carry `s`: sat (the root gets s).
+        assert!(sat("a[../s]").is_sat());
+        // …but contradicts a root-level ¬s.
+        assert_eq!(sat("a[../s] & !s"), SatResult::Unsat);
+        // `..` at the root is unsatisfiable (evaluation starts at a root).
+        assert_eq!(sat(".."), SatResult::Unsat);
+        assert!(sat("!..").is_sat());
+        // Upward reference from two levels down.
+        assert!(sat("a/b[../../x]").is_sat());
+        assert_eq!(sat("a/b[../../x] & !x"), SatResult::Unsat);
+    }
+
+    #[test]
+    fn upward_downward_cycle() {
+        // Child requires parent to have a `c`-child satisfying d; that `c`
+        // child requires the parent to have an `a` child. Consistent.
+        assert!(sat("a[..[c[d & ../a]]]").is_sat());
+        // Inconsistent variant.
+        assert_eq!(sat("a[..[c[d]]] & !c"), SatResult::Unsat);
+    }
+
+    #[test]
+    fn schema_constrained() {
+        let schema = Arc::new(Schema::parse("a(b), s").unwrap());
+        let opts = SatOptions {
+            schema: Some(schema),
+            ..Default::default()
+        };
+        // `a/b` fits the schema.
+        assert!(satisfiable(&Formula::parse("a/b").unwrap(), &opts).is_sat());
+        // `a/c` does not (no such schema edge).
+        assert_eq!(
+            satisfiable(&Formula::parse("a/c").unwrap(), &opts),
+            SatResult::Unsat
+        );
+        // Depth beyond the schema's is unsatisfiable.
+        assert_eq!(
+            satisfiable(&Formula::parse("a/b/c").unwrap(), &opts),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let opts = SatOptions {
+            max_depth: Some(1),
+            ..Default::default()
+        };
+        assert_eq!(
+            satisfiable(&Formula::parse("a/b").unwrap(), &opts),
+            SatResult::Unsat
+        );
+        assert!(satisfiable(&Formula::parse("a & b").unwrap(), &opts).is_sat());
+    }
+
+    #[test]
+    fn witness_is_verified_model() {
+        for s in [
+            "a[b[c] & !d] & (x | y) & !z",
+            "a[../b[../c]] | q",
+            "!a[!b[!c]] & a",
+        ] {
+            let f = Formula::parse(s).unwrap();
+            if let SatResult::Sat(t) = satisfiable(&f, &SatOptions::default()) {
+                assert!(t.holds(0, &f), "witness fails {s}");
+                assert!(t.depth() <= f.size());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_on_budget() {
+        // Branch budget of 1 forces an early bail-out on a disjunctive
+        // formula needing the right branch.
+        let opts = SatOptions {
+            max_branches: Some(1),
+            ..Default::default()
+        };
+        let f = Formula::parse("(a & !a) | b").unwrap();
+        assert_eq!(satisfiable(&f, &opts), SatResult::BudgetExhausted);
+    }
+}

@@ -1,0 +1,286 @@
+//! The online **form manager** of Sec. 3.5.
+//!
+//! "Obviously, if form completability is a decidable problem, a form
+//! manager might disallow any updates that lead to such an instance from
+//! which completion is not possible" — this module is that manager: it
+//! holds the live instance of a form and vets every incoming update with
+//! a completability oracle, rejecting the ones that would strand the
+//! workflow.
+//!
+//! The oracle is the fragment-dispatched solver, so its verdicts carry the
+//! usual guarantees: exact in the decidable fragments, three-valued
+//! elsewhere. What to do with `Unknown` is a policy decision
+//! ([`UnknownPolicy`]); a conservative deployment rejects, an optimistic
+//! one accepts.
+
+use idar_core::{GuardedForm, Instance, Update};
+use idar_solver::{completability, CompletabilityOptions, Verdict};
+
+/// What the manager does when the oracle cannot decide completability of
+/// the successor instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnknownPolicy {
+    /// Reject updates whose successor might be stranded (conservative).
+    #[default]
+    Reject,
+    /// Accept them (optimistic).
+    Accept,
+}
+
+/// Why an update was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The access rules forbid the update outright (Sec. 3.4 semantics).
+    NotAllowed,
+    /// The update is allowed but its successor instance cannot be
+    /// completed — the manager protects semi-soundness at run time.
+    WouldStrand,
+    /// The oracle answered `Unknown` under a [`UnknownPolicy::Reject`].
+    Undecided,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::NotAllowed => write!(f, "update not allowed by the access rules"),
+            Rejection::WouldStrand => {
+                write!(f, "update leads to an instance that can never complete")
+            }
+            Rejection::Undecided => write!(
+                f,
+                "completability of the successor could not be decided within bounds"
+            ),
+        }
+    }
+}
+
+/// A live form session guarded by a completability oracle.
+#[derive(Debug, Clone)]
+pub struct FormManager {
+    form: GuardedForm,
+    current: Instance,
+    oracle: CompletabilityOptions,
+    policy: UnknownPolicy,
+    history: Vec<Update>,
+}
+
+impl FormManager {
+    /// Open a session on the form's initial instance.
+    pub fn new(form: GuardedForm, oracle: CompletabilityOptions, policy: UnknownPolicy) -> Self {
+        let current = form.initial().clone();
+        FormManager {
+            form,
+            current,
+            oracle,
+            policy,
+            history: Vec::new(),
+        }
+    }
+
+    /// The live instance.
+    pub fn current(&self) -> &Instance {
+        &self.current
+    }
+
+    /// The accepted updates so far (a valid run).
+    pub fn history(&self) -> &[Update] {
+        &self.history
+    }
+
+    /// Is the form complete right now?
+    pub fn is_complete(&self) -> bool {
+        self.form.is_complete(&self.current)
+    }
+
+    /// Vet an update without applying it.
+    pub fn vet(&self, update: &Update) -> Result<(), Rejection> {
+        if !self.form.is_allowed(&self.current, update) {
+            return Err(Rejection::NotAllowed);
+        }
+        let mut next = self.current.clone();
+        self.form
+            .apply_unchecked(&mut next, update)
+            .expect("allowed update applies");
+        let sub = self.form.with_initial(next);
+        match completability(&sub, &self.oracle).verdict {
+            Verdict::Holds => Ok(()),
+            Verdict::Fails => Err(Rejection::WouldStrand),
+            Verdict::Unknown => match self.policy {
+                UnknownPolicy::Reject => Err(Rejection::Undecided),
+                UnknownPolicy::Accept => Ok(()),
+            },
+        }
+    }
+
+    /// Vet and apply an update.
+    pub fn submit(&mut self, update: Update) -> Result<(), Rejection> {
+        self.vet(&update)?;
+        self.form
+            .apply_unchecked(&mut self.current, &update)
+            .expect("vetted update applies");
+        self.history.push(update);
+        Ok(())
+    }
+
+    /// The updates the manager would currently accept.
+    pub fn safe_updates(&self) -> Vec<Update> {
+        self.form
+            .allowed_updates(&self.current)
+            .into_iter()
+            .filter(|u| self.vet(u).is_ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{AccessRules, Formula, InstNodeId, Right, Schema};
+    use std::sync::Arc;
+
+    /// The trap form: adding `t` makes completion (g) impossible.
+    fn trap_form() -> GuardedForm {
+        let schema = Arc::new(Schema::parse("g, t").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set(
+            Right::Add,
+            schema.resolve("g").unwrap(),
+            Formula::parse("!t & !g").unwrap(),
+        );
+        rules.set(
+            Right::Add,
+            schema.resolve("t").unwrap(),
+            Formula::parse("!t").unwrap(),
+        );
+        let init = Instance::empty(schema.clone());
+        GuardedForm::new(schema, rules, init, Formula::parse("g").unwrap())
+    }
+
+    #[test]
+    fn manager_blocks_the_trap() {
+        let form = trap_form();
+        let t_edge = form.schema().resolve("t").unwrap();
+        let g_edge = form.schema().resolve("g").unwrap();
+        let mut mgr = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        // `t` is allowed by the rules but stranding: rejected.
+        let err = mgr
+            .submit(Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: t_edge,
+            })
+            .unwrap_err();
+        assert_eq!(err, Rejection::WouldStrand);
+        // `g` is fine.
+        mgr.submit(Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: g_edge,
+        })
+        .unwrap();
+        assert!(mgr.is_complete());
+        assert_eq!(mgr.history().len(), 1);
+    }
+
+    #[test]
+    fn safe_updates_exclude_stranding_ones() {
+        let form = trap_form();
+        let mgr = FormManager::new(
+            form.clone(),
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        let all = form.allowed_updates(form.initial());
+        assert_eq!(all.len(), 2); // add g, add t
+        let safe = mgr.safe_updates();
+        assert_eq!(safe.len(), 1); // only add g
+    }
+
+    #[test]
+    fn disallowed_updates_rejected_before_oracle() {
+        let form = trap_form();
+        let g_edge = form.schema().resolve("g").unwrap();
+        let mut mgr = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        mgr.submit(Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: g_edge,
+        })
+        .unwrap();
+        // Second g violates ¬g: structural rejection.
+        let err = mgr
+            .submit(Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: g_edge,
+            })
+            .unwrap_err();
+        assert_eq!(err, Rejection::NotAllowed);
+    }
+
+    #[test]
+    fn manager_completes_the_leave_application() {
+        // Drive the paper's own example through the manager: every step of
+        // the known-good completing run must be accepted.
+        let form = idar_core::leave::example_3_12();
+        let run = idar_core::leave::complete_run(&form);
+        let oracle = CompletabilityOptions::with_limits(
+            idar_solver::ExploreLimits {
+                multiplicity_cap: Some(1),
+                max_states: 20_000,
+                ..idar_solver::ExploreLimits::small()
+            },
+        );
+        let mut mgr = FormManager::new(form, oracle, UnknownPolicy::Accept);
+        for u in run {
+            mgr.submit(u).unwrap();
+        }
+        assert!(mgr.is_complete());
+    }
+
+    #[test]
+    fn manager_protects_the_broken_leave_variant() {
+        // Sec. 3.5 variant: the manager must refuse the early `f` that
+        // strands the form.
+        let form = idar_core::leave::section_3_5_variant();
+        let sch = form.schema().clone();
+        let oracle = CompletabilityOptions::with_limits(
+            idar_solver::ExploreLimits {
+                multiplicity_cap: Some(1),
+                max_states: 20_000,
+                ..idar_solver::ExploreLimits::small()
+            },
+        );
+        let mut mgr = FormManager::new(form, oracle, UnknownPolicy::Accept);
+        let steps = [
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("a").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/n").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/d").unwrap() },
+            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/p").unwrap() },
+            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/b").unwrap() },
+            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/e").unwrap() },
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("s").unwrap() },
+            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("d").unwrap() },
+        ];
+        for u in steps {
+            mgr.submit(u).unwrap();
+        }
+        // The stranding early-final:
+        let f_edge = sch.resolve("f").unwrap();
+        let err = mgr
+            .submit(Update::Add { parent: InstNodeId::ROOT, edge: f_edge })
+            .unwrap_err();
+        assert_eq!(err, Rejection::WouldStrand);
+        // Approving first keeps the workflow alive…
+        mgr.submit(Update::Add { parent: InstNodeId(8), edge: sch.resolve("d/a").unwrap() })
+            .unwrap();
+        // …and now final is safe.
+        mgr.submit(Update::Add { parent: InstNodeId::ROOT, edge: f_edge })
+            .unwrap();
+        assert!(mgr.is_complete());
+    }
+}

@@ -1,0 +1,249 @@
+//! Enumeration of complete runs (Def. 3.11).
+//!
+//! A workflow's *behaviour* is its set of complete runs. For finite (or
+//! finitely-explored) state graphs this module enumerates them — useful
+//! for form designers ("show me every way this form can be finished"),
+//! for diffing two rule sets, and for the soundness analysis's event
+//! coverage.
+//!
+//! Enumeration is over *simple* paths in the state graph (no state
+//! revisited within one run): with loops a workflow has infinitely many
+//! complete runs, but every complete run's state sequence contains a
+//! simple complete run, so simple paths capture behavioural variety
+//! without the infinity.
+
+use crate::WorkflowGraph;
+use idar_core::{GuardedForm, Update};
+use idar_solver::explore::ExploreLimits;
+
+/// Options for run enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerateOptions {
+    /// Stop after this many complete runs.
+    pub max_runs: usize,
+    /// Ignore runs longer than this many updates.
+    pub max_len: usize,
+    /// Exploration limits for building the state graph.
+    pub limits: ExploreLimits,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            max_runs: 64,
+            max_len: 32,
+            limits: ExploreLimits::small(),
+        }
+    }
+}
+
+/// The enumeration result.
+#[derive(Debug, Clone)]
+pub struct RunSet {
+    /// Complete runs, as replayable update sequences, shortest first.
+    pub runs: Vec<Vec<Update>>,
+    /// True if enumeration stopped at `max_runs`/`max_len` rather than
+    /// exhausting all simple complete paths of the (explored) graph.
+    pub truncated: bool,
+    /// True if the underlying state graph itself was exhaustive.
+    pub graph_closed: bool,
+}
+
+/// Enumerate simple complete runs of `form`.
+///
+/// Implementation note: the DFS walks *instances*, not the prebuilt state
+/// graph. Graph edges store updates whose node ids belong to the one
+/// instance the graph kept per isomorphism class; replaying them along a
+/// *different* path to the same class would mix id spaces. Walking real
+/// instances keeps every emitted run natively replayable; the graph is
+/// still used as the completability-pruning oracle (by isomorphism code).
+pub fn enumerate_complete_runs(form: &GuardedForm, opts: &EnumerateOptions) -> RunSet {
+    let graph = WorkflowGraph::build(form, opts.limits);
+    let completable: std::collections::HashMap<String, bool> = graph
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.iso_code(), graph.is_completable_state(i)))
+        .collect();
+
+    let mut runs: Vec<Vec<Update>> = Vec::new();
+    let mut truncated = false;
+    let initial = form.initial().clone();
+    let mut on_path = vec![initial.iso_code()];
+    let mut path: Vec<Update> = Vec::new();
+    dfs(
+        form,
+        &completable,
+        &initial,
+        &mut on_path,
+        &mut path,
+        &mut runs,
+        &mut truncated,
+        opts,
+    );
+    runs.sort_by_key(|r| r.len());
+    RunSet {
+        runs,
+        truncated,
+        graph_closed: graph.closed(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    form: &GuardedForm,
+    completable: &std::collections::HashMap<String, bool>,
+    inst: &idar_core::Instance,
+    on_path: &mut Vec<String>,
+    path: &mut Vec<Update>,
+    runs: &mut Vec<Vec<Update>>,
+    truncated: &mut bool,
+    opts: &EnumerateOptions,
+) {
+    if form.is_complete(inst) {
+        // A complete state may still have outgoing behaviour, but the run
+        // ends at first completion — matching Def. 3.11's "complete run"
+        // (the last instance satisfies φ).
+        runs.push(path.clone());
+        return;
+    }
+    if path.len() >= opts.max_len {
+        *truncated = true;
+        return;
+    }
+    for u in form.allowed_updates(inst) {
+        if runs.len() >= opts.max_runs {
+            // More branches existed but the run budget is spent.
+            *truncated = true;
+            return;
+        }
+        let mut next = inst.clone();
+        form.apply_unchecked(&mut next, &u)
+            .expect("allowed update applies");
+        let code = next.iso_code();
+        if on_path.contains(&code) {
+            continue; // simple paths only
+        }
+        // Prune branches that cannot complete at all (or left the explored
+        // graph — outside it we cannot vouch for completability).
+        if !completable.get(&code).copied().unwrap_or(false) {
+            continue;
+        }
+        on_path.push(code);
+        path.push(u);
+        dfs(form, completable, &next, on_path, path, runs, truncated, opts);
+        path.pop();
+        on_path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{AccessRules, Formula, Instance, Right, Schema};
+    use std::sync::Arc;
+
+    fn two_path_form() -> GuardedForm {
+        // Completion a ∧ b; a and b can be added in either order: exactly
+        // two complete runs.
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set(Right::Add, schema.resolve("a").unwrap(), Formula::parse("!a").unwrap());
+        rules.set(Right::Add, schema.resolve("b").unwrap(), Formula::parse("!b").unwrap());
+        GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::parse("a & b").unwrap(),
+        )
+    }
+
+    #[test]
+    fn enumerates_both_orders() {
+        let g = two_path_form();
+        let rs = enumerate_complete_runs(&g, &EnumerateOptions::default());
+        assert_eq!(rs.runs.len(), 2);
+        assert!(!rs.truncated);
+        assert!(rs.graph_closed);
+        for r in &rs.runs {
+            assert!(g.is_complete_run(r));
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn runs_end_at_first_completion() {
+        // With completion `a`, adding b after a is possible but runs end
+        // at the first complete instance.
+        let g = two_path_form().with_completion(Formula::parse("a").unwrap());
+        let rs = enumerate_complete_runs(&g, &EnumerateOptions::default());
+        // Either immediately a, or b first then a.
+        assert_eq!(rs.runs.len(), 2);
+        assert_eq!(rs.runs[0].len(), 1);
+        assert_eq!(rs.runs[1].len(), 2);
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let g = two_path_form();
+        let rs = enumerate_complete_runs(
+            &g,
+            &EnumerateOptions {
+                max_runs: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rs.runs.len(), 1);
+        assert!(rs.truncated);
+    }
+
+    #[test]
+    fn incompletable_form_has_no_runs() {
+        let g = two_path_form().with_completion(Formula::parse("a & zz").unwrap());
+        // zz is not even in the schema: parse at completion level is fine,
+        // it just never holds.
+        let rs = enumerate_complete_runs(&g, &EnumerateOptions::default());
+        assert!(rs.runs.is_empty());
+        assert!(!rs.truncated);
+    }
+
+    #[test]
+    fn leave_application_run_variety() {
+        // The leave form (capped to one period) completes via approve or
+        // via reject(+reason) — the enumeration must find runs with both
+        // decisions.
+        let g = idar_core::leave::example_3_12();
+        let rs = enumerate_complete_runs(
+            &g,
+            &EnumerateOptions {
+                max_runs: 400,
+                max_len: 14,
+                limits: ExploreLimits {
+                    multiplicity_cap: Some(1),
+                    max_states: 50_000,
+                    ..ExploreLimits::small()
+                },
+            },
+        );
+        assert!(!rs.runs.is_empty());
+        let mut saw_approve = false;
+        let mut saw_reject = false;
+        for r in &rs.runs {
+            let last = g.replay(r).unwrap();
+            if idar_core::formula::holds_at_root(
+                last.last(),
+                &Formula::parse("d[a]").unwrap(),
+            ) {
+                saw_approve = true;
+            }
+            if idar_core::formula::holds_at_root(
+                last.last(),
+                &Formula::parse("d[r]").unwrap(),
+            ) {
+                saw_reject = true;
+            }
+        }
+        assert!(saw_approve, "no approving run found");
+        assert!(saw_reject, "no rejecting run found");
+    }
+}

@@ -1,0 +1,78 @@
+//! The fb-wis front desk: an online form manager that vets every update
+//! with a completability oracle (Sec. 3.5) and rejects the ones that would
+//! strand the workflow.
+//!
+//! Uses the broken Sec. 3.5 variant of the leave application — the form
+//! is *not* semi-sound, so a naive server would let users paint
+//! themselves into a corner; the manager does not.
+//!
+//! ```text
+//! cargo run --example form_manager
+//! ```
+
+use idar::core::{leave, InstNodeId, Update};
+use idar::solver::{CompletabilityOptions, ExploreLimits};
+use idar::workflow::manager::{FormManager, Rejection, UnknownPolicy};
+
+fn main() {
+    let form = leave::section_3_5_variant();
+    let schema = form.schema().clone();
+    println!("form: leave application, Sec 3.5 variant (completable, NOT semi-sound)");
+
+    let oracle = CompletabilityOptions::with_limits(ExploreLimits {
+        multiplicity_cap: Some(1),
+        max_states: 20_000,
+        ..ExploreLimits::small()
+    });
+    let mut mgr = FormManager::new(form, oracle, UnknownPolicy::Accept);
+
+    let e = |p: &str| schema.resolve(p).expect("edge");
+    let root = InstNodeId::ROOT;
+    // The citizen fills in the form.
+    let steps: Vec<(&str, Update)> = vec![
+        ("create application", Update::Add { parent: root, edge: e("a") }),
+        ("enter name", Update::Add { parent: InstNodeId(1), edge: e("a/n") }),
+        ("enter department", Update::Add { parent: InstNodeId(1), edge: e("a/d") }),
+        ("add a period", Update::Add { parent: InstNodeId(1), edge: e("a/p") }),
+        ("period begin date", Update::Add { parent: InstNodeId(4), edge: e("a/p/b") }),
+        ("period end date", Update::Add { parent: InstNodeId(4), edge: e("a/p/e") }),
+        ("submit", Update::Add { parent: root, edge: e("s") }),
+        ("open decision", Update::Add { parent: root, edge: e("d") }),
+    ];
+    for (what, u) in steps {
+        mgr.submit(u).expect(what);
+        println!("accepted: {what}");
+    }
+
+    // The manager's menu at this point:
+    println!("\nsafe updates now: {} of {} allowed by raw rules", mgr.safe_updates().len(), {
+        // (raw count for comparison)
+        let form = leave::section_3_5_variant();
+        let replayed = form.replay(mgr.history()).unwrap();
+        form.allowed_updates(replayed.last()).len()
+    });
+
+    // The manager rejects the premature `final` that the raw rules allow.
+    let premature = Update::Add { parent: root, edge: e("f") };
+    match mgr.submit(premature) {
+        Err(Rejection::WouldStrand) => {
+            println!("rejected: marking final before a decision (would strand the form)")
+        }
+        other => panic!("expected WouldStrand, got {other:?}"),
+    }
+
+    // Decide, then finalise — both sail through.
+    mgr.submit(Update::Add { parent: InstNodeId(8), edge: e("d/a") })
+        .expect("approve");
+    println!("accepted: approve");
+    mgr.submit(Update::Add { parent: root, edge: e("f") })
+        .expect("final");
+    println!("accepted: final");
+
+    assert!(mgr.is_complete());
+    println!(
+        "\nform completed in {} accepted updates; final instance:\n{}",
+        mgr.history().len(),
+        mgr.current().render()
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Builds the leave-application guarded form (Fig. 1 + Ex. 3.12), walks a
+//! complete run, and checks the Sec. 3.5 correctness properties with the
+//! fragment-dispatched solvers.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use idar::core::{fragment, leave};
+use idar::solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+use idar::solver::semisound::{semisoundness, SemisoundnessOptions};
+
+fn main() {
+    // ── The schema (Figure 1) ────────────────────────────────────────────
+    let form = leave::example_3_12();
+    println!("The leave application schema (Figure 1):\n");
+    println!("{}", form.schema().render());
+    println!("fragment: {}\n", fragment::classify(&form));
+
+    // ── A user fills in the form (a run, Def. 3.11) ─────────────────────
+    let run = leave::complete_run(&form);
+    let replay = form.replay(&run).expect("the witness run is valid");
+    println!("A complete run ({} updates):", run.len());
+    for (i, u) in run.iter().enumerate() {
+        let edge_path = match u {
+            idar::core::Update::Add { edge, .. } => form.schema().path_of(*edge),
+            idar::core::Update::Del { node } => {
+                form.schema().path_of(replay.instances[i].schema_node(*node))
+            }
+        };
+        println!("  step {:>2}: {} {}", i + 1, kind(u), edge_path);
+    }
+    println!("\nThe final instance:");
+    println!("{}", replay.last().render());
+    assert!(form.is_complete(replay.last()));
+
+    // ── Completability (Def. 3.13) ───────────────────────────────────────
+    let r = completability(&form, &CompletabilityOptions::default());
+    println!("completability: {} (method: {})", r.verdict, r.method);
+    assert_eq!(r.verdict, Verdict::Holds);
+
+    // ── Semi-soundness of the broken variant (Sec. 3.5) ─────────────────
+    let variant = leave::section_3_5_variant();
+    let opts = SemisoundnessOptions {
+        limits: ExploreLimits {
+            multiplicity_cap: Some(1),
+            max_states: 50_000,
+            ..ExploreLimits::small()
+        },
+        oracle_limits: None,
+    };
+    let s = semisoundness(&variant, &opts);
+    println!("Sec 3.5 variant semi-soundness: {}", s.verdict);
+    assert_eq!(s.verdict, Verdict::Fails);
+    if let Some(cex) = s.counterexample {
+        println!(
+            "  point of no return after {} steps — final marked before any decision:",
+            cex.len()
+        );
+        let stuck = variant.replay(&cex).unwrap();
+        println!("{}", stuck.last().render());
+    }
+}
+
+fn kind(u: &idar::core::Update) -> &'static str {
+    match u {
+        idar::core::Update::Add { .. } => "add",
+        idar::core::Update::Del { .. } => "del",
+    }
+}

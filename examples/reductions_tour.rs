@@ -1,0 +1,105 @@
+//! A tour of the paper's hardness reductions: compile SAT, QSAT and
+//! reachable-deadlock instances into guarded forms, decide them with the
+//! workflow solvers, and cross-check against the baseline solvers.
+//!
+//! ```text
+//! cargo run --example reductions_tour
+//! ```
+
+use idar::deadlock::dining_philosophers;
+use idar::logic::prop::{Cnf, Lit};
+use idar::logic::qbf::Qbf;
+use idar::logic::PropFormula;
+use idar::reductions::*;
+use idar::solver::semisound::{semisoundness, SemisoundnessOptions};
+use idar::solver::{completability, CompletabilityOptions, Verdict};
+
+fn main() {
+    // ── Thm 5.1: SAT → completability ────────────────────────────────────
+    // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ (¬x1 ∨ ¬x2)
+    let cnf = Cnf::new(vec![
+        vec![Lit::pos(0), Lit::pos(1)],
+        vec![Lit::neg(0), Lit::pos(2)],
+        vec![Lit::neg(1), Lit::neg(2)],
+    ]);
+    let dpll = idar::logic::sat_solve(&cnf);
+    let form = sat_to_completability::reduce(&cnf);
+    let verdict = completability(&form, &CompletabilityOptions::default());
+    println!("Thm 5.1  SAT -> completability");
+    println!("  cnf: {cnf}");
+    println!("  DPLL: {:?}   form: {}", dpll.is_some(), verdict.verdict);
+    assert_eq!(dpll.is_some(), verdict.verdict == Verdict::Holds);
+    if let Some(run) = verdict.witness_run {
+        let replay = form.replay(&run).unwrap();
+        let a = sat_to_completability::decode_assignment(replay.last(), cnf.vars);
+        println!("  decoded model satisfies the CNF: {}", cnf.eval(&a));
+    }
+
+    // ── Thm 5.6: SAT → ¬semi-soundness ──────────────────────────────────
+    let form = sat_to_non_semisoundness::reduce(&cnf);
+    let s = semisoundness(&form, &SemisoundnessOptions::default());
+    println!("\nThm 5.6  SAT -> not-semi-soundness");
+    println!(
+        "  satisfiable: {}   semi-sound: {}  (must be opposites)",
+        dpll.is_some(),
+        s.verdict
+    );
+    assert_eq!(dpll.is_some(), s.verdict == Verdict::Fails);
+
+    // ── Thm 4.6: reachable deadlock → completability ─────────────────────
+    let phil = dining_philosophers(3);
+    let baseline = phil.find_reachable_deadlock();
+    let form = deadlock_to_completability::reduce(&phil).unwrap();
+    let verdict = completability(&form, &CompletabilityOptions::default());
+    println!("\nThm 4.6  reachable deadlock -> completability (3 dining philosophers)");
+    println!(
+        "  explicit checker: deadlock {:?} after {} configs   form: {}",
+        baseline.deadlock.is_some(),
+        baseline.explored,
+        verdict.verdict
+    );
+    assert_eq!(baseline.deadlock.is_some(), verdict.verdict == Verdict::Holds);
+
+    // ── Thm 5.3: QSAT_2k → ¬semi-soundness (k = 1) ───────────────────────
+    let n = 1;
+    let x = PropFormula::Var(Qbf::x(0, 0, n));
+    let y = PropFormula::Var(Qbf::y(0, 0, n));
+    let qbf = Qbf::qsat2k(1, n, x.or(y));
+    let q = qsat_to_semisoundness::reduce(&qbf).unwrap();
+    let s = semisoundness(&q.form, &SemisoundnessOptions::default());
+    println!("\nThm 5.3  QSAT_2 -> not-semi-soundness");
+    println!("  qbf: {qbf}");
+    println!("  qbf true: {}   semi-sound: {}", qbf.eval(), s.verdict);
+    assert_eq!(qbf.eval(), s.verdict == Verdict::Fails);
+
+    // ── Cor 4.7: completability → semi-soundness ─────────────────────────
+    let base = sat_to_completability::reduce(&cnf);
+    let reduced = completability_to_semisoundness::reduce(&base).unwrap();
+    let c = completability(&base, &CompletabilityOptions::default());
+    let s = semisoundness(&reduced, &SemisoundnessOptions::default());
+    println!("\nCor 4.7  completability -> semi-soundness (reset/build)");
+    println!("  G completable: {}   G' semi-sound: {}", c.verdict, s.verdict);
+    assert_eq!(c.verdict, s.verdict);
+
+    // ── Cor 4.5: QSAT → satisfiability ───────────────────────────────────
+    let qbf = {
+        use idar::logic::qbf::Quantifier;
+        use idar::logic::Var;
+        Qbf::new(
+            vec![
+                (Quantifier::Exists, vec![Var(0)]),
+                (Quantifier::ForAll, vec![Var(1)]),
+                (Quantifier::Exists, vec![Var(2)]),
+            ],
+            PropFormula::var(0).or(PropFormula::var(1).and(PropFormula::var(2).not())),
+        )
+    };
+    let f = qsat_to_satisfiability::reduce(&qbf);
+    let sat = idar::solver::satisfiability::satisfiable(&f, &Default::default());
+    println!("\nCor 4.5  QSAT -> satisfiability");
+    println!("  qbf: {qbf}");
+    println!("  qbf true: {}   formula satisfiable: {}", qbf.eval(), sat.is_sat());
+    assert_eq!(qbf.eval(), sat.is_sat());
+
+    println!("\nAll reductions agree with their baselines.");
+}

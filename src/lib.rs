@@ -1,0 +1,41 @@
+//! # idar — Instance-Dependent Access Rules
+//!
+//! A faithful, executable reproduction of *Calders, Dekeyser, Hidders,
+//! Paredaens — "Analyzing Workflows implied by Instance-Dependent Access
+//! Rules" (PODS 2006)*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the formalism: schemas, instances, formulas, bisimulation
+//!   and canonical instances, guarded forms, fragments (Sections 3.1–3.5).
+//! * [`solver`] — decision procedures for completability and
+//!   semi-soundness, satisfiability, witness extraction (Sections 4–5).
+//! * [`logic`] — propositional substrate: DPLL SAT and recursive QBF.
+//! * [`machines`] — two-counter (Minsky) machines (Theorem 4.1 substrate).
+//! * [`deadlock`] — the reachable-deadlock problem (Theorem 4.6 substrate).
+//! * [`reductions`] — every reduction in the paper, as executable
+//!   compilers between problem representations.
+//! * [`workflow`] — reachability graphs, run extraction, the online form
+//!   manager, and full workflow soundness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use idar::core::leave;
+//! use idar::solver::{completability, Verdict};
+//!
+//! // The paper's running example: the leave-application form (Ex. 3.12).
+//! let form = leave::example_3_12();
+//! // Is the form completable? (It is: Thm-grade exact answer not needed —
+//! // the bounded explorer finds a finishing run.)
+//! let result = completability(&form, &Default::default());
+//! assert!(matches!(result.verdict, Verdict::Holds));
+//! ```
+
+pub use idar_core as core;
+pub use idar_deadlock as deadlock;
+pub use idar_logic as logic;
+pub use idar_machines as machines;
+pub use idar_reductions as reductions;
+pub use idar_solver as solver;
+pub use idar_workflow as workflow;

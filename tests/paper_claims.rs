@@ -1,0 +1,228 @@
+//! Integration tests pinning every concrete claim the paper makes, across
+//! all crates. Each test cites the claim it verifies.
+
+use idar::core::{bisim, formula, fragment, leave, Formula, Instance, Schema};
+use idar::solver::semisound::{semisoundness, SemisoundnessOptions};
+use idar::solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+use std::sync::Arc;
+
+fn capped(cap: usize) -> CompletabilityOptions {
+    CompletabilityOptions::with_limits(ExploreLimits {
+        multiplicity_cap: Some(cap),
+        ..ExploreLimits::small()
+    })
+}
+
+/// Ex. 3.12 / Sec. 3.5: "Consider the guarded form in Example 3.12 …"
+/// with φ = f the form is completable.
+#[test]
+fn leave_application_is_completable() {
+    let g = leave::example_3_12();
+    let r = completability(&g, &CompletabilityOptions::default());
+    assert_eq!(r.verdict, Verdict::Holds);
+    assert!(g.is_complete_run(r.witness_run.as_ref().unwrap()));
+}
+
+/// Sec. 3.5: "except that φ = f ∧ ¬s. It can be observed that if we start
+/// from the initial instance there is no full run."
+#[test]
+fn leave_with_f_and_not_s_has_no_full_run() {
+    let g = leave::example_3_12()
+        .with_completion(Formula::parse("f & !s").unwrap());
+    let r = completability(&g, &capped(2));
+    assert_ne!(r.verdict, Verdict::Holds);
+}
+
+/// Sec. 3.5: "by checking completability for φ = d[a ∧ r] we can check if
+/// at any stage there can be a decision field that contains both accept
+/// and reject" — with Ex. 3.12's exclusive rules it cannot.
+#[test]
+fn decision_exclusivity_invariant() {
+    let g = leave::example_3_12().with_completion(leave::both_decisions_invariant());
+    let r = completability(&g, &capped(2));
+    assert_ne!(r.verdict, Verdict::Holds);
+}
+
+/// Sec. 3.5: "In this case the guarded form is still completable but at
+/// the same time it is possible to reach an instance where there is a
+/// final field but no approval or reject field."
+#[test]
+fn section_3_5_variant_completable_but_not_semisound() {
+    let g = leave::section_3_5_variant();
+    assert_eq!(completability(&g, &capped(2)).verdict, Verdict::Holds);
+    let s = semisoundness(
+        &g,
+        &SemisoundnessOptions {
+            limits: ExploreLimits {
+                multiplicity_cap: Some(1),
+                max_states: 50_000,
+                ..ExploreLimits::small()
+            },
+            oracle_limits: None,
+        },
+    );
+    assert_eq!(s.verdict, Verdict::Fails);
+    // The counterexample matches the paper's description.
+    let cex = s.counterexample.unwrap();
+    let stuck = g.replay(&cex).unwrap();
+    assert!(formula::holds_at_root(
+        stuck.last(),
+        &Formula::parse("f & !d[a] & !d[r]").unwrap()
+    ));
+}
+
+/// Prop. 3.3: the homomorphism from an instance to its schema is unique —
+/// maintained by construction, so every node reports exactly one schema
+/// node, stable under clones and deletions.
+#[test]
+fn homomorphism_is_structural() {
+    let s = leave::schema();
+    let i = leave::figure2a(s.clone());
+    for n in i.live_nodes() {
+        let sn = i.schema_node(n);
+        assert_eq!(i.label(n), s.label(sn));
+        match (i.parent(n), s.parent(sn)) {
+            (None, None) => {}
+            (Some(p), Some(sp)) => assert_eq!(i.schema_node(p), sp),
+            other => panic!("parent mismatch {other:?}"),
+        }
+    }
+}
+
+/// Lemma 3.9: formula-equivalent instances satisfy the same formulas;
+/// I ∼ can(I); can is canonical across the class.
+#[test]
+fn lemma_3_9_on_the_figure_3_example() {
+    let s = Arc::new(Schema::parse("a(c(e), d), b(c, d(e))").unwrap());
+    let i = Instance::parse(
+        s.clone(),
+        "a(c, c(e)), a(c, c(e)), a(c(e), c(e)), a(c(e)), b(c, d(e), d(e))",
+    )
+    .unwrap();
+    let j = Instance::parse(s, "a(c, c(e)), a(c(e)), b(c, d(e))").unwrap();
+    assert!(bisim::equivalent(&i, &j));
+    for f in [
+        "a[c[e]]",
+        "a[c & c[e]]",
+        "b[d[e] & c]",
+        "!a[d]",
+        "a[!c[e]]",
+        "b/c/../d/e",
+    ] {
+        let f = Formula::parse(f).unwrap();
+        assert_eq!(
+            formula::holds_at_root(&i, &f),
+            formula::holds_at_root(&j, &f),
+            "{f}"
+        );
+    }
+    assert!(bisim::canonical(&i).isomorphic(&j));
+}
+
+/// Lemma 4.4: witness trees with branching linear in |φ| — checked through
+/// the public witness extractor on the leave example.
+#[test]
+fn lemma_4_4_witness_bound() {
+    let s = leave::schema();
+    let mut text = String::from("a(n, d");
+    for _ in 0..30 {
+        text.push_str(", p(b, e)");
+    }
+    text.push_str("), s");
+    let inst = Instance::parse(s, &text).unwrap();
+    let f = Formula::parse("!s | a[p[b & e]] & a[n & d]").unwrap();
+    let w = idar::solver::witness::extract_witness(&inst, &f).unwrap();
+    assert!(formula::holds_at_root(&w, &f));
+    let max_branch = w.live_nodes().map(|n| w.children(n).len()).max().unwrap();
+    assert!(max_branch <= f.size());
+    assert!(w.live_count() < inst.live_count());
+}
+
+/// Table 1, decidable cells: dispatching picks the method the paper's
+/// upper bound licenses.
+#[test]
+fn table_1_method_dispatch() {
+    use idar::solver::Method;
+    // F(A+, φ+, 3) → P (Thm 5.5) even though depth > 1.
+    let g = leave::example_3_12(); // A−: not positive
+    assert_eq!(
+        idar::solver::completability::select_method(&g),
+        Method::BoundedExploration
+    );
+    let schema = Arc::new(Schema::parse("a(b(c))").unwrap());
+    let rules = idar::core::AccessRules::with_default(&schema, Formula::True);
+    let pos = idar::core::GuardedForm::new(
+        schema.clone(),
+        rules,
+        Instance::empty(schema),
+        Formula::parse("a/b/c").unwrap(),
+    );
+    assert_eq!(
+        idar::solver::completability::select_method(&pos),
+        Method::PositiveSaturation
+    );
+}
+
+/// Table 1 rendering matches the paper's 12 rows.
+#[test]
+fn table_1_shape() {
+    let t = fragment::render_table1();
+    assert_eq!(t.lines().count(), 14);
+    for needle in [
+        "F(A+, phi+, 1)",
+        "F(A-, phi-, inf)",
+        "PSPACE-complete",
+        "undecidable",
+        "NP-complete",
+        "coNP-compl",
+    ] {
+        assert!(t.contains(needle), "missing {needle} in\n{t}");
+    }
+}
+
+/// Fig. 1 + Fig. 2 consistency: the figure instances are instances of the
+/// figure schema (Def. 3.1) and decode the scenarios the caption gives.
+#[test]
+fn figure_2_scenarios() {
+    let s = leave::schema();
+    let a = leave::figure2a(s.clone());
+    // "a submitted application for two periods"
+    assert!(formula::holds_at_root(&a, &Formula::parse("s").unwrap()));
+    let root = idar::core::InstNodeId::ROOT;
+    let app = a.children_with_label(root, "a").next().unwrap();
+    assert_eq!(a.children_with_label(app, "p").count(), 2);
+    // "an application for a single period that was rejected"
+    let b = leave::figure2b(s);
+    assert!(formula::holds_at_root(&b, &Formula::parse("d[r] & f").unwrap()));
+    assert!(!formula::holds_at_root(&b, &Formula::parse("d[a]").unwrap()));
+}
+
+/// Footnote 1: semi-soundness is weaker than soundness — a semi-sound
+/// form can still have dead events.
+#[test]
+fn footnote_1_semisound_but_unsound_form_exists() {
+    use idar::workflow::analysis::analyse;
+    let schema = Arc::new(Schema::parse("a, b, c").unwrap());
+    let mut rules = idar::core::AccessRules::new(&schema);
+    rules.set(
+        idar::core::Right::Add,
+        schema.resolve("a").unwrap(),
+        Formula::parse("!a").unwrap(),
+    );
+    // b's delete is declared but can never fire (guard c, c unaddable).
+    rules.set_both(
+        schema.resolve("b").unwrap(),
+        Formula::parse("a & !b").unwrap(),
+        Formula::parse("c").unwrap(),
+    );
+    let g = idar::core::GuardedForm::new(
+        schema.clone(),
+        rules,
+        Instance::empty(schema),
+        Formula::parse("a & b").unwrap(),
+    );
+    let report = analyse(&g, ExploreLimits::small());
+    assert_eq!(report.semisoundness, Verdict::Holds);
+    assert_eq!(report.soundness, Verdict::Fails);
+    assert_eq!(report.dead_events.len(), 1);
+}
