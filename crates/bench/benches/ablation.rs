@@ -12,9 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idar_bench::workloads;
-use idar_solver::{
-    completability, CompletabilityOptions, ExploreLimits, Method, Verdict,
-};
+use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Method, Verdict};
 
 fn depth1_compiled_vs_generic(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/depth1_compiled_vs_generic");

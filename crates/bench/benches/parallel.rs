@@ -1,0 +1,86 @@
+//! Parallel frontier exploration benches.
+//!
+//! * `explore/seq_vs_par/*` — the layered parallel engine against the
+//!   sequential engine on `subset_lattice(n)`: a closed 2ⁿ-state space
+//!   with combinatorially wide frontiers (layer `d` holds `C(n, d)`
+//!   states). `n = 17` is ≥ 100k states; on a multi-core host the
+//!   parallel row should beat the sequential row by roughly the core
+//!   count once per-layer spawn overhead is amortised.
+//! * `batch/*` — the [`BatchAnalyzer`] sweep over a mixed family pool,
+//!   1 thread vs all threads.
+//!
+//! Both benches assert verdict/state-set agreement inside the timed body,
+//! so a disagreement between engines fails the bench run loudly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_solver::batch::{BatchAnalyzer, BatchItem};
+use idar_solver::{default_threads, ExploreLimits, Explorer};
+
+fn explore_seq_vs_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore/seq_vs_par");
+    group.sample_size(5);
+    let threads = default_threads().max(2);
+    for n in [14usize, 17] {
+        let w = workloads::subset_lattice(n);
+        let limits = ExploreLimits {
+            max_states: 1 << 20,
+            ..ExploreLimits::default()
+        };
+        let expected_states = 1usize << n;
+        group.bench_with_input(BenchmarkId::new("seq", n), &w, |b, w| {
+            b.iter(|| {
+                let g = Explorer::new(&w.form, limits).with_threads(1).graph();
+                assert!(g.stats.closed);
+                assert_eq!(g.states.len(), expected_states);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(format!("par{threads}"), n), &w, |b, w| {
+            b.iter(|| {
+                let g = Explorer::new(&w.form, limits).with_threads(threads).graph();
+                assert!(g.stats.closed);
+                assert_eq!(g.states.len(), expected_states);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn batch_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch/table1_families");
+    group.sample_size(5);
+
+    let items = || {
+        let mut v = Vec::new();
+        for seed in 0..6 {
+            v.push(workloads::np_sat(seed, 5, 15));
+        }
+        for n in [2usize, 3] {
+            v.push(workloads::depth1_philosophers(n));
+        }
+        v.push(workloads::subset_lattice(12));
+        v.into_iter()
+            .map(|w| BatchItem::new(w.name, w.form))
+            .collect::<Vec<_>>()
+    };
+
+    for threads in [1usize, default_threads().max(2)] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let reports = BatchAnalyzer::new()
+                        .with_limits(ExploreLimits::default())
+                        .with_threads(threads)
+                        .run(items());
+                    assert_eq!(reports.len(), 9);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, explore_seq_vs_par, batch_pool);
+criterion_main!(benches);

@@ -78,15 +78,19 @@ fn qbf_encoding(c: &mut Criterion) {
                 Qbf::new(blocks, matrix)
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("alternations", nvars), &family, |b, family| {
-            b.iter(|| {
-                for qbf in family {
-                    let f = idar_reductions::qsat_to_satisfiability::reduce(qbf);
-                    let r = satisfiable(&f, &SatOptions::default());
-                    assert_eq!(r.is_sat(), qbf.eval());
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alternations", nvars),
+            &family,
+            |b, family| {
+                b.iter(|| {
+                    for qbf in family {
+                        let f = idar_reductions::qsat_to_satisfiability::reduce(qbf);
+                        let r = satisfiable(&f, &SatOptions::default());
+                        assert_eq!(r.is_sat(), qbf.eval());
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

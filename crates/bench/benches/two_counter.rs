@@ -44,21 +44,17 @@ fn tcm_completability(c: &mut Criterion) {
     for n in [0u32, 1, 2] {
         let machine = library::count_up_then_accept(n);
         let compiled = reduce(&machine);
-        group.bench_with_input(
-            BenchmarkId::new("count_up", n),
-            &compiled,
-            |b, tcm| {
-                let opts = CompletabilityOptions::with_limits(ExploreLimits {
-                    max_states: 2_000_000,
-                    max_state_size: 256,
-                    ..ExploreLimits::default()
-                });
-                b.iter(|| {
-                    let r = completability(&tcm.form, &opts);
-                    assert_eq!(r.verdict, Verdict::Holds);
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("count_up", n), &compiled, |b, tcm| {
+            let opts = CompletabilityOptions::with_limits(ExploreLimits {
+                max_states: 2_000_000,
+                max_state_size: 256,
+                ..ExploreLimits::default()
+            });
+            b.iter(|| {
+                let r = completability(&tcm.form, &opts);
+                assert_eq!(r.verdict, Verdict::Holds);
+            })
+        });
     }
     group.finish();
 }

@@ -8,8 +8,11 @@
 use idar_bench::workloads;
 use idar_core::{bisim, fragment, leave, Instance, Schema};
 use idar_logic::qbf::Qbf;
+use idar_solver::batch::{BatchAnalyzer, BatchItem};
 use idar_solver::semisound::{semisoundness, SemisoundnessOptions};
-use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+use idar_solver::{
+    completability, default_threads, CompletabilityOptions, ExploreLimits, Explorer, Verdict,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -28,6 +31,8 @@ fn main() {
     figures();
     running_example();
     transformations();
+    parallel_frontier();
+    batch_analysis();
 
     println!("\nAll experiments completed.");
 }
@@ -47,7 +52,10 @@ fn verdict_of(b: bool) -> Verdict {
 /// Rows F(A+, φ+, ·) — completability in P (Thm 5.5).
 fn table1_completability_positive() {
     banner("T1.compl F(A+,phi+,*) -- polynomial saturation (Thm 5.5)");
-    println!("{:<28}{:>10}{:>14}{:>10}", "workload", "size", "time", "verdict");
+    println!(
+        "{:<28}{:>10}{:>14}{:>10}",
+        "workload", "size", "time", "verdict"
+    );
     for n in [8usize, 16, 32, 64, 128, 256] {
         let w = workloads::positive_chain(n);
         let t = Instant::now();
@@ -132,8 +140,16 @@ fn table1_undecidable() {
         "machine", "halts", "verdict", "time", "trace agreement"
     );
     let machines: Vec<(&str, idar_machines::TwoCounterMachine, bool)> = vec![
-        ("count_up(2)", idar_machines::library::count_up_then_accept(2), true),
-        ("transfer(2)", idar_machines::library::transfer_c1_to_c2(2), true),
+        (
+            "count_up(2)",
+            idar_machines::library::count_up_then_accept(2),
+            true,
+        ),
+        (
+            "transfer(2)",
+            idar_machines::library::transfer_c1_to_c2(2),
+            true,
+        ),
         ("even(4)", idar_machines::library::accept_iff_even(4), true),
         ("even(3)", idar_machines::library::accept_iff_even(3), false),
         ("diverge", idar_machines::library::diverge(), false),
@@ -172,7 +188,11 @@ fn table1_undecidable() {
             halts,
             r.verdict.to_string(),
             format!("{dt:.2?}"),
-            if trace_ok { "configs match" } else { "MISMATCH" }
+            if trace_ok {
+                "configs match"
+            } else {
+                "MISMATCH"
+            }
         );
         assert!(trace_ok);
         if halts {
@@ -303,13 +323,15 @@ fn corollary_4_5_satisfiability() {
     for seed in 0..total {
         let cnf = idar_logic::gen::random_3cnf(seed, 5, 12);
         let f = idar_reductions::sat_to_satisfiability::reduce(&cnf);
-        if satisfiable(&f, &SatOptions::default()).is_sat()
-            == idar_logic::sat_solve(&cnf).is_some()
+        if satisfiable(&f, &SatOptions::default()).is_sat() == idar_logic::sat_solve(&cnf).is_some()
         {
             agree += 1;
         }
     }
-    println!("SAT encoding:  {agree}/{total} agree with DPLL   ({:.2?})", t.elapsed());
+    println!(
+        "SAT encoding:  {agree}/{total} agree with DPLL   ({:.2?})",
+        t.elapsed()
+    );
     assert_eq!(agree, total);
 
     let t = Instant::now();
@@ -338,7 +360,10 @@ fn corollary_4_5_satisfiability() {
             agree += 1;
         }
     }
-    println!("QSAT encoding: {agree}/{total} agree with QBF solver ({:.2?})", t.elapsed());
+    println!(
+        "QSAT encoding: {agree}/{total} agree with QBF solver ({:.2?})",
+        t.elapsed()
+    );
     assert_eq!(agree, total);
 }
 
@@ -384,7 +409,10 @@ fn running_example() {
 
     let run = leave::complete_run(&g);
     assert!(g.is_complete_run(&run));
-    println!("claim: phi = f is completable              -> complete run of {} steps", run.len());
+    println!(
+        "claim: phi = f is completable              -> complete run of {} steps",
+        run.len()
+    );
 
     let capped = ExploreLimits {
         multiplicity_cap: Some(2),
@@ -423,8 +451,14 @@ fn running_example() {
         },
     );
     assert_eq!(rs.verdict, Verdict::Fails);
-    println!("claim: Sec 3.5 variant completable          -> {}", rc.verdict);
-    println!("claim: Sec 3.5 variant not semi-sound       -> semi-soundness {}", rs.verdict);
+    println!(
+        "claim: Sec 3.5 variant completable          -> {}",
+        rc.verdict
+    );
+    println!(
+        "claim: Sec 3.5 variant not semi-sound       -> semi-soundness {}",
+        rs.verdict
+    );
     if let Some(cex) = rs.counterexample {
         let replay = variant.replay(&cex).unwrap();
         println!(
@@ -433,6 +467,115 @@ fn running_example() {
         );
         print!("{}", replay.last().render());
     }
+}
+
+/// The parallel frontier engine against the sequential engine on a
+/// closed 2ⁿ-state space (not a paper experiment — the engineering
+/// validation that parallel exploration is verdict- and state-set-
+/// identical, plus its wall-clock on this machine).
+fn parallel_frontier() {
+    banner("Engine check -- parallel frontier vs sequential explorer");
+    let threads = default_threads();
+    println!("hardware threads available: {threads}");
+    println!(
+        "{:<24}{:>10}{:>14}{:>14}{:>10}",
+        "workload", "states", "seq time", "par time", "speedup"
+    );
+    for n in [12usize, 14, 16] {
+        let w = workloads::subset_lattice(n);
+        let limits = ExploreLimits {
+            max_states: 1 << 20,
+            ..ExploreLimits::default()
+        };
+        let t = Instant::now();
+        let seq = Explorer::new(&w.form, limits).with_threads(1).graph();
+        let seq_dt = t.elapsed();
+        let t = Instant::now();
+        let par = Explorer::new(&w.form, limits)
+            .with_threads(threads.max(2))
+            .graph();
+        let par_dt = t.elapsed();
+        assert_eq!(seq.states.len(), par.states.len());
+        assert_eq!(seq.stats.closed, par.stats.closed);
+        assert_eq!(seq.stats.transitions, par.stats.transitions);
+        println!(
+            "{:<24}{:>10}{:>14}{:>14}{:>10}",
+            w.name,
+            seq.states.len(),
+            format!("{seq_dt:.2?}"),
+            format!("{par_dt:.2?}"),
+            format!(
+                "{:.2}x",
+                seq_dt.as_secs_f64() / par_dt.as_secs_f64().max(1e-9)
+            ),
+        );
+    }
+    println!("(speedup tracks the core count; on a single-core host the parallel");
+    println!("column shows pure coordination overhead, with identical results)");
+}
+
+/// The batch analyzer over a cross-section of Table 1 families: every
+/// form's completability / semi-soundness / completion-satisfiability in
+/// one concurrent sweep, verdicts checked against the baselines.
+fn batch_analysis() {
+    banner("Batch analysis -- concurrent sweep over Table 1 families");
+    let mut items = Vec::new();
+    let mut expected = Vec::new();
+    for n in [8usize, 32] {
+        let w = workloads::positive_chain(n);
+        expected.push(w.expected);
+        items.push(BatchItem::new(w.name, w.form));
+    }
+    for seed in 0..4 {
+        let w = workloads::np_sat(seed, 5, 15);
+        expected.push(w.expected);
+        items.push(BatchItem::new(w.name, w.form));
+    }
+    for n in [2usize, 3] {
+        let w = workloads::depth1_philosophers(n);
+        expected.push(w.expected);
+        items.push(BatchItem::new(w.name, w.form));
+    }
+    {
+        let w = workloads::subset_lattice(10);
+        expected.push(w.expected);
+        items.push(BatchItem::new(w.name, w.form));
+    }
+
+    let t = Instant::now();
+    let reports = BatchAnalyzer::new()
+        .with_limits(ExploreLimits::default())
+        .run(items);
+    let dt = t.elapsed();
+
+    println!(
+        "{:<30}{:>10}{:>12}{:>10}",
+        "workload", "compl", "semisound", "phi-sat"
+    );
+    let mut agree = 0;
+    for (r, exp) in reports.iter().zip(&expected) {
+        let compl = r.completability.as_ref().unwrap().verdict;
+        if compl == verdict_of(exp.unwrap()) {
+            agree += 1;
+        }
+        println!(
+            "{:<30}{:>10}{:>12}{:>10}",
+            r.name,
+            compl.to_string(),
+            r.semisoundness.as_ref().unwrap().verdict.to_string(),
+            if r.satisfiability.as_ref().unwrap().is_sat() {
+                "sat"
+            } else {
+                "unsat"
+            },
+        );
+    }
+    println!(
+        "{agree}/{} completability verdicts agree with baselines ({dt:.2?} total, {} threads)",
+        reports.len(),
+        default_threads(),
+    );
+    assert_eq!(agree, reports.len());
 }
 
 /// Cor 4.2 and Sec 4.2 — the two fragment transformations.

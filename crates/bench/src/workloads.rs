@@ -4,9 +4,7 @@
 //! reproducible.
 
 use crate::Workload;
-use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, Right, SchemaBuilder, SchemaNodeId,
-};
+use idar_core::{AccessRules, Formula, GuardedForm, Instance, Right, SchemaBuilder, SchemaNodeId};
 use idar_logic::gen::{random_3cnf, random_qsat2k, XorShift};
 use idar_logic::qbf::Qbf;
 use idar_machines::TwoCounterMachine;
@@ -72,6 +70,36 @@ pub fn positive_tree(depth: usize, fanout: usize) -> Workload {
     }
 }
 
+/// `F(A−, φ+, 1)` — the full subset lattice over `n` labels: every label
+/// freely addable (while absent) and deletable, completion = all labels
+/// present.
+///
+/// The reachable space is exactly the 2ⁿ subsets of the label set and the
+/// search *closes* — no caps needed — which makes this the scaling
+/// workload for the frontier explorer: layer `d` holds `C(n, d)` states,
+/// so mid-search frontiers are wide enough to feed every core. `n = 17`
+/// gives 131 072 states.
+pub fn subset_lattice(n: usize) -> Workload {
+    let mut b = SchemaBuilder::new();
+    let mut edges = Vec::with_capacity(n);
+    for i in 0..n {
+        edges.push(b.child(SchemaNodeId::ROOT, &format!("l{i}")).unwrap());
+    }
+    let schema = Arc::new(b.build());
+    let mut rules = AccessRules::new(&schema);
+    for (i, &e) in edges.iter().enumerate() {
+        rules.set(Right::Add, e, Formula::parse(&format!("!l{i}")).unwrap());
+        rules.set(Right::Del, e, Formula::True);
+    }
+    let completion = Formula::conj((0..n).map(|i| Formula::label(&format!("l{i}"))));
+    let initial = Instance::empty(schema.clone());
+    Workload {
+        name: format!("subset_lattice/n{n}"),
+        form: GuardedForm::new(schema, rules, initial, completion),
+        expected: Some(true),
+    }
+}
+
 /// `F(A+, φ−, 1)` — Thm 5.1 on a seeded random 3-CNF; expected verdict
 /// from DPLL.
 pub fn np_sat(seed: u64, vars: usize, clauses: usize) -> Workload {
@@ -103,8 +131,7 @@ pub fn depth1_philosophers(n: usize) -> Workload {
     let expected = inst.find_reachable_deadlock().deadlock.is_some();
     Workload {
         name: format!("depth1_philosophers/n{n}"),
-        form: idar_reductions::deadlock_to_completability::reduce(&inst)
-            .expect("no self loops"),
+        form: idar_reductions::deadlock_to_completability::reduce(&inst).expect("no self loops"),
         expected: Some(expected),
     }
 }
@@ -127,8 +154,7 @@ pub fn depth1_reset_build(seed: u64, vars: usize, clauses: usize) -> Workload {
 pub fn qsat_semisound(seed: u64, k: usize, n: usize) -> (Workload, Qbf) {
     let qbf = random_qsat2k(seed, k, n, 3 * k * n);
     let expected = !qbf.eval();
-    let compiled = idar_reductions::qsat_to_semisoundness::reduce(&qbf)
-        .expect("qsat2k shape");
+    let compiled = idar_reductions::qsat_to_semisoundness::reduce(&qbf).expect("qsat2k shape");
     (
         Workload {
             name: format!("qsat_semisound/k{k}n{n}/seed{seed}"),
@@ -195,13 +221,21 @@ fn gen_formula(rng: &mut XorShift, labels: usize, size: usize, depth_budget: usi
         0 => gen_formula(rng, labels, size - 1, depth_budget).not(),
         1 | 2 => {
             let left = rng.below(size);
-            gen_formula(rng, labels, left, depth_budget)
-                .and(gen_formula(rng, labels, size - 1 - left, depth_budget))
+            gen_formula(rng, labels, left, depth_budget).and(gen_formula(
+                rng,
+                labels,
+                size - 1 - left,
+                depth_budget,
+            ))
         }
         3 => {
             let left = rng.below(size);
-            gen_formula(rng, labels, left, depth_budget)
-                .or(gen_formula(rng, labels, size - 1 - left, depth_budget))
+            gen_formula(rng, labels, left, depth_budget).or(gen_formula(
+                rng,
+                labels,
+                size - 1 - left,
+                depth_budget,
+            ))
         }
         _ => {
             if depth_budget == 0 {
@@ -209,7 +243,10 @@ fn gen_formula(rng: &mut XorShift, labels: usize, size: usize, depth_budget: usi
             }
             let inner = gen_formula(rng, labels, size - 1, depth_budget - 1);
             Formula::Path(idar_core::PathExpr::Filter(
-                Box::new(idar_core::PathExpr::Label(format!("g{}", rng.below(labels)))),
+                Box::new(idar_core::PathExpr::Label(format!(
+                    "g{}",
+                    rng.below(labels)
+                ))),
                 Box::new(inner),
             ))
         }
@@ -238,11 +275,28 @@ mod tests {
     }
 
     #[test]
+    fn subset_lattice_space_is_exact() {
+        use idar_solver::{ExploreLimits, Explorer};
+        let w = subset_lattice(6);
+        let graph = Explorer::new(&w.form, ExploreLimits::small()).graph();
+        assert_eq!(graph.states.len(), 64); // 2^6 subsets
+        assert!(graph.stats.closed);
+        let r = completability(&w.form, &CompletabilityOptions::default());
+        assert_eq!(r.verdict, Verdict::Holds);
+        // The only complete state is the full set, at depth n.
+        assert_eq!(r.witness_run.unwrap().len(), 6);
+    }
+
+    #[test]
     fn np_sat_expected_matches_solver() {
         for seed in 0..6 {
             let w = np_sat(seed, 4, 10);
             let r = completability(&w.form, &CompletabilityOptions::default());
-            let expected = if w.expected.unwrap() { Verdict::Holds } else { Verdict::Fails };
+            let expected = if w.expected.unwrap() {
+                Verdict::Holds
+            } else {
+                Verdict::Fails
+            };
             assert_eq!(r.verdict, expected, "{}", w.name);
         }
     }

@@ -85,15 +85,8 @@ pub fn node_partition(inst: &Instance) -> NodePartition {
         let mut next_count = 0u32;
         for n in inst.live_nodes() {
             let own = block[n.index()];
-            let parent = inst
-                .parent(n)
-                .map(|p| block[p.index()])
-                .unwrap_or(u32::MAX);
-            let mut kids: Vec<u32> = inst
-                .children(n)
-                .iter()
-                .map(|c| block[c.index()])
-                .collect();
+            let parent = inst.parent(n).map(|p| block[p.index()]).unwrap_or(u32::MAX);
+            let mut kids: Vec<u32> = inst.children(n).iter().map(|c| block[c.index()]).collect();
             kids.sort_unstable();
             kids.dedup();
             let id = *sig_ids.entry((own, parent, kids)).or_insert_with(|| {
@@ -291,8 +284,7 @@ mod tests {
     #[test]
     fn lemma_3_9_formulas_agree_on_equivalent_instances() {
         let s = schema("a(n, p(b, e)), s, d(a, r(r)), f");
-        let i = Instance::parse(s.clone(), "a(n, p(b, e), p(b, e)), s, s, d(r(r), r(r))")
-            .unwrap();
+        let i = Instance::parse(s.clone(), "a(n, p(b, e), p(b, e)), s, s, d(r(r), r(r))").unwrap();
         let can = canonical(&i);
         assert!(can.live_count() < i.live_count());
         for ft in [
@@ -319,9 +311,7 @@ mod tests {
         let s = schema("a(x, y)");
         let i = Instance::parse(s, "a(x), a(x, y)").unwrap();
         let part = node_partition(&i);
-        let roots: Vec<_> = i
-            .children_with_label(InstNodeId::ROOT, "a")
-            .collect();
+        let roots: Vec<_> = i.children_with_label(InstNodeId::ROOT, "a").collect();
         let x1 = i.children_with_label(roots[0], "x").next().unwrap();
         let x2 = i.children_with_label(roots[1], "x").next().unwrap();
         assert!(!part.equivalent(x1, x2));
@@ -373,9 +363,6 @@ mod tests {
         let s = schema("a, b");
         let chi = characteristic_formula(&Instance::empty(s.clone()));
         assert!(holds_at_root(&Instance::empty(s.clone()), &chi));
-        assert!(!holds_at_root(
-            &Instance::parse(s, "a").unwrap(),
-            &chi
-        ));
+        assert!(!holds_at_root(&Instance::parse(s, "a").unwrap(), &chi));
     }
 }

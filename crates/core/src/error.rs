@@ -8,7 +8,12 @@ use std::fmt;
 pub enum CoreError {
     /// A schema node would get two children with the same label,
     /// violating Def. 3.1 ("no two siblings have the same label").
-    DuplicateSiblingLabel { parent: String, label: String },
+    DuplicateSiblingLabel {
+        /// Label of the parent schema node.
+        parent: String,
+        /// The duplicated child label.
+        label: String,
+    },
     /// A label failed lexical validation (empty, or contains characters the
     /// concrete syntax cannot express).
     InvalidLabel(String),
@@ -28,13 +33,28 @@ pub enum CoreError {
     CannotDeleteRoot,
     /// An edge addition did not correspond to a schema edge below the
     /// parent's schema node (it would break the homomorphism of Def. 3.1).
-    SchemaMismatch { parent_label: String, child_label: String },
+    SchemaMismatch {
+        /// Label of the would-be parent node.
+        parent_label: String,
+        /// Label of the rejected child.
+        child_label: String,
+    },
     /// Formula parse error with position and message.
-    Parse { pos: usize, msg: String },
+    Parse {
+        /// Byte offset of the error in the input.
+        pos: usize,
+        /// Human-readable description.
+        msg: String,
+    },
     /// An update was attempted that the access rules forbid.
     UpdateNotAllowed(String),
     /// A run validation failed at the given step.
-    InvalidRun { step: usize, msg: String },
+    InvalidRun {
+        /// Zero-based index of the offending update.
+        step: usize,
+        /// Why the step was rejected.
+        msg: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -60,10 +80,7 @@ impl fmt::Display for CoreError {
             CoreError::SchemaMismatch {
                 parent_label,
                 child_label,
-            } => write!(
-                f,
-                "schema has no edge `{parent_label}` -> `{child_label}`"
-            ),
+            } => write!(f, "schema has no edge `{parent_label}` -> `{child_label}`"),
             CoreError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
             CoreError::UpdateNotAllowed(u) => write!(f, "update not allowed: {u}"),
             CoreError::InvalidRun { step, msg } => {

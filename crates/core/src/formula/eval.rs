@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn parent_axis() {
         let i = inst("a(n, p(b)), s");
-        let a = i
-            .children_with_label(InstNodeId::ROOT, "a")
-            .next()
-            .unwrap();
+        let a = i.children_with_label(InstNodeId::ROOT, "a").next().unwrap();
         // From `a`: ¬../s is false because the root has an s child.
         assert!(!holds(&i, a, &Formula::parse("!../s").unwrap()));
         let p = i.children_with_label(a, "p").next().unwrap();
@@ -174,10 +171,7 @@ mod tests {
     #[test]
     fn path_targets_materialises() {
         let i = inst("a(p(b), p(b), p(e))");
-        let a = i
-            .children_with_label(InstNodeId::ROOT, "a")
-            .next()
-            .unwrap();
+        let a = i.children_with_label(InstNodeId::ROOT, "a").next().unwrap();
         let targets = path_targets(&i, a, &PathExpr::Label("p".into()));
         assert_eq!(targets.len(), 3);
         let f = Formula::parse("p[b]").unwrap();

@@ -194,10 +194,7 @@ impl Formula {
     /// `A(del, e)` is evaluated at the edge's parent, but the replacing
     /// `deleted`-marker addition is evaluated at the edge's end node).
     pub fn at_parent(self) -> Formula {
-        Formula::Path(PathExpr::Filter(
-            Box::new(PathExpr::Parent),
-            Box::new(self),
-        ))
+        Formula::Path(PathExpr::Filter(Box::new(PathExpr::Parent), Box::new(self)))
     }
 
     /// Substitute every occurrence of label `from` (as a path step) with the

@@ -165,9 +165,7 @@ impl StepFormula {
             StepFormula::False => false,
             StepFormula::Child(l) => inst.children_with_label(n, l).next().is_some(),
             StepFormula::Parent => inst.parent(n).is_some(),
-            StepFormula::ChildSat(l, f) => {
-                inst.children_with_label(n, l).any(|c| f.holds(inst, c))
-            }
+            StepFormula::ChildSat(l, f) => inst.children_with_label(n, l).any(|c| f.holds(inst, c)),
             StepFormula::ParentSat(f) => match inst.parent(n) {
                 Some(p) => f.holds(inst, p),
                 None => false,

@@ -339,7 +339,9 @@ mod tests {
 
     #[test]
     fn errors() {
-        for s in ["", "&", "a &", "(a", "a[", "a]", "..[", "a b", "not", "(a|b)[c]"] {
+        for s in [
+            "", "&", "a &", "(a", "a[", "a]", "..[", "a b", "not", "(a|b)[c]",
+        ] {
             assert!(Formula::parse(s).is_err(), "should fail: {s}");
         }
     }

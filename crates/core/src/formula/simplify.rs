@@ -105,13 +105,7 @@ fn rebuild(items: Vec<Formula>, is_and: bool) -> Formula {
     let mut it = kept.into_iter();
     match it.next() {
         None => neutral,
-        Some(first) => it.fold(first, |acc, x| {
-            if is_and {
-                acc.and(x)
-            } else {
-                acc.or(x)
-            }
-        }),
+        Some(first) => it.fold(first, |acc, x| if is_and { acc.and(x) } else { acc.or(x) }),
     }
 }
 
@@ -241,10 +235,8 @@ mod tests {
     #[test]
     fn shrinks_generated_guards() {
         // A Thm 4.6-style mechanical guard shrinks substantially.
-        let g = Formula::parse(
-            "!(t0 | t1 | t2) & !(t0 | t1 | t2) & n1 & (true & n2) | false",
-        )
-        .unwrap();
+        let g =
+            Formula::parse("!(t0 | t1 | t2) & !(t0 | t1 | t2) & n1 & (true & n2) | false").unwrap();
         let s = g.simplified();
         assert!(s.size() < g.size());
         assert_eq!(s.to_string(), "!(t0 | t1 | t2) & n1 & n2");

@@ -141,8 +141,11 @@ impl fmt::Display for Complexity {
 /// One row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Table1Row {
+    /// The fragment the row describes.
     pub fragment: Fragment,
+    /// Complexity of completability (Def. 3.13) in this fragment.
     pub completability: Complexity,
+    /// Complexity of semi-soundness (Def. 3.14) in this fragment.
     pub semisoundness: Complexity,
 }
 
@@ -224,8 +227,7 @@ pub fn render_table1() -> String {
     );
     for frag in table1_fragments() {
         let row = table1_row(frag);
-        let semi = if frag.access == Polarity::Positive
-            && frag.completion == Polarity::Unrestricted
+        let semi = if frag.access == Polarity::Positive && frag.completion == Polarity::Unrestricted
         {
             match frag.depth {
                 DepthClass::One => "Pi^P_2-complete".to_string(),
@@ -316,8 +318,7 @@ mod tests {
     fn completability_p_iff_both_positive() {
         for f in table1_fragments() {
             let row = table1_row(f);
-            let both_pos =
-                f.access == Polarity::Positive && f.completion == Polarity::Positive;
+            let both_pos = f.access == Polarity::Positive && f.completion == Polarity::Positive;
             assert_eq!(row.completability == Complexity::P, both_pos, "{f}");
         }
     }

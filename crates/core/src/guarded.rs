@@ -110,14 +110,18 @@ impl AccessRules {
     /// Are all guards (including the default, if any edge falls through to
     /// it) positive? This is the `A+` condition of Sec. 3.5.
     pub fn all_positive(&self, schema: &Schema) -> bool {
-        schema.edge_ids().all(|e| {
-            self.get(Right::Add, e).is_positive() && self.get(Right::Del, e).is_positive()
-        })
+        schema
+            .edge_ids()
+            .all(|e| self.get(Right::Add, e).is_positive() && self.get(Right::Del, e).is_positive())
     }
 
     /// Apply `f` to every guard, rewriting the table in place (the
     /// Cor. 4.2 / Cor. 4.7 constructions transform whole tables).
-    pub fn map_guards(&mut self, schema: &Schema, mut f: impl FnMut(Right, SchemaNodeId, &Formula) -> Formula) {
+    pub fn map_guards(
+        &mut self,
+        schema: &Schema,
+        mut f: impl FnMut(Right, SchemaNodeId, &Formula) -> Formula,
+    ) {
         for e in schema.edge_ids() {
             let new_add = f(Right::Add, e, self.get(Right::Add, e));
             self.set(Right::Add, e, new_add);
@@ -136,11 +140,16 @@ impl AccessRules {
 pub enum Update {
     /// Add a fresh leaf under `parent` along the schema edge `edge`.
     Add {
+        /// The instance node receiving the new child.
         parent: InstNodeId,
+        /// The schema node identifying the edge being instantiated.
         edge: SchemaNodeId,
     },
     /// Delete the (leaf) node `node`.
-    Del { node: InstNodeId },
+    Del {
+        /// The leaf instance node to remove.
+        node: InstNodeId,
+    },
 }
 
 impl fmt::Display for Update {
@@ -211,18 +220,22 @@ impl GuardedForm {
         }
     }
 
+    /// The schema `M`.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
     }
 
+    /// The access-rule table `A`.
     pub fn rules(&self) -> &AccessRules {
         &self.rules
     }
 
+    /// The initial instance `I₀`.
     pub fn initial(&self) -> &Instance {
         &self.initial
     }
 
+    /// The completion formula `φ`.
     pub fn completion(&self) -> &Formula {
         &self.completion
     }
@@ -296,7 +309,11 @@ impl GuardedForm {
             }
             if n != InstNodeId::ROOT && inst.is_leaf(n) {
                 let parent = inst.parent(n).expect("non-root");
-                if holds(inst, parent, self.rules.get(Right::Del, inst.schema_node(n))) {
+                if holds(
+                    inst,
+                    parent,
+                    self.rules.get(Right::Del, inst.schema_node(n)),
+                ) {
                     out.push(Update::Del { node: n });
                 }
             }
@@ -370,7 +387,11 @@ mod tests {
         let mut rules = AccessRules::new(&schema);
         let a = schema.resolve("a").unwrap();
         let b = schema.resolve("b").unwrap();
-        rules.set_both(a, Formula::parse("!a").unwrap(), Formula::parse("!b").unwrap());
+        rules.set_both(
+            a,
+            Formula::parse("!a").unwrap(),
+            Formula::parse("!b").unwrap(),
+        );
         rules.set(Right::Add, b, Formula::parse("a & !b").unwrap());
         let initial = Instance::empty(schema.clone());
         GuardedForm::new(schema, rules, initial, Formula::parse("a & b").unwrap())
@@ -531,10 +552,22 @@ mod tests {
         );
         let mut inst = g.initial().clone();
         let an = g
-            .apply(&mut inst, &Update::Add { parent: InstNodeId::ROOT, edge: a })
+            .apply(
+                &mut inst,
+                &Update::Add {
+                    parent: InstNodeId::ROOT,
+                    edge: a,
+                },
+            )
             .unwrap()
             .unwrap();
-        assert!(g.is_allowed(&inst, &Update::Add { parent: an, edge: n }));
+        assert!(g.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: an,
+                edge: n
+            }
+        ));
         g.apply(
             &mut inst,
             &Update::Add {
@@ -543,6 +576,12 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!g.is_allowed(&inst, &Update::Add { parent: an, edge: n }));
+        assert!(!g.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: an,
+                edge: n
+            }
+        ));
     }
 }

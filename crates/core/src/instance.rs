@@ -25,6 +25,7 @@ impl InstNodeId {
     /// The root node id.
     pub const ROOT: InstNodeId = InstNodeId(0);
 
+    /// This id as a `Vec` index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -165,9 +166,7 @@ impl Instance {
         parent: InstNodeId,
         label: &str,
     ) -> impl Iterator<Item = InstNodeId> + 'a {
-        let sn = self
-            .schema
-            .child_by_label(self.schema_node(parent), label);
+        let sn = self.schema.child_by_label(self.schema_node(parent), label);
         self.children(parent)
             .iter()
             .copied()
@@ -210,13 +209,13 @@ impl Instance {
     pub fn add_child_by_label(&mut self, parent: InstNodeId, label: &str) -> Result<InstNodeId> {
         self.check(parent)?;
         let psn = self.nodes[parent.index()].schema_node;
-        let sc = self
-            .schema
-            .child_by_label(psn, label)
-            .ok_or_else(|| CoreError::SchemaMismatch {
-                parent_label: self.schema.label(psn).to_string(),
-                child_label: label.to_string(),
-            })?;
+        let sc =
+            self.schema
+                .child_by_label(psn, label)
+                .ok_or_else(|| CoreError::SchemaMismatch {
+                    parent_label: self.schema.label(psn).to_string(),
+                    child_label: label.to_string(),
+                })?;
         self.add_child(parent, sc)
     }
 
@@ -357,10 +356,7 @@ impl Instance {
     /// This is the *checking* counterpart to the by-construction invariant;
     /// it exists so external trees (e.g. parsed from user input against a
     /// different schema) can be validated.
-    pub fn from_labelled_tree(
-        schema: Arc<Schema>,
-        nodes: &[(String, usize)],
-    ) -> Result<Instance> {
+    pub fn from_labelled_tree(schema: Arc<Schema>, nodes: &[(String, usize)]) -> Result<Instance> {
         let mut inst = Instance::empty(schema);
         let mut map: Vec<InstNodeId> = Vec::with_capacity(nodes.len());
         for (i, (label, parent)) in nodes.iter().enumerate() {
@@ -464,8 +460,7 @@ mod tests {
     #[test]
     fn figure2b_parses() {
         // Fig. 2(b): a rejected application for a single period.
-        let i =
-            Instance::parse(leave_schema(), "a(n, d, p(b, e)), s, d(r), f").unwrap();
+        let i = Instance::parse(leave_schema(), "a(n, d, p(b, e)), s, d(r), f").unwrap();
         assert_eq!(i.live_count(), 11);
         assert!(i.iso_code().contains("d(r)"));
     }
@@ -558,10 +553,7 @@ mod tests {
             ],
         );
         assert!(ok.is_ok());
-        let bad = Instance::from_labelled_tree(
-            s,
-            &[("r".into(), usize::MAX), ("b".into(), 0)],
-        );
+        let bad = Instance::from_labelled_tree(s, &[("r".into(), usize::MAX), ("b".into(), 0)]);
         assert!(bad.is_err());
     }
 

@@ -1,0 +1,419 @@
+//! Interned isomorphism codes: integer-compare state deduplication.
+//!
+//! The explicit-state explorers deduplicate instances *up to isomorphism*.
+//! The original representation of an isomorphism class was the
+//! [`Instance::iso_code`] string — an AHU-style canonical rendering — which
+//! makes every dedup a string hash plus a string compare, and every new
+//! state a fresh heap string. At production scale (10⁵–10⁷ states per
+//! search) the code strings dominate both the allocation profile and the
+//! hash-map probe cost.
+//!
+//! This module replaces strings with a three-level scheme:
+//!
+//! 1. [`CanonKey`] — a compact canonical encoding of the instance as a
+//!    `u32` word sequence (schema-node ids plus tree delimiters, children
+//!    sorted), with a 64-bit FNV-1a fingerprint over the words. Building
+//!    it never allocates label strings and never formats.
+//! 2. An intern table ([`Interner`] / [`SharedInterner`]) keyed by the
+//!    fingerprint. Lookups compare the fingerprint first and fall back to
+//!    a word-slice `memcmp` only within a fingerprint bucket — so a true
+//!    64-bit collision is *detected*, never silently merged.
+//! 3. [`IsoCode`] — the dense `u32` id the table assigns to each distinct
+//!    class. After interning, state dedup is a single integer compare, and
+//!    `IsoCode` indexes straight into flat side tables (no re-hashing).
+//!
+//! [`SharedInterner`] is the concurrent variant used by the parallel
+//! frontier explorer: the fingerprint space is lock-striped over shards so
+//! that threads interning different states rarely contend.
+//!
+//! # Canonical encoding
+//!
+//! A node's encoding is `[schema_node, OPEN, …sorted child encodings…,
+//! CLOSE]`; the root contributes only its sorted children (the root label
+//! is fixed, Def. 3.1). Sibling encodings are sorted lexicographically as
+//! word slices. Since sibling labels are unique in a schema, sorting by
+//! schema-node id agrees with the label sort that [`Instance::iso_code`]
+//! performs, and two instances of the same schema are isomorphic iff their
+//! encodings are equal:
+//!
+//! ```
+//! use idar_core::{Instance, Schema};
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(Schema::parse("a(p(b, e)), s").unwrap());
+//! let i1 = Instance::parse(schema.clone(), "a(p(b), p(e)), s").unwrap();
+//! let i2 = Instance::parse(schema.clone(), "s, a(p(e), p(b))").unwrap();
+//! let i3 = Instance::parse(schema, "a(p(b), p(b)), s").unwrap();
+//! assert_eq!(i1.canon_key(), i2.canon_key()); // isomorphic
+//! assert_ne!(i1.canon_key(), i3.canon_key()); // multiplicity differs
+//! ```
+
+use crate::instance::{InstNodeId, Instance};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Tree-shape delimiters in the canonical word encoding. Schema node ids
+/// are `u32` indices far below these sentinels.
+const OPEN: u32 = u32::MAX;
+const CLOSE: u32 = u32::MAX - 1;
+
+/// A dense identifier for an isomorphism class of instances, assigned by
+/// an intern table. Equal ids ⇔ isomorphic instances (same table).
+///
+/// Ids are assigned contiguously from 0, so they can index flat `Vec`
+/// side tables (`code.index()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IsoCode(pub u32);
+
+impl IsoCode {
+    /// This code as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The canonical encoding of an instance: a word sequence plus its 64-bit
+/// fingerprint. See the module docs for the encoding scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonKey {
+    hash: u64,
+    words: Box<[u32]>,
+}
+
+impl CanonKey {
+    /// The 64-bit FNV-1a fingerprint of the encoding.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical word sequence (exposed for tests and diagnostics).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+}
+
+fn fnv1a(words: &[u32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &w in words {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Recursively encode the subtree under `node`, appending to `out`.
+///
+/// Children are encoded into scratch buffers, sorted as word slices, then
+/// concatenated — the sort is what quotients away sibling order.
+fn encode_children(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
+    let children = inst.children(node);
+    match children.len() {
+        0 => {}
+        1 => encode_node(inst, children[0], out),
+        _ => {
+            let mut encs: Vec<Vec<u32>> = children
+                .iter()
+                .map(|&c| {
+                    let mut e = Vec::new();
+                    encode_node(inst, c, &mut e);
+                    e
+                })
+                .collect();
+            encs.sort_unstable();
+            for e in encs {
+                out.extend_from_slice(&e);
+            }
+        }
+    }
+}
+
+fn encode_node(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
+    out.push(inst.schema_node(node).index() as u32);
+    if !inst.is_leaf(node) {
+        out.push(OPEN);
+        encode_children(inst, node, out);
+        out.push(CLOSE);
+    }
+}
+
+impl Instance {
+    /// Compute this instance's canonical key (fingerprint + word
+    /// encoding). Two instances of the same schema are isomorphic iff
+    /// their keys are equal; the empty instance has an empty encoding.
+    pub fn canon_key(&self) -> CanonKey {
+        let mut words = Vec::with_capacity(2 * self.live_count());
+        encode_children(self, InstNodeId::ROOT, &mut words);
+        let hash = fnv1a(&words);
+        CanonKey {
+            hash,
+            words: words.into_boxed_slice(),
+        }
+    }
+}
+
+/// One fingerprint bucket: the (rarely >1) distinct encodings sharing a
+/// 64-bit fingerprint, each with its assigned dense code.
+type Bucket = Vec<(Box<[u32]>, IsoCode)>;
+
+fn bucket_intern(
+    bucket: &mut Bucket,
+    key: CanonKey,
+    next: impl FnOnce() -> u32,
+) -> (IsoCode, bool) {
+    for (words, code) in bucket.iter() {
+        if **words == *key.words {
+            return (*code, false);
+        }
+    }
+    let code = IsoCode(next());
+    bucket.push((key.words, code));
+    (code, true)
+}
+
+/// A single-threaded intern table mapping canonical keys to dense
+/// [`IsoCode`]s.
+///
+/// ```
+/// use idar_core::{Instance, Interner, Schema};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::parse("a(b), c").unwrap());
+/// let mut interner = Interner::new();
+/// let i1 = Instance::parse(schema.clone(), "a(b), c").unwrap();
+/// let i2 = Instance::parse(schema.clone(), "c, a(b)").unwrap();
+/// let i3 = Instance::parse(schema, "a, c").unwrap();
+///
+/// let (c1, new1) = interner.intern(i1.canon_key());
+/// let (c2, new2) = interner.intern(i2.canon_key());
+/// let (c3, _) = interner.intern(i3.canon_key());
+/// assert!(new1 && !new2);
+/// assert_eq!(c1, c2);      // dedup is an integer compare
+/// assert_ne!(c1, c3);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Interner {
+    buckets: HashMap<u64, Bucket>,
+    count: u32,
+    collisions: u64,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern a key: returns its dense code and whether it was new.
+    pub fn intern(&mut self, key: CanonKey) -> (IsoCode, bool) {
+        let bucket = self.buckets.entry(key.hash).or_default();
+        if !bucket.is_empty() {
+            // A fingerprint hit that is not a word-for-word match is a
+            // genuine 64-bit collision; count it (it is collision-*checked*,
+            // not collision-blind).
+            if bucket.iter().all(|(w, _)| **w != *key.words) {
+                self.collisions += 1;
+            }
+        }
+        let count = &mut self.count;
+        bucket_intern(bucket, key, || {
+            let c = *count;
+            *count += 1;
+            c
+        })
+    }
+
+    /// Number of distinct classes interned so far.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of 64-bit fingerprint collisions detected (distinct
+    /// encodings sharing a fingerprint). Expected to stay 0 in practice.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+/// Number of lock stripes in a [`SharedInterner`]. A power of two well
+/// above typical thread counts keeps contention negligible.
+const SHARDS: usize = 64;
+
+/// A concurrent intern table: the fingerprint space is striped over 64
+/// mutex-protected shards, and dense ids come from one atomic counter, so
+/// ids are globally dense while threads interning different states rarely
+/// touch the same lock.
+///
+/// ```
+/// use idar_core::{Instance, Schema, SharedInterner};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::parse("a, b").unwrap());
+/// let interner = SharedInterner::new();
+/// let key = Instance::parse(schema, "a, b").unwrap().canon_key();
+/// let (code, new) = interner.intern(key.clone());
+/// assert!(new);
+/// let (again, new) = interner.intern(key);
+/// assert!(!new);
+/// assert_eq!(code, again);
+/// assert_eq!(interner.len(), 1);
+/// ```
+pub struct SharedInterner {
+    shards: Box<[Mutex<HashMap<u64, Bucket>>]>,
+    counter: AtomicU32,
+}
+
+impl Default for SharedInterner {
+    fn default() -> Self {
+        SharedInterner::new()
+    }
+}
+
+impl SharedInterner {
+    /// An empty table.
+    pub fn new() -> SharedInterner {
+        SharedInterner {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            counter: AtomicU32::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        // High bits: the FNV low bits also pick hash-map buckets inside
+        // the shard; using disjoint bits for the stripe avoids correlating
+        // the two.
+        (hash >> 58) as usize % SHARDS
+    }
+
+    /// Intern a key: returns its dense code and whether it was new.
+    /// Safe to call from many threads; exactly one caller wins `new ==
+    /// true` for each distinct class.
+    pub fn intern(&self, key: CanonKey) -> (IsoCode, bool) {
+        let shard = self.shard_of(key.hash);
+        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
+        let bucket = map.entry(key.hash).or_default();
+        bucket_intern(bucket, key, || self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Number of distinct classes interned so far.
+    pub fn len(&self) -> usize {
+        self.counter.load(Ordering::Relaxed) as usize
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SharedInterner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedInterner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+    use std::sync::Arc;
+
+    fn leave_schema() -> Arc<Schema> {
+        Arc::new(Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f").unwrap())
+    }
+
+    /// canon_key equality must coincide with iso_code equality on a spread
+    /// of instances (same equivalence relation, different representation).
+    #[test]
+    fn canon_key_matches_iso_code_equivalence() {
+        let s = leave_schema();
+        let texts = [
+            "",
+            "a",
+            "a(n)",
+            "a(n, p(b))",
+            "a(p(b), p(e)), s",
+            "a(p(e), p(b)), s",
+            "a(p(b, e), p(b, e)), s",
+            "a(p(b, e)), s",
+            "s, a(p(b), p(e))",
+            "d(a), f",
+            "d(r), f",
+        ];
+        let insts: Vec<Instance> = texts
+            .iter()
+            .map(|t| Instance::parse(s.clone(), t).unwrap())
+            .collect();
+        for (i, a) in insts.iter().enumerate() {
+            for (j, b) in insts.iter().enumerate() {
+                assert_eq!(
+                    a.canon_key() == b.canon_key(),
+                    a.iso_code() == b.iso_code(),
+                    "canon_key disagrees with iso_code on {:?} vs {:?}",
+                    texts[i],
+                    texts[j],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let s = leave_schema();
+        let mut int = Interner::new();
+        let mut codes = Vec::new();
+        for t in ["", "a", "a(n)", "a", "s"] {
+            let i = Instance::parse(s.clone(), t).unwrap();
+            codes.push(int.intern(i.canon_key()).0);
+        }
+        assert_eq!(codes[1], codes[3]); // "a" twice
+        assert_eq!(int.len(), 4);
+        let mut distinct: Vec<u32> = codes.iter().map(|c| c.0).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct, vec![0, 1, 2, 3]);
+        assert_eq!(int.collisions(), 0);
+    }
+
+    #[test]
+    fn shared_interner_agrees_across_threads() {
+        let s = leave_schema();
+        let texts = ["", "a", "a(n)", "a(n, d)", "s", "d(a), f", "a(p(b))"];
+        let keys: Vec<CanonKey> = texts
+            .iter()
+            .map(|t| Instance::parse(s.clone(), t).unwrap().canon_key())
+            .collect();
+        let shared = SharedInterner::new();
+        let results: Vec<Vec<IsoCode>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let keys = &keys;
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        keys.iter()
+                            .map(|k| shared.intern(k.clone()).0)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every thread sees the same code for the same state.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(shared.len(), texts.len());
+    }
+}

@@ -20,8 +20,7 @@ use std::sync::Arc;
 /// The Figure 1 schema: `a(n, d, p(b, e)), s, d(a, r(r)), f`.
 pub fn schema() -> Arc<Schema> {
     Arc::new(
-        Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f")
-            .expect("leave schema is well-formed"),
+        Schema::parse("a(n, d, p(b, e)), s, d(a, r(r)), f").expect("leave schema is well-formed"),
     )
 }
 
@@ -52,11 +51,7 @@ pub fn example_3_12() -> GuardedForm {
     rules.set_both(edge("a/p"), f("!../s"), f("!../s"));
     rules.set_both(edge("a/p/b"), f("!../../s & !b"), f("!../../s"));
     rules.set_both(edge("a/p/e"), f("!../../s & !e"), f("!../../s"));
-    rules.set_both(
-        edge("s"),
-        f("!s & a[n & d & p] & !a/p[!b | !e]"),
-        f("!s"),
-    );
+    rules.set_both(edge("s"), f("!s & a[n & d & p] & !a/p[!b | !e]"), f("!s"));
     rules.set_both(edge("d"), f("s & !d"), f("!f"));
     rules.set_both(edge("d/a"), f("!(a | r)"), f("!../f"));
     rules.set_both(edge("d/r"), f("!(a | r)"), f("!../f"));
@@ -83,12 +78,7 @@ pub fn section_3_5_variant() -> GuardedForm {
     rules.set(Right::Add, edge("f"), f("d & !f"));
     rules.set(Right::Add, edge("d/a"), f("!(a | r) & !../f"));
     rules.set(Right::Add, edge("d/r"), f("!(a | r) & !../f"));
-    GuardedForm::new(
-        schema,
-        rules,
-        base.initial().clone(),
-        f("f & d[a | r]"),
-    )
+    GuardedForm::new(schema, rules, base.initial().clone(), f("f & d[a | r]"))
 }
 
 /// The invariant of Sec. 3.5: "by checking completability for
@@ -112,16 +102,46 @@ pub fn complete_run(g: &GuardedForm) -> Vec<Update> {
     let p = InstNodeId(4);
     let d = InstNodeId(8);
     vec![
-        Update::Add { parent: root, edge: edge("a") }, // -> node 1
-        Update::Add { parent: a, edge: edge("a/n") },  // -> node 2
-        Update::Add { parent: a, edge: edge("a/d") },  // -> node 3
-        Update::Add { parent: a, edge: edge("a/p") },  // -> node 4
-        Update::Add { parent: p, edge: edge("a/p/b") }, // -> node 5
-        Update::Add { parent: p, edge: edge("a/p/e") }, // -> node 6
-        Update::Add { parent: root, edge: edge("s") },  // -> node 7
-        Update::Add { parent: root, edge: edge("d") },  // -> node 8
-        Update::Add { parent: d, edge: edge("d/a") },   // -> node 9
-        Update::Add { parent: root, edge: edge("f") },  // -> node 10
+        Update::Add {
+            parent: root,
+            edge: edge("a"),
+        }, // -> node 1
+        Update::Add {
+            parent: a,
+            edge: edge("a/n"),
+        }, // -> node 2
+        Update::Add {
+            parent: a,
+            edge: edge("a/d"),
+        }, // -> node 3
+        Update::Add {
+            parent: a,
+            edge: edge("a/p"),
+        }, // -> node 4
+        Update::Add {
+            parent: p,
+            edge: edge("a/p/b"),
+        }, // -> node 5
+        Update::Add {
+            parent: p,
+            edge: edge("a/p/e"),
+        }, // -> node 6
+        Update::Add {
+            parent: root,
+            edge: edge("s"),
+        }, // -> node 7
+        Update::Add {
+            parent: root,
+            edge: edge("d"),
+        }, // -> node 8
+        Update::Add {
+            parent: d,
+            edge: edge("d/a"),
+        }, // -> node 9
+        Update::Add {
+            parent: root,
+            edge: edge("f"),
+        }, // -> node 10
     ]
 }
 
@@ -135,7 +155,9 @@ mod tests {
         let s = schema();
         assert_eq!(s.depth(), 3);
         assert_eq!(s.node_count(), 13);
-        for p in ["a", "a/n", "a/d", "a/p", "a/p/b", "a/p/e", "s", "d", "d/a", "d/r", "d/r/r", "f"] {
+        for p in [
+            "a", "a/n", "a/d", "a/p", "a/p/b", "a/p/e", "s", "d", "d/a", "d/r", "d/r/r", "f",
+        ] {
             assert!(s.resolve(p).is_ok(), "missing {p}");
         }
     }
@@ -177,15 +199,29 @@ mod tests {
         let g = example_3_12();
         let mut inst = g.initial().clone();
         let a_edge = g.schema().resolve("a").unwrap();
-        g.apply(&mut inst, &Update::Add { parent: InstNodeId::ROOT, edge: a_edge })
-            .unwrap();
+        g.apply(
+            &mut inst,
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: a_edge,
+            },
+        )
+        .unwrap();
         assert!(!g.is_allowed(
             &inst,
-            &Update::Add { parent: InstNodeId::ROOT, edge: a_edge }
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: a_edge
+            }
         ));
         // A(del, a) = ¬a: "we can never delete an application field once it
         // has been added".
-        assert!(!g.is_allowed(&inst, &Update::Del { node: InstNodeId(1) }));
+        assert!(!g.is_allowed(
+            &inst,
+            &Update::Del {
+                node: InstNodeId(1)
+            }
+        ));
     }
 
     #[test]
@@ -196,20 +232,28 @@ mod tests {
         let inst = Instance::parse(g.schema().clone(), "a(n, d, p(b))").unwrap();
         assert!(!g.is_allowed(
             &inst,
-            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: s_edge
+            }
         ));
         // With complete periods it can.
         let inst = Instance::parse(g.schema().clone(), "a(n, d, p(b, e))").unwrap();
         assert!(g.is_allowed(
             &inst,
-            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: s_edge
+            }
         ));
         // Multiple periods: all must be complete.
-        let inst =
-            Instance::parse(g.schema().clone(), "a(n, d, p(b, e), p(e))").unwrap();
+        let inst = Instance::parse(g.schema().clone(), "a(n, d, p(b, e), p(e))").unwrap();
         assert!(!g.is_allowed(
             &inst,
-            &Update::Add { parent: InstNodeId::ROOT, edge: s_edge }
+            &Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: s_edge
+            }
         ));
     }
 
@@ -224,11 +268,27 @@ mod tests {
         // After submission, period fields can no longer change.
         let p_edge = g.schema().resolve("a/p").unwrap();
         let a_node = InstNodeId(1);
-        assert!(!g.is_allowed(inst, &Update::Add { parent: a_node, edge: p_edge }));
+        assert!(!g.is_allowed(
+            inst,
+            &Update::Add {
+                parent: a_node,
+                edge: p_edge
+            }
+        ));
         // Begin-date deletion inside the period is also frozen.
-        assert!(!g.is_allowed(inst, &Update::Del { node: InstNodeId(5) }));
+        assert!(!g.is_allowed(
+            inst,
+            &Update::Del {
+                node: InstNodeId(5)
+            }
+        ));
         // And the submit mark itself cannot be retracted (A(del, s) = ¬s).
-        assert!(!g.is_allowed(inst, &Update::Del { node: InstNodeId(7) }));
+        assert!(!g.is_allowed(
+            inst,
+            &Update::Del {
+                node: InstNodeId(7)
+            }
+        ));
     }
 
     #[test]
@@ -241,12 +301,28 @@ mod tests {
         let d_node = InstNodeId(8);
         // Cannot also reject: A(add, d/r) = ¬(a ∨ r).
         let r_edge = g.schema().resolve("d/r").unwrap();
-        assert!(!g.is_allowed(inst, &Update::Add { parent: d_node, edge: r_edge }));
+        assert!(!g.is_allowed(
+            inst,
+            &Update::Add {
+                parent: d_node,
+                edge: r_edge
+            }
+        ));
         // Approve is deletable before final (A(del, d/a) = ¬../f)…
-        assert!(g.is_allowed(inst, &Update::Del { node: InstNodeId(9) }));
+        assert!(g.is_allowed(
+            inst,
+            &Update::Del {
+                node: InstNodeId(9)
+            }
+        ));
         // …but not after.
         let r2 = g.replay(&run).unwrap();
-        assert!(!g.is_allowed(r2.last(), &Update::Del { node: InstNodeId(9) }));
+        assert!(!g.is_allowed(
+            r2.last(),
+            &Update::Del {
+                node: InstNodeId(9)
+            }
+        ));
     }
 
     #[test]
@@ -264,16 +340,43 @@ mod tests {
         let g = section_3_5_variant();
         let sch = g.schema();
         let run = [
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("a").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/n").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/d").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/p").unwrap() },
-            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/b").unwrap() },
-            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/e").unwrap() },
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("s").unwrap() },
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("d").unwrap() },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("a").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/n").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/d").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/p").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: sch.resolve("a/p/b").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: sch.resolve("a/p/e").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("s").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("d").unwrap(),
+            },
             // Weakened rule lets `f` in before any decision:
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("f").unwrap() },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("f").unwrap(),
+            },
         ];
         let r = g.replay(&run).unwrap();
         let stuck = r.last();
@@ -283,10 +386,18 @@ mod tests {
         for e in ["d/a", "d/r"] {
             assert!(!g.is_allowed(
                 stuck,
-                &Update::Add { parent: d_node, edge: sch.resolve(e).unwrap() }
+                &Update::Add {
+                    parent: d_node,
+                    edge: sch.resolve(e).unwrap()
+                }
             ));
         }
         // f cannot be removed either (A(del, f) = ¬f).
-        assert!(!g.is_allowed(stuck, &Update::Del { node: InstNodeId(9) }));
+        assert!(!g.is_allowed(
+            stuck,
+            &Update::Del {
+                node: InstNodeId(9)
+            }
+        ));
     }
 }

@@ -26,12 +26,15 @@
 //! Decision procedures for completability and semi-soundness live in
 //! `idar-solver`; the paper's hardness reductions live in `idar-reductions`.
 
+#![warn(missing_docs)]
+
 pub mod bisim;
 pub mod error;
 pub mod formula;
 pub mod fragment;
 pub mod guarded;
 pub mod instance;
+pub mod intern;
 pub mod leave;
 pub mod schema;
 
@@ -40,6 +43,7 @@ pub use formula::{Formula, PathExpr};
 pub use fragment::{DepthClass, Fragment, Polarity};
 pub use guarded::{AccessRules, GuardedForm, Right, Run, Update};
 pub use instance::{InstNodeId, Instance};
+pub use intern::{CanonKey, Interner, IsoCode, SharedInterner};
 pub use schema::{Schema, SchemaBuilder, SchemaNodeId};
 
 /// The reserved label of every schema (and instance) root, Def. 3.1.

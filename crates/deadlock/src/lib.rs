@@ -381,10 +381,7 @@ mod tests {
         let a = b.component(2);
         b.component(1);
         b.pair(0, a[0], a[1], 0, a[0], a[1]);
-        assert_eq!(
-            b.build().unwrap_err(),
-            DeadlockError::SameComponent(0)
-        );
+        assert_eq!(b.build().unwrap_err(), DeadlockError::SameComponent(0));
     }
 
     #[test]

@@ -15,9 +15,7 @@ pub struct XorShift {
 
 impl XorShift {
     pub fn new(seed: u64) -> XorShift {
-        XorShift {
-            state: seed.max(1),
-        }
+        XorShift { state: seed.max(1) }
     }
 
     pub fn next_u64(&mut self) -> u64 {

@@ -242,7 +242,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "unbound")]
     fn unbound_variable_panics() {
-        Qbf::new(vec![(Quantifier::Exists, vec![Var(0)])], PropFormula::var(1));
+        Qbf::new(
+            vec![(Quantifier::Exists, vec![Var(0)])],
+            PropFormula::var(1),
+        );
     }
 
     #[test]

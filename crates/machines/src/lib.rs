@@ -147,7 +147,10 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::BadState(s) => write!(f, "state {s} out of range"),
             MachineError::DecrementOfZero((q, t1, t2)) => {
-                write!(f, "transition delta({q},{t1},{t2}) decrements a zero counter")
+                write!(
+                    f,
+                    "transition delta({q},{t1},{t2}) decrements a zero counter"
+                )
             }
             MachineError::AcceptingNotFinal(s) => {
                 write!(f, "accepting state {s} has outgoing transitions")
@@ -205,9 +208,7 @@ impl TwoCounterMachine {
             if p.0 >= self.states {
                 return Err(MachineError::BadState(p));
             }
-            if (t1 == Test::Zero && a1 == Action::Dec)
-                || (t2 == Test::Zero && a2 == Action::Dec)
-            {
+            if (t1 == Test::Zero && a1 == Action::Dec) || (t2 == Test::Zero && a2 == Action::Dec) {
                 return Err(MachineError::DecrementOfZero((q, t1, t2)));
             }
             if self.accepting.contains(&q) {
@@ -311,8 +312,7 @@ impl DeltaBuilder {
         a1: Action,
         a2: Action,
     ) -> DeltaBuilder {
-        self.delta
-            .insert((State(q), t1, t2), (State(p), a1, a2));
+        self.delta.insert((State(q), t1, t2), (State(p), a1, a2));
         self
     }
 

@@ -30,7 +30,14 @@ pub fn ping_pong() -> TwoCounterMachine {
     let delta = DeltaBuilder::new()
         .rule_any(0, 1, Action::Inc, Action::Keep)
         .rule(1, Test::Positive, Test::Zero, 0, Action::Dec, Action::Keep)
-        .rule(1, Test::Positive, Test::Positive, 0, Action::Dec, Action::Keep)
+        .rule(
+            1,
+            Test::Positive,
+            Test::Positive,
+            0,
+            Action::Dec,
+            Action::Keep,
+        )
         .build();
     TwoCounterMachine::new(3, vec![State(2)], delta).expect("valid by construction")
 }
@@ -47,7 +54,14 @@ pub fn transfer_c1_to_c2(n: u32) -> TwoCounterMachine {
     let pump = n;
     let accept = n + 1;
     b = b
-        .rule(pump, Test::Positive, Test::Zero, pump, Action::Dec, Action::Inc)
+        .rule(
+            pump,
+            Test::Positive,
+            Test::Zero,
+            pump,
+            Action::Dec,
+            Action::Inc,
+        )
         .rule(
             pump,
             Test::Positive,
@@ -56,7 +70,14 @@ pub fn transfer_c1_to_c2(n: u32) -> TwoCounterMachine {
             Action::Dec,
             Action::Inc,
         )
-        .rule(pump, Test::Zero, Test::Zero, accept, Action::Keep, Action::Keep)
+        .rule(
+            pump,
+            Test::Zero,
+            Test::Zero,
+            accept,
+            Action::Keep,
+            Action::Keep,
+        )
         .rule(
             pump,
             Test::Zero,
@@ -65,8 +86,7 @@ pub fn transfer_c1_to_c2(n: u32) -> TwoCounterMachine {
             Action::Keep,
             Action::Keep,
         );
-    TwoCounterMachine::new(n + 2, vec![State(accept)], b.build())
-        .expect("valid by construction")
+    TwoCounterMachine::new(n + 2, vec![State(accept)], b.build()).expect("valid by construction")
 }
 
 /// Pump counter 1 to `n`, then repeatedly subtract 2; accept iff the
@@ -131,8 +151,7 @@ pub fn accept_iff_even(n: u32) -> TwoCounterMachine {
             Action::Keep,
         );
     // sub_inner with c1 = 0: no rule — stuck (odd n).
-    TwoCounterMachine::new(n + 3, vec![State(accept)], b.build())
-        .expect("valid by construction")
+    TwoCounterMachine::new(n + 3, vec![State(accept)], b.build()).expect("valid by construction")
 }
 
 /// The paper's own single-transition example (Sec. 4.1, Increments):

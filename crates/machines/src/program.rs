@@ -189,8 +189,7 @@ impl Program {
             }
         }
         // One extra sink state for fall-through off the end.
-        TwoCounterMachine::new((n + 1) as u32, accepting, b.build())
-            .map_err(ProgramError::Machine)
+        TwoCounterMachine::new((n + 1) as u32, accepting, b.build()).map_err(ProgramError::Machine)
     }
 }
 
@@ -287,7 +286,10 @@ mod tests {
             p.compile().unwrap_err(),
             ProgramError::BadTarget { at: 0, target: 9 }
         );
-        assert_eq!(Program::new(vec![]).compile().unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            Program::new(vec![]).compile().unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]

@@ -104,8 +104,7 @@ pub fn reduce(g: &GuardedForm) -> Result<GuardedForm, ReduceError> {
             .clone()
             .and(phase_free.clone());
         if initial_labels.contains(label) {
-            add = add.or(Formula::label(BUILD)
-                .and(Formula::label(label).not()));
+            add = add.or(Formula::label(BUILD).and(Formula::label(label).not()));
         }
         rules.set(Right::Add, ne, add);
         // Deletions: A(del,e) ∨ reset (as printed in the paper), with the
@@ -123,17 +122,11 @@ pub fn reduce(g: &GuardedForm) -> Result<GuardedForm, ReduceError> {
     rules.set(Right::Add, reset_edge, phase_free.clone());
     rules.set(Right::Del, reset_edge, Formula::label(BUILD));
     // A(add, build) = reset ∧ ¬build ∧ ¬(l₁ ∨ … ∨ lₙ).
-    let any_original = Formula::disj(
-        original_edges
-            .iter()
-            .map(|(_, l)| Formula::label(l)),
-    );
+    let any_original = Formula::disj(original_edges.iter().map(|(_, l)| Formula::label(l)));
     rules.set(
         Right::Add,
         build_edge,
-        Formula::label(RESET)
-            .and(not_build)
-            .and(any_original.not()),
+        Formula::label(RESET).and(not_build).and(any_original.not()),
     );
     // A(del, build) tests "the instance is can(I₀)" over the original
     // labels (χ), with reset already gone.
@@ -182,8 +175,7 @@ mod tests {
     }
 
     fn roundtrip(g: &GuardedForm) {
-        let completable =
-            completability(g, &CompletabilityOptions::default()).verdict;
+        let completable = completability(g, &CompletabilityOptions::default()).verdict;
         let g2 = reduce(g).unwrap();
         let semisound = semisoundness(&g2, &SemisoundnessOptions::default()).verdict;
         assert_eq!(
@@ -212,12 +204,7 @@ mod tests {
 
     #[test]
     fn incompletable_forms_stay_unsound() {
-        let g = form(
-            "a, b",
-            &[("a", "b", "true"), ("b", "a", "true")],
-            "",
-            "a",
-        );
+        let g = form("a, b", &[("a", "b", "true"), ("b", "a", "true")], "", "a");
         assert_eq!(
             completability(&g, &CompletabilityOptions::default()).verdict,
             Verdict::Fails
@@ -267,22 +254,40 @@ mod tests {
         let mut inst = g2.initial().clone();
         let e = |l: &str| sch.resolve(l).unwrap();
         // add reset
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(RESET) })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e(RESET),
+            },
+        )
+        .unwrap();
         // delete the original a
         let a_node = inst.children_with_label(root, "a").next().unwrap();
         g2.apply(&mut inst, &idar_core::Update::Del { node: a_node })
             .unwrap();
         // add build (form is empty of original labels)
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e(BUILD),
+            },
+        )
+        .unwrap();
         // delete reset (build present)
         let r_node = inst.children_with_label(root, RESET).next().unwrap();
         g2.apply(&mut inst, &idar_core::Update::Del { node: r_node })
             .unwrap();
         // rebuild a
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e("a") })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e("a"),
+            },
+        )
+        .unwrap();
         // delete build: allowed because the instance now matches can(I₀)
         let b_node = inst.children_with_label(root, BUILD).next().unwrap();
         g2.apply(&mut inst, &idar_core::Update::Del { node: b_node })
@@ -290,8 +295,14 @@ mod tests {
         // Back at the start (canonically).
         assert!(idar_core::bisim::equivalent(&inst, g2.initial()));
         // …and the original completion still works from here.
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e("b") })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e("b"),
+            },
+        )
+        .unwrap();
         assert!(g2.is_complete(&inst));
     }
 
@@ -303,10 +314,28 @@ mod tests {
         let mut inst = g2.initial().clone();
         let e = |l: &str| g2.schema().resolve(l).unwrap();
         // build without reset: rejected.
-        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) }));
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: e(RESET) })
-            .unwrap();
+        assert!(!g2.is_allowed(
+            &inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e(BUILD)
+            }
+        ));
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e(RESET),
+            },
+        )
+        .unwrap();
         // build while `a` still present: rejected.
-        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: e(BUILD) }));
+        assert!(!g2.is_allowed(
+            &inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: e(BUILD)
+            }
+        ));
     }
 }

@@ -18,7 +18,7 @@
 //! `¬n(a) ∧ n(b)` is unsatisfiable); [`reduce`] rejects self-loop edges.
 
 use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, InstNodeId, Right, SchemaBuilder, SchemaNodeId,
+    AccessRules, Formula, GuardedForm, InstNodeId, Instance, Right, SchemaBuilder, SchemaNodeId,
 };
 use idar_deadlock::{Configuration, DeadlockInstance, SyncPair, Vertex};
 use std::sync::Arc;
@@ -134,9 +134,10 @@ pub fn reduce(inst: &DeadlockInstance) -> Result<GuardedForm, SelfLoopPair> {
     rules.map_guards(&schema, |_, _, g| g.simplified());
 
     // φ = conf ∧ ∧_{((a,b),(c,d))} ¬(n(a) ∧ n(c))
-    let completion = inst.pairs.iter().fold(conf, |acc, p| {
-        acc.and(vl(p.from_i).and(vl(p.from_j)).not())
-    });
+    let completion = inst
+        .pairs
+        .iter()
+        .fold(conf, |acc, p| acc.and(vl(p.from_i).and(vl(p.from_j)).not()));
 
     // Initial instance: the start configuration.
     let mut initial = Instance::empty(schema.clone());
@@ -152,10 +153,7 @@ pub fn reduce(inst: &DeadlockInstance) -> Result<GuardedForm, SelfLoopPair> {
 /// Decode a "quiet" instance (no control nodes) back into a configuration.
 /// Returns `None` if a control node is present or some component has no
 /// unique vertex.
-pub fn decode_configuration(
-    deadlock: &DeadlockInstance,
-    inst: &Instance,
-) -> Option<Configuration> {
+pub fn decode_configuration(deadlock: &DeadlockInstance, inst: &Instance) -> Option<Configuration> {
     for idx in 0..deadlock.pairs.len() {
         if inst
             .children_with_label(InstNodeId::ROOT, &pair_label(idx))
@@ -299,7 +297,11 @@ mod tests {
             let inst = b.build().unwrap();
             let baseline = inst.find_reachable_deadlock().deadlock.is_some();
             let v = verdict(&inst);
-            let expected = if baseline { Verdict::Holds } else { Verdict::Fails };
+            let expected = if baseline {
+                Verdict::Holds
+            } else {
+                Verdict::Fails
+            };
             assert_eq!(v, expected, "random system diverged from baseline");
             if baseline {
                 holds += 1;

@@ -24,7 +24,7 @@
 //! preserved.
 
 use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, InstNodeId, PathExpr, Right, SchemaBuilder,
+    AccessRules, Formula, GuardedForm, InstNodeId, Instance, PathExpr, Right, SchemaBuilder,
     SchemaNodeId,
 };
 use std::collections::HashMap;
@@ -52,10 +52,9 @@ pub fn rewrite_formula(f: &Formula) -> Formula {
         Formula::False => Formula::False,
         Formula::Path(p) => Formula::Path(rewrite_path(p)),
         Formula::Not(g) => Formula::Not(Box::new(rewrite_formula(g))),
-        Formula::And(a, b) => Formula::And(
-            Box::new(rewrite_formula(a)),
-            Box::new(rewrite_formula(b)),
-        ),
+        Formula::And(a, b) => {
+            Formula::And(Box::new(rewrite_formula(a)), Box::new(rewrite_formula(b)))
+        }
         Formula::Or(a, b) => {
             Formula::Or(Box::new(rewrite_formula(a)), Box::new(rewrite_formula(b)))
         }
@@ -69,13 +68,10 @@ fn rewrite_path(p: &PathExpr) -> PathExpr {
             Box::new(PathExpr::Label(l.clone())),
             Box::new(Formula::label(DELETED).not()),
         ),
-        PathExpr::Seq(a, b) => {
-            PathExpr::Seq(Box::new(rewrite_path(a)), Box::new(rewrite_path(b)))
+        PathExpr::Seq(a, b) => PathExpr::Seq(Box::new(rewrite_path(a)), Box::new(rewrite_path(b))),
+        PathExpr::Filter(a, f) => {
+            PathExpr::Filter(Box::new(rewrite_path(a)), Box::new(rewrite_formula(f)))
         }
-        PathExpr::Filter(a, f) => PathExpr::Filter(
-            Box::new(rewrite_path(a)),
-            Box::new(rewrite_formula(f)),
-        ),
     }
 }
 
@@ -162,11 +158,7 @@ pub fn live_projection(original_schema: &Arc<idar_core::Schema>, inst: &Instance
             continue;
         }
         // Marked ⇔ has a tombstone child.
-        if inst
-            .children_with_label(n, DELETED)
-            .next()
-            .is_some()
-        {
+        if inst.children_with_label(n, DELETED).next().is_some() {
             continue;
         }
         let p = inst.parent(n).expect("non-root");
@@ -301,24 +293,45 @@ mod tests {
         // Cannot mark `a` while its `p` child is live.
         assert!(!g2.is_allowed(
             &inst,
-            &idar_core::Update::Add { parent: a_node, edge: a_marker }
+            &idar_core::Update::Add {
+                parent: a_node,
+                edge: a_marker
+            }
         ));
         // Mark p first, then a becomes markable.
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: p_node, edge: p_marker })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: p_node,
+                edge: p_marker,
+            },
+        )
+        .unwrap();
         assert!(g2.is_allowed(
             &inst,
-            &idar_core::Update::Add { parent: a_node, edge: a_marker }
+            &idar_core::Update::Add {
+                parent: a_node,
+                edge: a_marker
+            }
         ));
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: a_node, edge: a_marker })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: a_node,
+                edge: a_marker,
+            },
+        )
+        .unwrap();
         // The completion ¬a — rewritten ¬a[¬deleted] — now holds.
         assert!(g2.is_complete(&inst));
         // No additions under the dead stub.
         let p_edge = g2.schema().resolve("a/p").unwrap();
         assert!(!g2.is_allowed(
             &inst,
-            &idar_core::Update::Add { parent: a_node, edge: p_edge }
+            &idar_core::Update::Add {
+                parent: a_node,
+                edge: p_edge
+            }
         ));
     }
 
@@ -326,7 +339,11 @@ mod tests {
     fn live_projection_roundtrip() {
         let g = form(
             "a(p), s",
-            &[("a", "!a", "false"), ("a/p", "!p", "true"), ("s", "true", "false")],
+            &[
+                ("a", "!a", "false"),
+                ("a/p", "!p", "true"),
+                ("s", "true", "false"),
+            ],
             "a(p)",
             "s",
         );
@@ -336,8 +353,14 @@ mod tests {
         let a_node = inst.children_with_label(root, "a").next().unwrap();
         let p_node = inst.children_with_label(a_node, "p").next().unwrap();
         let p_marker = g2.schema().resolve("a/p/deleted").unwrap();
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: p_node, edge: p_marker })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: p_node,
+                edge: p_marker,
+            },
+        )
+        .unwrap();
         let proj = live_projection(g.schema(), &inst);
         // In the original semantics we deleted p: projection = a alone.
         assert_eq!(proj.iso_code(), "a");

@@ -54,8 +54,16 @@ pub fn reduce(g: &GuardedForm) -> Result<GuardedForm, ReservedFinal> {
 
     let mut rules = idar_core::AccessRules::new(&new_schema);
     for old in schema.edge_ids() {
-        rules.set(Right::Add, id_map[&old], g.rules().get(Right::Add, old).clone());
-        rules.set(Right::Del, id_map[&old], g.rules().get(Right::Del, old).clone());
+        rules.set(
+            Right::Add,
+            id_map[&old],
+            g.rules().get(Right::Add, old).clone(),
+        );
+        rules.set(
+            Right::Del,
+            id_map[&old],
+            g.rules().get(Right::Del, old).clone(),
+        );
     }
     rules.set(
         Right::Add,
@@ -127,9 +135,19 @@ mod tests {
     fn completability_preserved() {
         let cases = [
             // (schema, rules, initial, completion)
-            ("a, b", vec![("a", "!a", "false"), ("b", "a", "false")], "", "a & !b"),
+            (
+                "a, b",
+                vec![("a", "!a", "false"), ("b", "a", "false")],
+                "",
+                "a & !b",
+            ),
             ("a, b", vec![("a", "b", "true")], "", "a"), // incompletable
-            ("a, b", vec![("a", "false", "true"), ("b", "true", "false")], "a", "b & !a"),
+            (
+                "a, b",
+                vec![("a", "false", "true"), ("b", "true", "false")],
+                "a",
+                "b & !a",
+            ),
         ];
         for (schema, rules, initial, completion) in cases {
             let g = form(schema, &rules, initial, completion);
@@ -144,9 +162,19 @@ mod tests {
     fn semisoundness_preserved() {
         let cases = [
             // Semi-sound: everything stays completable.
-            ("a, b", vec![("a", "!a", "true"), ("b", "a & !b", "true")], "", "a"),
+            (
+                "a, b",
+                vec![("a", "!a", "true"), ("b", "a & !b", "true")],
+                "",
+                "a",
+            ),
             // Not semi-sound: trap t blocks the goal.
-            ("g, t", vec![("g", "!t & !g", "false"), ("t", "!t", "false")], "", "g"),
+            (
+                "g, t",
+                vec![("g", "!t & !g", "false"), ("t", "!t", "false")],
+                "",
+                "g",
+            ),
         ];
         for (schema, rules, initial, completion) in cases {
             let g = form(schema, &rules, initial, completion);
@@ -165,14 +193,38 @@ mod tests {
         let fe = g2.schema().resolve(FINAL).unwrap();
         let mut inst = g2.initial().clone();
         // φ (= a) does not hold yet.
-        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: fe }));
+        assert!(!g2.is_allowed(
+            &inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: fe
+            }
+        ));
         let ae = g2.schema().resolve("a").unwrap();
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: ae })
-            .unwrap();
-        g2.apply(&mut inst, &idar_core::Update::Add { parent: root, edge: fe })
-            .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: ae,
+            },
+        )
+        .unwrap();
+        g2.apply(
+            &mut inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: fe,
+            },
+        )
+        .unwrap();
         assert!(g2.is_complete(&inst));
-        assert!(!g2.is_allowed(&inst, &idar_core::Update::Add { parent: root, edge: fe }));
+        assert!(!g2.is_allowed(
+            &inst,
+            &idar_core::Update::Add {
+                parent: root,
+                edge: fe
+            }
+        ));
         // final is frozen.
         let fnode = inst.children_with_label(root, FINAL).next().unwrap();
         assert!(!g2.is_allowed(&inst, &idar_core::Update::Del { node: fnode }));
@@ -182,7 +234,11 @@ mod tests {
     fn deep_schemas_supported() {
         let g = form(
             "a(p(b))",
-            &[("a", "!a", "false"), ("a/p", "true", "false"), ("a/p/b", "!b", "false")],
+            &[
+                ("a", "!a", "false"),
+                ("a/p", "true", "false"),
+                ("a/p/b", "!b", "false"),
+            ],
             "",
             "a/p[b] & !a/p[!b]",
         );

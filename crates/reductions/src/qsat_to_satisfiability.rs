@@ -123,9 +123,7 @@ fn substitute(matrix: &PropFormula, level_of: &HashMap<Var, usize>, n: usize) ->
             Formula::Path(PathExpr::ancestors_then(n - d - 1, &value_label(d)))
         }
         PropFormula::Not(g) => substitute(g, level_of, n).not(),
-        PropFormula::And(a, b) => {
-            substitute(a, level_of, n).and(substitute(b, level_of, n))
-        }
+        PropFormula::And(a, b) => substitute(a, level_of, n).and(substitute(b, level_of, n)),
         PropFormula::Or(a, b) => substitute(a, level_of, n).or(substitute(b, level_of, n)),
     }
 }

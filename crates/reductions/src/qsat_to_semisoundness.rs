@@ -23,7 +23,7 @@
 //! strategy for the QSAT instance.
 
 use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, InstNodeId, PathExpr, Right, SchemaBuilder,
+    AccessRules, Formula, GuardedForm, InstNodeId, Instance, PathExpr, Right, SchemaBuilder,
     SchemaNodeId, Update,
 };
 use idar_logic::prop::{Assignment, Var};
@@ -81,7 +81,8 @@ pub fn reduce(qbf: &Qbf) -> Result<Qsat2kForm, NotQsat2k> {
     b.child(SchemaNodeId::ROOT, UC).expect("fresh");
     for j in 0..n {
         b.child(SchemaNodeId::ROOT, &x_label(0, j)).expect("fresh");
-        b.child(SchemaNodeId::ROOT, &y_label(k - 1, j)).expect("fresh");
+        b.child(SchemaNodeId::ROOT, &y_label(k - 1, j))
+            .expect("fresh");
     }
     // The ∀ chain: A0 under the root, A(i+1) under A(i); under A(i):
     // x(i+1) vars and y(i) vars.
@@ -128,8 +129,7 @@ pub fn reduce(qbf: &Qbf) -> Result<Qsat2kForm, NotQsat2k> {
         // η_cj at the A(c) node (depth c+1): y_label(c, j) ↔ root's yk_j.
         let eta = Formula::conj((0..n).map(|j| {
             let yij = Formula::label(&y_label(c, j));
-            let root_yk =
-                Formula::Path(PathExpr::ancestors_then(c + 1, &y_label(k - 1, j)));
+            let root_yk = Formula::Path(PathExpr::ancestors_then(c + 1, &y_label(k - 1, j)));
             yij.iff(root_yk)
         }));
         let body = Formula::Path(PathExpr::Filter(
@@ -448,7 +448,11 @@ mod tests {
             assert_eq!(qbf.eval(), qbf_true, "baseline {matrix}");
             let q = reduce(&qbf).unwrap();
             let r = semisoundness(&q.form, &SemisoundnessOptions::default());
-            let expected = if qbf_true { Verdict::Fails } else { Verdict::Holds };
+            let expected = if qbf_true {
+                Verdict::Fails
+            } else {
+                Verdict::Holds
+            };
             assert_eq!(r.verdict, expected, "matrix {matrix}");
         }
     }
@@ -459,7 +463,11 @@ mod tests {
             let qbf = random_qsat2k(seed, 1, 2, 7);
             let q = reduce(&qbf).unwrap();
             let r = semisoundness(&q.form, &SemisoundnessOptions::default());
-            let expected = if qbf.eval() { Verdict::Fails } else { Verdict::Holds };
+            let expected = if qbf.eval() {
+                Verdict::Fails
+            } else {
+                Verdict::Holds
+            };
             assert_eq!(r.verdict, expected, "seed {seed}");
         }
     }
@@ -543,25 +551,48 @@ mod tests {
         let mut inst = q.form.initial().clone();
         // While uc present: x1 addable.
         let x1_edge = q.form.schema().resolve(&x_label(0, 0)).unwrap();
-        assert!(q.form.is_allowed(&inst, &Update::Add { parent: root, edge: x1_edge }));
+        assert!(q.form.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: root,
+                edge: x1_edge
+            }
+        ));
         // Delete uc.
         let uc_node = inst.children_with_label(root, UC).next().unwrap();
-        q.form.apply(&mut inst, &Update::Del { node: uc_node }).unwrap();
+        q.form
+            .apply(&mut inst, &Update::Del { node: uc_node })
+            .unwrap();
         // uc cannot come back (A(add, uc) = uc).
         let uc_edge = q.form.schema().resolve(UC).unwrap();
-        assert!(!q.form.is_allowed(&inst, &Update::Add { parent: root, edge: uc_edge }));
+        assert!(!q.form.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: root,
+                edge: uc_edge
+            }
+        ));
         // x1 frozen; yk still free.
-        assert!(!q.form.is_allowed(&inst, &Update::Add { parent: root, edge: x1_edge }));
+        assert!(!q.form.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: root,
+                edge: x1_edge
+            }
+        ));
         let yk_edge = q.form.schema().resolve(&y_label(1, 0)).unwrap();
-        assert!(q.form.is_allowed(&inst, &Update::Add { parent: root, edge: yk_edge }));
+        assert!(q.form.is_allowed(
+            &inst,
+            &Update::Add {
+                parent: root,
+                edge: yk_edge
+            }
+        ));
     }
 
     #[test]
     fn shape_validation() {
-        let bad = Qbf::new(
-            vec![(Quantifier::ForAll, vec![Var(0)])],
-            p_var(Var(0)),
-        );
+        let bad = Qbf::new(vec![(Quantifier::ForAll, vec![Var(0)])], p_var(Var(0)));
         assert!(reduce(&bad).is_err());
     }
 }

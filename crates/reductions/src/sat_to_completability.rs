@@ -136,7 +136,11 @@ mod tests {
             let cnf = idar_logic::gen::random_3cnf(seed, 5, 10 + (seed as usize % 15));
             let baseline = idar_logic::sat_solve(&cnf).is_some();
             let r = verdict(&cnf);
-            let expected = if baseline { Verdict::Holds } else { Verdict::Fails };
+            let expected = if baseline {
+                Verdict::Holds
+            } else {
+                Verdict::Fails
+            };
             assert_eq!(r.verdict, expected, "seed {seed}: {cnf}");
         }
     }

@@ -19,7 +19,7 @@
 //! the form fails semi-soundness iff ψ is satisfiable.
 
 use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, InstNodeId, Right, SchemaBuilder, SchemaNodeId,
+    AccessRules, Formula, GuardedForm, InstNodeId, Instance, Right, SchemaBuilder, SchemaNodeId,
 };
 use idar_logic::prop::{Cnf, Lit, Var};
 use std::sync::Arc;
@@ -67,9 +67,11 @@ pub fn reduce(cnf: &Cnf) -> GuardedForm {
     }
 
     // neg(ψ): ∨ over clauses of ∧ over complemented literals.
-    let completion = Formula::disj(cnf.clauses.iter().map(|c| {
-        Formula::conj(c.0.iter().map(|&l| Formula::label(&complement_label(l))))
-    }));
+    let completion = Formula::disj(
+        cnf.clauses
+            .iter()
+            .map(|c| Formula::conj(c.0.iter().map(|&l| Formula::label(&complement_label(l))))),
+    );
 
     // Initial instance: the root with all xᵢ and x̄ᵢ.
     let mut initial = Instance::empty(schema.clone());

@@ -42,11 +42,7 @@ mod tests {
             let f = reduce(&cnf);
             let tableau = satisfiable(&f, &SatOptions::default());
             let baseline = idar_logic::sat_solve(&cnf).is_some();
-            assert_eq!(
-                tableau.is_sat(),
-                baseline,
-                "seed {seed}: {cnf} vs {f}"
-            );
+            assert_eq!(tableau.is_sat(), baseline, "seed {seed}: {cnf} vs {f}");
             assert_ne!(tableau, SatResult::BudgetExhausted);
         }
     }
@@ -60,9 +56,8 @@ mod tests {
             // Baseline: brute force over the 4 variables.
             let mut baseline = false;
             for bits in 0u8..16 {
-                let a = idar_logic::Assignment::from_bits(
-                    (0..4).map(|i| bits >> i & 1 == 1).collect(),
-                );
+                let a =
+                    idar_logic::Assignment::from_bits((0..4).map(|i| bits >> i & 1 == 1).collect());
                 if pf.eval(&a) {
                     baseline = true;
                     break;

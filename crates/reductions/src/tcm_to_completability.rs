@@ -27,7 +27,7 @@
 //! Both live at depth 1; the form stays at depth 2 as the theorem states.
 
 use idar_core::{
-    AccessRules, Formula, GuardedForm, Instance, InstNodeId, Right, SchemaBuilder, SchemaNodeId,
+    AccessRules, Formula, GuardedForm, InstNodeId, Instance, Right, SchemaBuilder, SchemaNodeId,
 };
 use idar_machines::{Action, Config, State, Test, TwoCounterMachine};
 use std::sync::Arc;
@@ -64,11 +64,7 @@ pub struct TcmForm {
 /// Compile a machine into a depth-2 guarded form whose completability is
 /// exactly the machine's halting (Thm 4.1).
 pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
-    let transitions: Vec<_> = machine
-        .delta
-        .iter()
-        .map(|(&d, &e)| (d, e))
-        .collect();
+    let transitions: Vec<_> = machine.delta.iter().map(|(&d, &e)| (d, e)).collect();
 
     // ---- Schema -------------------------------------------------------
     let mut b = SchemaBuilder::new();
@@ -98,8 +94,14 @@ pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
     let mut init_edges = Vec::with_capacity(transitions.len());
     let mut done_edges = Vec::with_capacity(transitions.len());
     for idx in 0..transitions.len() {
-        init_edges.push(b.child(SchemaNodeId::ROOT, &init_label(idx)).expect("fresh"));
-        done_edges.push(b.child(SchemaNodeId::ROOT, &done_label(idx)).expect("fresh"));
+        init_edges.push(
+            b.child(SchemaNodeId::ROOT, &init_label(idx))
+                .expect("fresh"),
+        );
+        done_edges.push(
+            b.child(SchemaNodeId::ROOT, &done_label(idx))
+                .expect("fresh"),
+        );
     }
     let schema = Arc::new(b.build());
 
@@ -182,17 +184,11 @@ pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
                             .and(lbl(&mmi).not()),
                     );
                     // Tear the d marks down, then m_i.
-                    rules.add_disjunct(
-                        Right::Del,
-                        d_edges[i],
-                        at_root(lbl(&t).and(lbl(&mmi))),
-                    );
+                    rules.add_disjunct(Right::Del, d_edges[i], at_root(lbl(&t).and(lbl(&mmi))));
                     rules.add_disjunct(
                         Right::Del,
                         m_edges[i],
-                        lbl(&t)
-                            .and(lbl(&mmi))
-                            .and(counter_with(i, lbl("d")).not()),
+                        lbl(&t).and(lbl(&mmi)).and(counter_with(i, lbl("d")).not()),
                     );
                     completes.push(
                         lbl(&mmi)
@@ -266,11 +262,7 @@ pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
                             .and(lbl(&mmi).not()),
                     );
                     // Tear down dd marks, then m_i.
-                    rules.add_disjunct(
-                        Right::Del,
-                        dd_edges[i],
-                        at_root(lbl(&t).and(lbl(&mmi))),
-                    );
+                    rules.add_disjunct(Right::Del, dd_edges[i], at_root(lbl(&t).and(lbl(&mmi))));
                     rules.add_disjunct(
                         Right::Del,
                         m_edges[i],
@@ -304,11 +296,7 @@ pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
                     .and(both_complete.clone())
                     .and(lbl(&state_label(p)).not()),
             );
-            rules.add_disjunct(
-                Right::Del,
-                q_edge,
-                lbl(&t).and(lbl(&state_label(p))),
-            );
+            rules.add_disjunct(Right::Del, q_edge, lbl(&t).and(lbl(&state_label(p))));
             lbl(&state_label(p)).and(lbl(&state_label(q)).not())
         };
 
@@ -320,11 +308,7 @@ pub fn reduce(machine: &TwoCounterMachine) -> TcmForm {
         );
         for (i, action) in [a1, a2].into_iter().enumerate() {
             if action != Action::Keep {
-                rules.add_disjunct(
-                    Right::Del,
-                    mm_edges[i],
-                    lbl(&t).and(lbl(&dn)),
-                );
+                rules.add_disjunct(Right::Del, mm_edges[i], lbl(&t).and(lbl(&dn)));
             }
         }
         rules.set(
@@ -494,11 +478,7 @@ mod tests {
             let tcm = reduce(&machine);
             let got = tcm.trace(configs, 4_000);
             let expected_full = machine.trace(configs as u64);
-            let expected: Vec<_> = expected_full
-                .iter()
-                .copied()
-                .take(got.len())
-                .collect();
+            let expected: Vec<_> = expected_full.iter().copied().take(got.len()).collect();
             assert_eq!(got, expected, "trace diverged");
             assert!(
                 got.len() == configs || got.len() == expected_full.len(),
@@ -560,7 +540,11 @@ mod tests {
 
     #[test]
     fn nonhalting_machines_never_complete_within_bounds() {
-        for machine in [library::diverge(), library::ping_pong(), library::accept_iff_even(3)] {
+        for machine in [
+            library::diverge(),
+            library::ping_pong(),
+            library::accept_iff_even(3),
+        ] {
             assert!(!machine.run(10_000).halted());
             let tcm = reduce(&machine);
             let r = completability(

@@ -1,0 +1,365 @@
+//! Concurrent batch analysis of many guarded forms.
+//!
+//! A production form-based WIS does not check one form at a time: a
+//! designer saves a change and *every* deployed form variant is re-vetted;
+//! a nightly job sweeps the whole catalogue. [`BatchAnalyzer`] is the
+//! entry point for that shape of workload — it fans a set of forms out
+//! over a worker pool and runs the selected analyses (completability,
+//! semi-soundness, completion-formula satisfiability) under one shared
+//! [`ExploreLimits`] budget.
+//!
+//! Parallelism is two-level: the batch pool parallelises *across* forms
+//! (one job = one analysis of one form), and each bounded search may
+//! itself use the parallel frontier engine *within* a form. For batches
+//! of many small forms the across-forms level dominates; for a few huge
+//! forms the within-form level does. Both are std-only thread pools, so
+//! oversubscription degrades gracefully under the OS scheduler.
+//!
+//! Results come back in submission order, independent of scheduling:
+//!
+//! ```
+//! use idar_core::leave;
+//! use idar_solver::batch::{BatchAnalyzer, BatchItem};
+//! use idar_solver::{ExploreLimits, Verdict};
+//!
+//! let limits = ExploreLimits { multiplicity_cap: Some(1), ..ExploreLimits::small() };
+//! let items = vec![
+//!     BatchItem::new("leave", leave::example_3_12()),
+//!     BatchItem::new("variant", leave::section_3_5_variant()),
+//! ];
+//! let reports = BatchAnalyzer::new().with_limits(limits).run(items);
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[0].name, "leave");
+//! assert_eq!(
+//!     reports[1].semisoundness.as_ref().unwrap().verdict,
+//!     Verdict::Fails, // the Sec. 3.5 variant is not semi-sound
+//! );
+//! ```
+
+use crate::completability::{completability, CompletabilityOptions, CompletabilityResult};
+use crate::explore::ExploreLimits;
+use crate::satisfiability::{satisfiable, SatOptions, SatResult};
+use crate::semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
+use idar_core::GuardedForm;
+
+/// One form to analyse, with a display name for the report.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Name echoed back in the corresponding [`FormReport`].
+    pub name: String,
+    /// The form under analysis.
+    pub form: GuardedForm,
+}
+
+impl BatchItem {
+    /// Bundle a name and a form.
+    pub fn new(name: impl Into<String>, form: GuardedForm) -> Self {
+        BatchItem {
+            name: name.into(),
+            form,
+        }
+    }
+}
+
+/// Which analyses a [`BatchAnalyzer`] runs per form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisSelection {
+    /// Run [`completability`] (Def. 3.13).
+    pub completability: bool,
+    /// Run [`semisoundness`] (Def. 3.14).
+    pub semisoundness: bool,
+    /// Check the completion formula is satisfiable over the form's schema
+    /// (Cor. 4.5) — a cheap necessary condition for completability that
+    /// catches dead completion formulas without any state search.
+    pub satisfiability: bool,
+}
+
+impl Default for AnalysisSelection {
+    fn default() -> Self {
+        AnalysisSelection {
+            completability: true,
+            semisoundness: true,
+            satisfiability: true,
+        }
+    }
+}
+
+/// The per-form outcome of a batch run. Fields are `None` when the
+/// corresponding analysis was not selected.
+#[derive(Debug, Clone)]
+pub struct FormReport {
+    /// The submitted [`BatchItem::name`].
+    pub name: String,
+    /// Completability verdict and witness, if selected.
+    pub completability: Option<CompletabilityResult>,
+    /// Semi-soundness verdict and counterexample, if selected.
+    pub semisoundness: Option<SemisoundnessResult>,
+    /// Completion-formula satisfiability, if selected.
+    pub satisfiability: Option<SatResult>,
+}
+
+/// Runs the selected analyses over many forms concurrently. See the
+/// module docs for the execution model.
+#[derive(Debug, Clone)]
+pub struct BatchAnalyzer {
+    limits: ExploreLimits,
+    threads: usize,
+    selection: AnalysisSelection,
+}
+
+impl Default for BatchAnalyzer {
+    fn default() -> Self {
+        BatchAnalyzer::new()
+    }
+}
+
+impl BatchAnalyzer {
+    /// An analyzer with default limits, all analyses selected, and
+    /// [`default_threads`](crate::explore::default_threads) pool size.
+    pub fn new() -> BatchAnalyzer {
+        BatchAnalyzer {
+            limits: ExploreLimits::default(),
+            threads: crate::explore::default_threads(),
+            selection: AnalysisSelection::default(),
+        }
+    }
+
+    /// Set the shared exploration limits for every search in the batch.
+    pub fn with_limits(mut self, limits: ExploreLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Set the worker-pool size (1 = run the batch sequentially).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Choose which analyses to run per form.
+    pub fn with_selection(mut self, selection: AnalysisSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Run the batch. Reports come back in submission order.
+    pub fn run(&self, items: Vec<BatchItem>) -> Vec<FormReport> {
+        // One job = one (form, analysis) pair, so a slow semi-soundness
+        // check on one form does not serialise the rest of the batch.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            Compl,
+            Semi,
+            Sat,
+        }
+        let mut kinds = Vec::new();
+        if self.selection.completability {
+            kinds.push(Kind::Compl);
+        }
+        if self.selection.semisoundness {
+            kinds.push(Kind::Semi);
+        }
+        if self.selection.satisfiability {
+            kinds.push(Kind::Sat);
+        }
+
+        let jobs: Vec<(usize, Kind)> = (0..items.len())
+            .flat_map(|i| kinds.iter().map(move |&k| (i, k)))
+            .collect();
+
+        /// One analysis outcome, computed without touching the report.
+        enum JobResult {
+            Compl(CompletabilityResult),
+            Semi(SemisoundnessResult),
+            Sat(SatResult),
+        }
+
+        impl JobResult {
+            fn store(self, report: &mut FormReport) {
+                match self {
+                    JobResult::Compl(r) => report.completability = Some(r),
+                    JobResult::Semi(r) => report.semisoundness = Some(r),
+                    JobResult::Sat(r) => report.satisfiability = Some(r),
+                }
+            }
+        }
+
+        let limits = self.limits;
+        let run_job = |item: &BatchItem, kind: Kind| match kind {
+            Kind::Compl => JobResult::Compl(completability(
+                &item.form,
+                &CompletabilityOptions::with_limits(limits),
+            )),
+            Kind::Semi => JobResult::Semi(semisoundness(
+                &item.form,
+                &SemisoundnessOptions {
+                    limits,
+                    oracle_limits: None,
+                },
+            )),
+            Kind::Sat => JobResult::Sat(satisfiable(
+                item.form.completion(),
+                &SatOptions {
+                    schema: Some(item.form.schema().clone()),
+                    ..SatOptions::default()
+                },
+            )),
+        };
+
+        let mut reports: Vec<FormReport> = items
+            .iter()
+            .map(|it| FormReport {
+                name: it.name.clone(),
+                completability: None,
+                semisoundness: None,
+                satisfiability: None,
+            })
+            .collect();
+
+        let pool_threads = self.threads.min(jobs.len());
+        #[cfg(feature = "parallel")]
+        if pool_threads > 1 {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+
+            // Per-form report slots behind independent locks; workers pull
+            // jobs from one shared counter until drained. The analysis
+            // itself runs outside any lock — the slot mutex is held only
+            // for the field store, so the three analyses of one form
+            // proceed concurrently on different workers.
+            let slots: Vec<Mutex<&mut FormReport>> = reports.iter_mut().map(Mutex::new).collect();
+            let next = AtomicUsize::new(0);
+            let jobs = &jobs;
+            let items = &items;
+            let slots = &slots;
+            let next = &next;
+            let run_job = &run_job;
+            std::thread::scope(|scope| {
+                for _ in 0..pool_threads {
+                    scope.spawn(move || loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(i, kind)) = jobs.get(j) else {
+                            break;
+                        };
+                        let result = run_job(&items[i], kind);
+                        result.store(&mut slots[i].lock().expect("report slot poisoned"));
+                    });
+                }
+            });
+            return reports;
+        }
+
+        for &(i, kind) in &jobs {
+            run_job(&items[i], kind).store(&mut reports[i]);
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verdict;
+    use idar_core::{leave, AccessRules, Formula, Instance, Schema};
+    use std::sync::Arc;
+
+    fn capped_limits() -> ExploreLimits {
+        ExploreLimits {
+            multiplicity_cap: Some(1),
+            max_states: 50_000,
+            ..ExploreLimits::small()
+        }
+    }
+
+    fn suite() -> Vec<BatchItem> {
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set(
+            idar_core::Right::Add,
+            schema.resolve("a").unwrap(),
+            Formula::parse("!a").unwrap(),
+        );
+        let tiny = idar_core::GuardedForm::new(
+            schema.clone(),
+            rules,
+            Instance::empty(schema),
+            Formula::parse("a & b").unwrap(), // b can never be added
+        );
+        vec![
+            BatchItem::new("leave", leave::example_3_12()),
+            BatchItem::new("variant", leave::section_3_5_variant()),
+            BatchItem::new("tiny_incompletable", tiny),
+        ]
+    }
+
+    #[test]
+    fn sequential_batch_verdicts() {
+        let reports = BatchAnalyzer::new()
+            .with_limits(capped_limits())
+            .with_threads(1)
+            .run(suite());
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports[0].completability.as_ref().unwrap().verdict,
+            Verdict::Holds
+        );
+        assert_eq!(
+            reports[1].semisoundness.as_ref().unwrap().verdict,
+            Verdict::Fails
+        );
+        assert_eq!(
+            reports[2].completability.as_ref().unwrap().verdict,
+            Verdict::Fails
+        );
+        // The incompletable form's completion is satisfiable in general
+        // trees of its schema — the state search, not the formula, rules
+        // it out.
+        assert!(reports[2].satisfiability.as_ref().unwrap().is_sat());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let seq = BatchAnalyzer::new()
+            .with_limits(capped_limits())
+            .with_threads(1)
+            .run(suite());
+        let par = BatchAnalyzer::new()
+            .with_limits(capped_limits())
+            .with_threads(4)
+            .run(suite());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(
+                s.completability.as_ref().unwrap().verdict,
+                p.completability.as_ref().unwrap().verdict
+            );
+            assert_eq!(
+                s.semisoundness.as_ref().unwrap().verdict,
+                p.semisoundness.as_ref().unwrap().verdict
+            );
+            assert_eq!(
+                s.satisfiability.as_ref().unwrap().is_sat(),
+                p.satisfiability.as_ref().unwrap().is_sat()
+            );
+        }
+    }
+
+    #[test]
+    fn selection_is_respected() {
+        let reports = BatchAnalyzer::new()
+            .with_limits(capped_limits())
+            .with_selection(AnalysisSelection {
+                completability: true,
+                semisoundness: false,
+                satisfiability: false,
+            })
+            .run(suite());
+        for r in &reports {
+            assert!(r.completability.is_some());
+            assert!(r.semisoundness.is_none());
+            assert!(r.satisfiability.is_none());
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub struct CompletabilityOptions {
 }
 
 impl CompletabilityOptions {
+    /// Options with the given limits and automatic method dispatch.
     pub fn with_limits(limits: ExploreLimits) -> Self {
         CompletabilityOptions {
             limits,
@@ -39,21 +40,20 @@ impl CompletabilityOptions {
 /// The result of a completability query.
 #[derive(Debug, Clone)]
 pub struct CompletabilityResult {
+    /// The three-valued answer.
     pub verdict: Verdict,
     /// Which algorithm ran.
     pub method: Method,
     /// A complete run when `Holds` (replayable with
     /// [`GuardedForm::replay`]).
     pub witness_run: Option<Vec<Update>>,
+    /// Statistics of the search that produced the verdict.
     pub stats: SearchStats,
 }
 
 /// Decide (or bound) completability of `form`. See module docs for the
 /// dispatch; exactness is tied to [`Method`] and `stats.closed`.
-pub fn completability(
-    form: &GuardedForm,
-    options: &CompletabilityOptions,
-) -> CompletabilityResult {
+pub fn completability(form: &GuardedForm, options: &CompletabilityOptions) -> CompletabilityResult {
     let method = options.force_method.unwrap_or_else(|| select_method(form));
     run_method(form, method, &options.limits)
 }
@@ -88,10 +88,7 @@ fn run_method(form: &GuardedForm, method: Method, limits: &ExploreLimits) -> Com
         Method::Depth1Canonical => match Depth1System::new(form) {
             Ok(sys) => {
                 let ans = sys.completability();
-                let witness_run = ans
-                    .moves
-                    .as_ref()
-                    .map(|m| sys.concretize(form, m));
+                let witness_run = ans.moves.as_ref().map(|m| sys.concretize(form, m));
                 CompletabilityResult {
                     verdict: ans.verdict,
                     method,
@@ -153,8 +150,7 @@ mod tests {
         // capped verdict reflects the true one. The library reports
         // `Fails` only because the capped search closed; the theory-level
         // caveat is documented in EXPERIMENTS.md.
-        let g = leave::example_3_12()
-            .with_completion(idar_core::Formula::parse("f & !s").unwrap());
+        let g = leave::example_3_12().with_completion(idar_core::Formula::parse("f & !s").unwrap());
         let limits = ExploreLimits {
             multiplicity_cap: Some(2),
             ..ExploreLimits::small()

@@ -18,7 +18,9 @@
 //! instead of a tree walk.
 
 use crate::verdict::{SearchStats, Verdict};
-use idar_core::{Formula, GuardedForm, InstNodeId, Instance, PathExpr, Right, SchemaNodeId, Update};
+use idar_core::{
+    Formula, GuardedForm, InstNodeId, Instance, PathExpr, Right, SchemaNodeId, Update,
+};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -27,9 +29,15 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Depth1Error {
     /// The schema has depth ≥ 2.
-    NotDepthOne { depth: u32 },
+    NotDepthOne {
+        /// The schema's actual depth.
+        depth: u32,
+    },
     /// More root labels than the bitset representation supports.
-    TooManyLabels { labels: usize },
+    TooManyLabels {
+        /// The schema's actual root-label count.
+        labels: usize,
+    },
 }
 
 impl fmt::Display for Depth1Error {
@@ -77,8 +85,7 @@ impl Depth1System {
         if depth > 1 {
             return Err(Depth1Error::NotDepthOne { depth });
         }
-        let label_edges: Vec<SchemaNodeId> =
-            schema.children(SchemaNodeId::ROOT).to_vec();
+        let label_edges: Vec<SchemaNodeId> = schema.children(SchemaNodeId::ROOT).to_vec();
         if label_edges.len() > 64 {
             return Err(Depth1Error::TooManyLabels {
                 labels: label_edges.len(),
@@ -236,8 +243,7 @@ impl Depth1System {
         let reach = self.reachable_from(self.initial);
         // Backward reachability from complete states within `reach`.
         let states: Vec<u64> = reach.states().collect();
-        let index: HashMap<u64, usize> =
-            states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let index: HashMap<u64, usize> = states.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         // Reverse adjacency.
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
         for (&s, &i) in &index {
@@ -324,6 +330,7 @@ pub struct Depth1Answer {
     pub witness_state: Option<u64>,
     /// Canonical run to the witness state.
     pub moves: Option<Vec<Depth1Move>>,
+    /// Canonical-state search statistics.
     pub stats: SearchStats,
 }
 
@@ -577,11 +584,7 @@ mod tests {
         assert_eq!(ss.verdict, Verdict::Fails);
         // The counterexample is the state {t} (or {g,t} — any with t).
         let s = ss.witness_state.unwrap();
-        let t_bit = sys
-            .label_names()
-            .iter()
-            .position(|l| l == "t")
-            .unwrap();
+        let t_bit = sys.label_names().iter().position(|l| l == "t").unwrap();
         assert_eq!(s >> t_bit & 1, 1);
         // Concretised counterexample run replays and its end state is stuck.
         let run = sys.concretize(&g, ss.moves.as_ref().unwrap());

@@ -1,23 +1,51 @@
 //! Bounded explicit-state exploration of a guarded form's run space.
 //!
-//! States are instances *up to isomorphism* — deduplicated via
-//! [`Instance::iso_code`], which preserves sibling multiplicity. This is
-//! deliberately **not** the bisimulation quotient: Lemma 4.3 makes the
-//! canonical-instance abstraction sound for depth-1 forms only, and Thm 4.1
-//! shows that at depth ≥ 2 multiplicities carry real information (they
-//! encode counter values!). The depth-1 fast path lives in
-//! [`crate::depth1`]; this explorer is the general-purpose engine.
+//! States are instances *up to isomorphism* — deduplicated via the
+//! interned canonical codes of [`idar_core::intern`], which preserve
+//! sibling multiplicity. This is deliberately **not** the bisimulation
+//! quotient: Lemma 4.3 makes the canonical-instance abstraction sound for
+//! depth-1 forms only, and Thm 4.1 shows that at depth ≥ 2 multiplicities
+//! carry real information (they encode counter values!). The depth-1 fast
+//! path lives in [`crate::depth1`]; this explorer is the general-purpose
+//! engine.
 //!
 //! Because completability is undecidable in general (Thm 4.1), the
 //! exploration is bounded, and the outcome records whether the search
 //! *closed* — i.e. exhausted every reachable state without hitting a limit.
 //! When it closed, negative answers are exact; otherwise they are reported
 //! as [`Verdict::Unknown`](crate::Verdict) by the callers.
+//!
+//! # Execution modes
+//!
+//! The explorer has two interchangeable engines:
+//!
+//! * **Sequential BFS** — one FIFO queue, one [`Interner`]. Always
+//!   available; state indices follow discovery order.
+//! * **Parallel layered BFS** (cargo feature `parallel`, on by default) —
+//!   each BFS layer's frontier is split across worker threads; successors
+//!   are deduplicated through a lock-striped [`SharedInterner`] and merged
+//!   into the state arrays sequentially (worker-chunk order, then
+//!   discovery order within a worker). See `docs/ARCHITECTURE.md` for the
+//!   shard/merge diagram.
+//!
+//! Both engines visit exactly the same state set, report the same
+//! [`SearchStats::closed`] flag and the same `states` count, and find
+//! goals at the same BFS depth; these invariants are independent of
+//! thread scheduling. What *may* vary — between the engines and, for the
+//! parallel engine, between runs (when two workers race to intern the
+//! same state, the OS scheduler picks the discoverer that supplies its
+//! parent pointer and merge position) — is state numbering, which
+//! same-depth goal state is returned first, and the `transitions` count
+//! of searches that stop early (the parallel engine finishes its layer).
+//! Use `.with_threads(1)` when bit-identical graphs across runs matter.
+//! The differential tests in this module and in
+//! `tests/parallel_differential.rs` pin these guarantees down.
+//!
+//! [`Interner`]: idar_core::Interner
+//! [`SharedInterner`]: idar_core::SharedInterner
 
 use crate::verdict::{LimitKind, SearchStats};
-use idar_core::{GuardedForm, Instance, Update};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use idar_core::{GuardedForm, Instance, Interner, Update};
 
 /// Resource limits for bounded exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,22 +127,74 @@ impl StateGraph {
     }
 }
 
+/// Number of worker threads the explorer uses by default: all available
+/// cores with the `parallel` feature, 1 without.
+pub fn default_threads() -> usize {
+    if cfg!(feature = "parallel") {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    }
+}
+
 /// Bounded breadth-first explorer over a guarded form's instances.
+///
+/// ```
+/// use idar_core::leave;
+/// use idar_solver::{ExploreLimits, Explorer};
+///
+/// let form = leave::example_3_12();
+/// let explorer = Explorer::new(&form, ExploreLimits::small()).with_threads(2);
+/// let out = explorer.find(|i| form.is_complete(i));
+/// let run = out.goal_run.expect("the leave form is completable");
+/// assert!(form.is_complete_run(&run));
+/// ```
 #[derive(Debug, Clone)]
 pub struct Explorer<'a> {
     form: &'a GuardedForm,
     limits: ExploreLimits,
+    threads: usize,
 }
 
 impl<'a> Explorer<'a> {
+    /// An explorer over `form` with the given limits and the default
+    /// thread count ([`default_threads`]).
     pub fn new(form: &'a GuardedForm, limits: ExploreLimits) -> Self {
-        Explorer { form, limits }
+        Explorer {
+            form,
+            limits,
+            threads: default_threads(),
+        }
+    }
+
+    /// Set the worker-thread count. `1` forces the sequential engine;
+    /// values above 1 use the parallel layered engine when the `parallel`
+    /// feature is enabled (and fall back to sequential otherwise).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// BFS from the initial instance until `goal` holds for some state (or
     /// the space/limits are exhausted). Returns the shortest-in-BFS run to
     /// the goal, if found.
-    pub fn find(&self, mut goal: impl FnMut(&Instance) -> bool) -> ExploreOutcome {
+    pub fn find(&self, goal: impl Fn(&Instance) -> bool + Sync) -> ExploreOutcome {
+        #[cfg(feature = "parallel")]
+        if self.threads > 1 {
+            let g = self.run_parallel(Some(&goal), false);
+            return ExploreOutcome {
+                goal_run: g.goal.map(|i| g.graph.run_to(i)),
+                stats: g.graph.stats,
+            };
+        }
+        let mut goal = goal;
         let g = self.run(Some(&mut goal), false);
         ExploreOutcome {
             goal_run: g.goal.map(|i| g.graph.run_to(i)),
@@ -124,9 +204,17 @@ impl<'a> Explorer<'a> {
 
     /// Exhaustively (within limits) build the reachable state graph.
     pub fn graph(&self) -> StateGraph {
+        #[cfg(feature = "parallel")]
+        if self.threads > 1 {
+            return self.run_parallel(None, true).graph;
+        }
         self.run(None, true).graph
     }
 
+    /// The sequential engine: FIFO BFS with interned-code deduplication.
+    ///
+    /// Dense [`IsoCode`](idar_core::IsoCode)s are assigned in discovery
+    /// order here, so a code doubles as the state's index — no side table.
     fn run(
         &self,
         mut goal: Option<&mut dyn FnMut(&Instance) -> bool>,
@@ -139,9 +227,10 @@ impl<'a> Explorer<'a> {
         let mut parents: Vec<Option<(usize, Update)>> = Vec::new();
         let mut depth: Vec<usize> = Vec::new();
         let mut edges: Vec<Vec<(Update, usize)>> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut interner = Interner::new();
 
-        index.insert(initial.iso_code(), 0);
+        let (c0, _) = interner.intern(initial.canon_key());
+        debug_assert_eq!(c0.index(), 0);
         states.push(initial);
         parents.push(None);
         depth.push(0);
@@ -166,7 +255,7 @@ impl<'a> Explorer<'a> {
             }
         }
 
-        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         queue.push_back(0);
         let mut pruned = false;
 
@@ -201,21 +290,15 @@ impl<'a> Explorer<'a> {
                 self.form
                     .apply_unchecked(&mut next, &u)
                     .expect("allowed updates apply");
-                let code = next.iso_code();
-                let j = match index.entry(code) {
-                    Entry::Occupied(e) => {
-                        let j = *e.get();
-                        if want_edges {
-                            edges[i].push((u, j));
-                        }
-                        continue;
+                let (code, is_new) = interner.intern(next.canon_key());
+                if !is_new {
+                    if want_edges {
+                        edges[i].push((u, code.index()));
                     }
-                    Entry::Vacant(e) => {
-                        let j = states.len();
-                        e.insert(j);
-                        j
-                    }
-                };
+                    continue;
+                }
+                let j = code.index();
+                debug_assert_eq!(j, states.len());
                 states.push(next);
                 parents.push(Some((i, u)));
                 depth.push(depth[i] + 1);
@@ -269,6 +352,247 @@ impl<'a> Explorer<'a> {
             goal: None,
         }
     }
+
+    /// The parallel engine: layered BFS. Each layer's frontier is split
+    /// into contiguous chunks, one per worker; workers expand their chunk
+    /// against a [`SharedInterner`](idar_core::SharedInterner) and the
+    /// single merge step (sequential, in chunk order) assigns state
+    /// indices. Narrow frontiers are expanded inline — per-layer thread
+    /// spawns only pay off once a layer offers real work per worker.
+    #[cfg(feature = "parallel")]
+    fn run_parallel(
+        &self,
+        goal: Option<&(dyn Fn(&Instance) -> bool + Sync)>,
+        want_edges: bool,
+    ) -> RunResult {
+        use idar_core::{IsoCode, SharedInterner};
+
+        /// A state discovered (won the intern race) by one worker.
+        struct NewState {
+            inst: Instance,
+            code: IsoCode,
+            parent: u32,
+            update: Update,
+            is_goal: bool,
+        }
+
+        /// One worker's layer output, merged in chunk order.
+        #[derive(Default)]
+        struct WorkerOut {
+            new_states: Vec<NewState>,
+            pend_edges: Vec<(u32, Update, IsoCode)>,
+            transitions: usize,
+            pruned: Option<LimitKind>,
+        }
+
+        let form = self.form;
+        let limits = self.limits;
+
+        // Expand the frontier slice `chunk`, mirroring the sequential
+        // inner loop exactly (same prune checks, same goal policy: goal is
+        // evaluated only on newly discovered states).
+        let expand = |chunk: &[usize], states: &[Instance], interner: &SharedInterner| {
+            let mut out = WorkerOut::default();
+            for &i in chunk {
+                let state = &states[i];
+                for u in form.allowed_updates(state) {
+                    out.transitions += 1;
+                    if let Update::Add { parent, edge } = u {
+                        if state.live_count() >= limits.max_state_size {
+                            out.pruned = Some(LimitKind::StateSize);
+                            continue;
+                        }
+                        if let Some(cap) = limits.multiplicity_cap {
+                            if state.children_at(parent, edge).count() >= cap {
+                                out.pruned = Some(LimitKind::Multiplicity);
+                                continue;
+                            }
+                        }
+                    }
+                    let mut next = state.clone();
+                    form.apply_unchecked(&mut next, &u)
+                        .expect("allowed updates apply");
+                    let (code, is_new) = interner.intern(next.canon_key());
+                    if want_edges {
+                        out.pend_edges.push((i as u32, u, code));
+                    }
+                    if is_new {
+                        let is_goal = goal.is_some_and(|g| g(&next));
+                        out.new_states.push(NewState {
+                            inst: next,
+                            code,
+                            parent: i as u32,
+                            update: u,
+                            is_goal,
+                        });
+                    }
+                }
+            }
+            out
+        };
+
+        let mut stats = SearchStats::default();
+        let initial = form.initial().clone();
+        let interner = SharedInterner::new();
+        let (c0, _) = interner.intern(initial.canon_key());
+        debug_assert_eq!(c0.index(), 0);
+
+        // `code_to_state[c]` is the state index of interned code `c`
+        // (u32::MAX while the code's state is still awaiting merge).
+        let mut code_to_state: Vec<u32> = vec![0];
+        let mut states = vec![initial];
+        let mut parents: Vec<Option<(usize, Update)>> = vec![None];
+        let mut depth = vec![0usize];
+        let mut edges: Vec<Vec<(Update, usize)>> = vec![Vec::new()];
+        stats.states = 1;
+
+        if let Some(g) = goal {
+            if g(&states[0]) {
+                stats.closed = true;
+                return RunResult {
+                    graph: StateGraph {
+                        states,
+                        parents,
+                        edges,
+                        depth,
+                        stats,
+                    },
+                    goal: Some(0),
+                };
+            }
+        }
+
+        let mut frontier: Vec<usize> = vec![0];
+        let mut cur_depth = 0usize;
+        let mut pruned = false;
+
+        loop {
+            if frontier.is_empty() {
+                stats.closed = !pruned;
+                break;
+            }
+            if cur_depth >= limits.max_depth {
+                // Unexpanded frontier: exhaustiveness is lost iff any
+                // frontier state still has successors.
+                if frontier
+                    .iter()
+                    .any(|&i| !form.allowed_updates(&states[i]).is_empty())
+                {
+                    pruned = true;
+                    stats.limit_hit = Some(LimitKind::Depth);
+                }
+                stats.closed = !pruned;
+                break;
+            }
+
+            // --- expand: fan the frontier out over the workers ---------
+            // Deep, narrow spaces (e.g. the Thm 4.1 machine simulations,
+            // whose layers hold a handful of states) would pay a
+            // spawn/join round-trip per layer for no parallelism; expand
+            // those inline and only spawn once each worker gets a
+            // meaningful chunk.
+            const MIN_STATES_PER_WORKER: usize = 4;
+            let workers = self
+                .threads
+                .min(frontier.len() / MIN_STATES_PER_WORKER)
+                .max(1);
+            let chunk_len = frontier.len().div_ceil(workers);
+            let outs: Vec<WorkerOut> = if workers == 1 {
+                vec![expand(&frontier, &states, &interner)]
+            } else {
+                let states_ref = &states;
+                let interner_ref = &interner;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = frontier
+                        .chunks(chunk_len)
+                        .map(|chunk| scope.spawn(move || expand(chunk, states_ref, interner_ref)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                })
+            };
+
+            // --- merge: deterministic (chunk order, then worker order) -
+            let mut layer_edges: Vec<Vec<(u32, Update, IsoCode)>> = Vec::with_capacity(outs.len());
+            let mut layer_new: Vec<Vec<NewState>> = Vec::with_capacity(outs.len());
+            for out in outs {
+                stats.transitions += out.transitions;
+                if let Some(k) = out.pruned {
+                    pruned = true;
+                    stats.limit_hit = Some(k);
+                }
+                layer_edges.push(out.pend_edges);
+                layer_new.push(out.new_states);
+            }
+            code_to_state.resize(interner.len(), u32::MAX);
+            let mut next_frontier = Vec::new();
+            let mut found_goal = None;
+            'merge: for chunk in layer_new {
+                for ns in chunk {
+                    let j = states.len();
+                    let is_goal = ns.is_goal;
+                    states.push(ns.inst);
+                    parents.push(Some((ns.parent as usize, ns.update)));
+                    depth.push(cur_depth + 1);
+                    edges.push(Vec::new());
+                    code_to_state[ns.code.index()] = j as u32;
+                    stats.states += 1;
+                    if is_goal {
+                        found_goal = Some(j);
+                        break 'merge;
+                    }
+                    if stats.states >= limits.max_states {
+                        stats.limit_hit = Some(LimitKind::States);
+                        break 'merge;
+                    }
+                    next_frontier.push(j);
+                }
+            }
+
+            // Wire up the edges whose targets have been merged. On an
+            // early break (goal / state cap) codes still awaiting merge
+            // are dropped, matching the sequential engine's truncation.
+            if want_edges {
+                for chunk in &layer_edges {
+                    for &(from, u, code) in chunk {
+                        let j = code_to_state[code.index()];
+                        if j != u32::MAX {
+                            edges[from as usize].push((u, j as usize));
+                        }
+                    }
+                }
+            }
+
+            if found_goal.is_some() || stats.limit_hit == Some(LimitKind::States) {
+                return RunResult {
+                    graph: StateGraph {
+                        states,
+                        parents,
+                        edges,
+                        depth,
+                        stats,
+                    },
+                    goal: found_goal,
+                };
+            }
+
+            frontier = next_frontier;
+            cur_depth += 1;
+        }
+
+        RunResult {
+            graph: StateGraph {
+                states,
+                parents,
+                edges,
+                depth,
+                stats,
+            },
+            goal: None,
+        }
+    }
 }
 
 struct RunResult {
@@ -304,7 +628,7 @@ mod tests {
     #[test]
     fn finds_goal_and_run_replays() {
         let g = toggle_form();
-        let ex = Explorer::new(&g, ExploreLimits::small());
+        let ex = Explorer::new(&g, ExploreLimits::small()).with_threads(1);
         let out = ex.find(|i| g.is_complete(i));
         let run = out.goal_run.expect("goal reachable");
         assert_eq!(run.len(), 2);
@@ -314,7 +638,9 @@ mod tests {
     #[test]
     fn graph_closes_on_finite_space() {
         let g = toggle_form();
-        let graph = Explorer::new(&g, ExploreLimits::small()).graph();
+        let graph = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .graph();
         assert_eq!(graph.states.len(), 4); // {}, {a}, {b}, {a,b}
         assert!(graph.stats.closed);
         // Every non-initial state's reconstructed run replays.
@@ -328,7 +654,9 @@ mod tests {
     #[test]
     fn edges_cover_all_transitions() {
         let g = toggle_form();
-        let graph = Explorer::new(&g, ExploreLimits::small()).graph();
+        let graph = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .graph();
         // state {}: 2 adds; {a}: del a + add b; {b}: del b + add a;
         // {a,b}: del a + del b. Total 8 directed edges.
         let total: usize = graph.edges.iter().map(|e| e.len()).sum();
@@ -342,7 +670,7 @@ mod tests {
             max_states: 2,
             ..ExploreLimits::small()
         };
-        let graph = Explorer::new(&g, lim).graph();
+        let graph = Explorer::new(&g, lim).with_threads(1).graph();
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::States));
     }
@@ -360,7 +688,7 @@ mod tests {
             max_depth: usize::MAX,
             multiplicity_cap: None,
         };
-        let graph = Explorer::new(&g, lim).graph();
+        let graph = Explorer::new(&g, lim).with_threads(1).graph();
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::StateSize));
         // 16 states: 0..=15 copies of `a` … plus none beyond the cap.
@@ -377,7 +705,7 @@ mod tests {
             multiplicity_cap: Some(3),
             ..ExploreLimits::small()
         };
-        let graph = Explorer::new(&g, lim).graph();
+        let graph = Explorer::new(&g, lim).with_threads(1).graph();
         assert_eq!(graph.states.len(), 4); // 0,1,2,3 copies
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::Multiplicity));
@@ -386,7 +714,9 @@ mod tests {
     #[test]
     fn goal_at_initial_state() {
         let g = toggle_form().with_completion(Formula::True);
-        let out = Explorer::new(&g, ExploreLimits::small()).find(|i| g.is_complete(i));
+        let out = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|i| g.is_complete(i));
         assert_eq!(out.goal_run, Some(vec![]));
     }
 
@@ -397,9 +727,125 @@ mod tests {
             max_depth: 1,
             ..ExploreLimits::small()
         };
-        let graph = Explorer::new(&g, lim).graph();
+        let graph = Explorer::new(&g, lim).with_threads(1).graph();
         // initial + {a} + {b}; {a,b} is at depth 2.
         assert_eq!(graph.states.len(), 3);
         assert!(!graph.stats.closed);
+    }
+
+    // -- parallel engine ----------------------------------------------------
+
+    /// The canonical state set of a graph, as a sorted list of iso codes.
+    #[cfg(feature = "parallel")]
+    fn state_set(g: &StateGraph) -> Vec<String> {
+        let mut v: Vec<String> = g.states.iter().map(|s| s.iso_code()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Parallel and sequential engines agree on the state set, closedness,
+    /// depths, and edge counts of a small closed space.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_graph_matches_sequential() {
+        let g = toggle_form();
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .graph();
+        for threads in [2, 3, 8] {
+            let par = Explorer::new(&g, ExploreLimits::small())
+                .with_threads(threads)
+                .graph();
+            assert_eq!(state_set(&par), state_set(&seq), "threads={threads}");
+            assert_eq!(par.stats.states, seq.stats.states);
+            assert_eq!(par.stats.transitions, seq.stats.transitions);
+            assert!(par.stats.closed);
+            let seq_edges: usize = seq.edges.iter().map(|e| e.len()).sum();
+            let par_edges: usize = par.edges.iter().map(|e| e.len()).sum();
+            assert_eq!(par_edges, seq_edges);
+            // Depth multisets agree (BFS layering is engine-independent).
+            let mut sd = seq.depth.clone();
+            let mut pd = par.depth.clone();
+            sd.sort_unstable();
+            pd.sort_unstable();
+            assert_eq!(sd, pd);
+            // Every parallel parent pointer reconstructs a valid run.
+            for i in 0..par.states.len() {
+                let run = par.run_to(i);
+                assert_eq!(run.len(), par.depth[i]);
+                let r = g.replay(&run).unwrap();
+                assert!(r.last().isomorphic(&par.states[i]));
+            }
+        }
+    }
+
+    /// Parallel `find` returns a replayable shortest run.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_find_agrees() {
+        let g = toggle_form();
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|i| g.is_complete(i));
+        let par = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(4)
+            .find(|i| g.is_complete(i));
+        let seq_run = seq.goal_run.expect("seq finds goal");
+        let par_run = par.goal_run.expect("par finds goal");
+        assert_eq!(seq_run.len(), par_run.len(), "same BFS goal depth");
+        assert!(g.is_complete_run(&par_run));
+    }
+
+    /// Limit behaviours (state cap, depth cap, size cap) are preserved.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_limits_match() {
+        let g = toggle_form();
+        // Depth cap.
+        let lim = ExploreLimits {
+            max_depth: 1,
+            ..ExploreLimits::small()
+        };
+        let par = Explorer::new(&g, lim).with_threads(4).graph();
+        assert_eq!(par.states.len(), 3);
+        assert!(!par.stats.closed);
+        assert_eq!(par.stats.limit_hit, Some(LimitKind::Depth));
+
+        // State-size cap on an unbounded form.
+        let schema = Arc::new(Schema::parse("a").unwrap());
+        let rules = AccessRules::with_default(&schema, Formula::True);
+        let init = Instance::empty(schema.clone());
+        let grow = GuardedForm::new(schema, rules, init, Formula::False);
+        let lim = ExploreLimits {
+            max_states: 1000,
+            max_state_size: 16,
+            max_depth: usize::MAX,
+            multiplicity_cap: None,
+        };
+        let par = Explorer::new(&grow, lim).with_threads(4).graph();
+        assert!(!par.stats.closed);
+        assert_eq!(par.stats.limit_hit, Some(LimitKind::StateSize));
+        assert_eq!(par.states.len(), 16);
+
+        // State-count cap.
+        let lim = ExploreLimits {
+            max_states: 2,
+            ..ExploreLimits::small()
+        };
+        let par = Explorer::new(&g, lim).with_threads(4).graph();
+        assert!(!par.stats.closed);
+        assert_eq!(par.stats.limit_hit, Some(LimitKind::States));
+    }
+
+    /// Goal on the initial instance short-circuits identically.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_goal_at_initial_state() {
+        let g = toggle_form().with_completion(Formula::True);
+        let out = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(4)
+            .find(|i| g.is_complete(i));
+        assert_eq!(out.goal_run, Some(vec![]));
+        assert!(out.stats.closed);
     }
 }

@@ -24,6 +24,7 @@ pub struct InvariantResult {
     /// A run from the initial instance to a violating instance, when one
     /// was found.
     pub violation: Option<Vec<Update>>,
+    /// Statistics of the underlying reachability search.
     pub stats: SearchStats,
 }
 
@@ -101,10 +102,10 @@ mod tests {
         // A bundle of workflow facts implied by Ex. 3.12's rules.
         let g = leave::example_3_12();
         let invariants: Vec<Formula> = [
-            "!d[a & r]",     // decisions exclusive
-            "!(f & !d)",     // final only after a decision field exists
-            "!(d & !s)",     // decision only after submission
-            "!(s & !a)",     // submission only with an application
+            "!d[a & r]", // decisions exclusive
+            "!(f & !d)", // final only after a decision field exists
+            "!(d & !s)", // decision only after submission
+            "!(s & !a)", // submission only with an application
         ]
         .iter()
         .map(|s| Formula::parse(s).unwrap())
@@ -123,8 +124,16 @@ mod tests {
         use std::sync::Arc;
         let schema = Arc::new(Schema::parse("a, b").unwrap());
         let mut rules = AccessRules::new(&schema);
-        rules.set(Right::Add, schema.resolve("a").unwrap(), Formula::parse("!a").unwrap());
-        rules.set(Right::Add, schema.resolve("b").unwrap(), Formula::parse("a & !b").unwrap());
+        rules.set(
+            Right::Add,
+            schema.resolve("a").unwrap(),
+            Formula::parse("!a").unwrap(),
+        );
+        rules.set(
+            Right::Add,
+            schema.resolve("b").unwrap(),
+            Formula::parse("a & !b").unwrap(),
+        );
         let g = GuardedForm::new(
             schema.clone(),
             rules,

@@ -22,6 +22,9 @@
 //! `Unknown` with the resource bound that was hit. Exact code paths
 //! document the theorem that licenses them.
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod completability;
 pub mod depth1;
 pub mod explore;
@@ -33,9 +36,10 @@ pub mod semisound;
 pub mod verdict;
 pub mod witness;
 
+pub use batch::{AnalysisSelection, BatchAnalyzer, BatchItem, FormReport};
 pub use completability::{completability, CompletabilityOptions, CompletabilityResult};
 pub use depth1::Depth1System;
-pub use explore::{ExploreLimits, ExploreOutcome, Explorer};
+pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer};
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
 pub use verdict::{Method, Verdict};

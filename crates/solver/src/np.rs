@@ -72,6 +72,7 @@ pub struct NpAnswer {
     pub run: Option<Vec<Update>>,
     /// The multiplicity cap used.
     pub cap: usize,
+    /// Statistics of the capped search.
     pub stats: SearchStats,
 }
 
@@ -131,10 +132,14 @@ pub fn completability_np(
         None => {
             // Exhausted: if the only pruning was the theorem-justified
             // multiplicity cap, the negative answer is exact.
-            let exact = out.stats.closed
-                || matches!(out.stats.limit_hit, Some(LimitKind::Multiplicity));
+            let exact =
+                out.stats.closed || matches!(out.stats.limit_hit, Some(LimitKind::Multiplicity));
             Ok(NpAnswer {
-                verdict: if exact { Verdict::Fails } else { Verdict::Unknown },
+                verdict: if exact {
+                    Verdict::Fails
+                } else {
+                    Verdict::Unknown
+                },
                 run: None,
                 cap,
                 stats: out.stats,

@@ -45,6 +45,7 @@ pub struct PositiveAnswer {
     /// instance to the saturated instance. When the verdict is `Holds`
     /// this is a complete run.
     pub run: Vec<Update>,
+    /// Saturation statistics (states = saturation steps + 1).
     pub stats: SearchStats,
 }
 
@@ -60,10 +61,7 @@ pub fn check_positive(form: &GuardedForm) -> Result<(), NotPositive> {
             let g = form.rules().get(right, e);
             if !g.is_positive() {
                 return Err(NotPositive {
-                    offender: format!(
-                        "A({right}, {}) = `{g}`",
-                        form.schema().path_of(e)
-                    ),
+                    offender: format!("A({right}, {}) = `{g}`", form.schema().path_of(e)),
                 });
             }
         }
@@ -138,12 +136,7 @@ mod tests {
     use idar_core::{AccessRules, Formula, Schema};
     use std::sync::Arc;
 
-    fn form(
-        schema: &str,
-        rules: &[(&str, &str)],
-        initial: &str,
-        completion: &str,
-    ) -> GuardedForm {
+    fn form(schema: &str, rules: &[(&str, &str)], initial: &str, completion: &str) -> GuardedForm {
         let schema = Arc::new(Schema::parse(schema).unwrap());
         let mut table = AccessRules::new(&schema);
         for (l, add) in rules {
@@ -185,7 +178,12 @@ mod tests {
         // Each level requires the previous one; depth 4.
         let g = form(
             "a(b(c(d)))",
-            &[("a", "true"), ("a/b", "true"), ("a/b/c", "..[..[a[b]]]"), ("a/b/c/d", "true")],
+            &[
+                ("a", "true"),
+                ("a/b", "true"),
+                ("a/b/c", "..[..[a[b]]]"),
+                ("a/b/c/d", "true"),
+            ],
             "",
             "a/b/c/d",
         );
@@ -200,7 +198,12 @@ mod tests {
         // not add more, but must extend each with children.
         let g = form(
             "a(p(b)), s",
-            &[("a", "true"), ("a/p", "true"), ("a/p/b", "true"), ("s", "a/p[b]")],
+            &[
+                ("a", "true"),
+                ("a/p", "true"),
+                ("a/p/b", "true"),
+                ("s", "a/p[b]"),
+            ],
             "a(p, p)",
             "s",
         );
@@ -247,12 +250,7 @@ mod tests {
         let schema = Arc::new(Schema::parse("x1, x2, x3").unwrap());
         let table = AccessRules::with_default(&schema, Formula::True);
         let init = Instance::empty(schema.clone());
-        let g = GuardedForm::new(
-            schema,
-            table,
-            init,
-            Formula::parse("x1 & x2 & x3").unwrap(),
-        );
+        let g = GuardedForm::new(schema, table, init, Formula::parse("x1 & x2 & x3").unwrap());
         let ans = completability_positive(&g).unwrap();
         assert_eq!(ans.verdict, Verdict::Holds);
         assert_eq!(ans.saturated.live_count(), 4);

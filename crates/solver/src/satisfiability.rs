@@ -55,6 +55,7 @@ pub enum SatResult {
 }
 
 impl SatResult {
+    /// Was a witness found?
     pub fn is_sat(&self) -> bool {
         matches!(self, SatResult::Sat(_))
     }
@@ -73,6 +74,7 @@ impl WitnessTree {
         self.nodes.len()
     }
 
+    /// Is the tree empty (degenerate, never produced by the solver)?
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
@@ -161,16 +163,11 @@ pub fn satisfiable(f: &Formula, opts: &SatOptions) -> SatResult {
 /// root-evaluated formulas (parent steps never descend).
 fn child_nesting(f: &StepFormula) -> usize {
     match f {
-        StepFormula::True
-        | StepFormula::False
-        | StepFormula::Child(_)
-        | StepFormula::Parent => 1,
+        StepFormula::True | StepFormula::False | StepFormula::Child(_) | StepFormula::Parent => 1,
         StepFormula::ChildSat(_, g) => 1 + child_nesting(g),
         StepFormula::ParentSat(g) => child_nesting(g), // does not descend
         StepFormula::Not(g) => child_nesting(g),
-        StepFormula::And(a, b) | StepFormula::Or(a, b) => {
-            child_nesting(a).max(child_nesting(b))
-        }
+        StepFormula::And(a, b) | StepFormula::Or(a, b) => child_nesting(a).max(child_nesting(b)),
     }
 }
 

@@ -31,7 +31,9 @@ pub struct SemisoundnessOptions {
 /// The result of a semi-soundness query.
 #[derive(Debug, Clone)]
 pub struct SemisoundnessResult {
+    /// The three-valued answer.
     pub verdict: Verdict,
+    /// Which algorithm ran.
     pub method: Method,
     /// When `Fails`: a run from the initial instance to an incompletable
     /// reachable instance (the workflow's "point of no return").
@@ -41,10 +43,7 @@ pub struct SemisoundnessResult {
 }
 
 /// Decide (or bound) semi-soundness of `form`.
-pub fn semisoundness(
-    form: &GuardedForm,
-    options: &SemisoundnessOptions,
-) -> SemisoundnessResult {
+pub fn semisoundness(form: &GuardedForm, options: &SemisoundnessOptions) -> SemisoundnessResult {
     if form.schema().depth() <= 1 {
         if let Ok(sys) = Depth1System::new(form) {
             let ans = sys.semisoundness();

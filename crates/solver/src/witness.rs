@@ -61,8 +61,8 @@ pub fn extract_witness(inst: &Instance, f: &Formula) -> Option<Instance> {
                 }
             }
             StepFormula::Child(l) => {
-                let c = pick_child(inst, &keep, n, &l, &StepFormula::True)
-                    .expect("child exists in I");
+                let c =
+                    pick_child(inst, &keep, n, &l, &StepFormula::True).expect("child exists in I");
                 keep_node(inst, &mut keep, &constraints, &mut queue, c);
             }
             StepFormula::ChildSat(l, psi) => {
@@ -232,11 +232,7 @@ mod tests {
         let inst = Instance::parse(schema(), &text).unwrap();
         let f = Formula::parse(f_text).unwrap();
         let w = extract_witness(&inst, &f).unwrap();
-        let max_children = w
-            .live_nodes()
-            .map(|n| w.children(n).len())
-            .max()
-            .unwrap();
+        let max_children = w.live_nodes().map(|n| w.children(n).len()).max().unwrap();
         assert!(
             max_children <= f.size(),
             "branching {max_children} exceeds |φ| = {}",
@@ -268,10 +264,7 @@ mod tests {
 
     #[test]
     fn nested_negative_obligations() {
-        let w = check(
-            "a(b, c), a(c, d), s",
-            "!a[!c] & a[b]",
-        );
+        let w = check("a(b, c), a(c, d), s", "!a[!c] & a[b]");
         let f = Formula::parse("!a[!c] & a[b]").unwrap();
         assert!(idar_core::formula::holds_at_root(&w, &f));
     }

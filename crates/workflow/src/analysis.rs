@@ -39,8 +39,7 @@ pub struct Analysis {
 
 /// Analyse a guarded form within the given exploration limits.
 pub fn analyse(form: &GuardedForm, limits: ExploreLimits) -> Analysis {
-    let completability =
-        completability(form, &CompletabilityOptions::with_limits(limits)).verdict;
+    let completability = completability(form, &CompletabilityOptions::with_limits(limits)).verdict;
     let semi = semisoundness(
         form,
         &SemisoundnessOptions {
@@ -112,12 +111,7 @@ pub fn report(form: &GuardedForm, a: &Analysis) -> String {
     if !a.dead_events.is_empty() {
         let _ = writeln!(out, "dead events ({}):", a.dead_events.len());
         for ev in &a.dead_events {
-            let _ = writeln!(
-                out,
-                "  {} {}",
-                ev.right,
-                form.schema().path_of(ev.edge)
-            );
+            let _ = writeln!(out, "  {} {}", ev.right, form.schema().path_of(ev.edge));
         }
     }
     out
@@ -129,11 +123,7 @@ mod tests {
     use idar_core::{AccessRules, Formula, Instance, Schema};
     use std::sync::Arc;
 
-    fn form(
-        schema: &str,
-        rules: &[(&str, &str, &str)],
-        completion: &str,
-    ) -> GuardedForm {
+    fn form(schema: &str, rules: &[(&str, &str, &str)], completion: &str) -> GuardedForm {
         let schema = Arc::new(Schema::parse(schema).unwrap());
         let mut table = AccessRules::new(&schema);
         for (l, add, del) in rules {
@@ -210,7 +200,11 @@ mod tests {
 
     #[test]
     fn report_renders() {
-        let g = form("a, b", &[("a", "!a", "!b"), ("b", "a & !b", "false")], "a & b");
+        let g = form(
+            "a, b",
+            &[("a", "!a", "!b"), ("b", "a & !b", "false")],
+            "a & b",
+        );
         let a = analyse(&g, ExploreLimits::small());
         let r = report(&g, &a);
         assert!(r.contains("fragment:"));

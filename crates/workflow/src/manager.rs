@@ -228,13 +228,11 @@ mod tests {
         // the known-good completing run must be accepted.
         let form = idar_core::leave::example_3_12();
         let run = idar_core::leave::complete_run(&form);
-        let oracle = CompletabilityOptions::with_limits(
-            idar_solver::ExploreLimits {
-                multiplicity_cap: Some(1),
-                max_states: 20_000,
-                ..idar_solver::ExploreLimits::small()
-            },
-        );
+        let oracle = CompletabilityOptions::with_limits(idar_solver::ExploreLimits {
+            multiplicity_cap: Some(1),
+            max_states: 20_000,
+            ..idar_solver::ExploreLimits::small()
+        });
         let mut mgr = FormManager::new(form, oracle, UnknownPolicy::Accept);
         for u in run {
             mgr.submit(u).unwrap();
@@ -248,23 +246,45 @@ mod tests {
         // strands the form.
         let form = idar_core::leave::section_3_5_variant();
         let sch = form.schema().clone();
-        let oracle = CompletabilityOptions::with_limits(
-            idar_solver::ExploreLimits {
-                multiplicity_cap: Some(1),
-                max_states: 20_000,
-                ..idar_solver::ExploreLimits::small()
-            },
-        );
+        let oracle = CompletabilityOptions::with_limits(idar_solver::ExploreLimits {
+            multiplicity_cap: Some(1),
+            max_states: 20_000,
+            ..idar_solver::ExploreLimits::small()
+        });
         let mut mgr = FormManager::new(form, oracle, UnknownPolicy::Accept);
         let steps = [
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("a").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/n").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/d").unwrap() },
-            Update::Add { parent: InstNodeId(1), edge: sch.resolve("a/p").unwrap() },
-            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/b").unwrap() },
-            Update::Add { parent: InstNodeId(4), edge: sch.resolve("a/p/e").unwrap() },
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("s").unwrap() },
-            Update::Add { parent: InstNodeId::ROOT, edge: sch.resolve("d").unwrap() },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("a").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/n").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/d").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: sch.resolve("a/p").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: sch.resolve("a/p/b").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: sch.resolve("a/p/e").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("s").unwrap(),
+            },
+            Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: sch.resolve("d").unwrap(),
+            },
         ];
         for u in steps {
             mgr.submit(u).unwrap();
@@ -272,15 +292,24 @@ mod tests {
         // The stranding early-final:
         let f_edge = sch.resolve("f").unwrap();
         let err = mgr
-            .submit(Update::Add { parent: InstNodeId::ROOT, edge: f_edge })
+            .submit(Update::Add {
+                parent: InstNodeId::ROOT,
+                edge: f_edge,
+            })
             .unwrap_err();
         assert_eq!(err, Rejection::WouldStrand);
         // Approving first keeps the workflow alive…
-        mgr.submit(Update::Add { parent: InstNodeId(8), edge: sch.resolve("d/a").unwrap() })
-            .unwrap();
+        mgr.submit(Update::Add {
+            parent: InstNodeId(8),
+            edge: sch.resolve("d/a").unwrap(),
+        })
+        .unwrap();
         // …and now final is safe.
-        mgr.submit(Update::Add { parent: InstNodeId::ROOT, edge: f_edge })
-            .unwrap();
+        mgr.submit(Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: f_edge,
+        })
+        .unwrap();
         assert!(mgr.is_complete());
     }
 }

@@ -67,10 +67,7 @@ impl PetriNet {
         let labels: Vec<String> = system.label_names().to_vec();
         let mut transitions = Vec::new();
         for (i, l) in labels.iter().enumerate() {
-            let edge = form
-                .schema()
-                .resolve(l)
-                .expect("depth-1 labels resolve");
+            let edge = form.schema().resolve(l).expect("depth-1 labels resolve");
             transitions.push(Transition {
                 name: format!("add {l}"),
                 input: Place::Absent(i as u8),
@@ -121,13 +118,10 @@ impl PetriNet {
         }
         // Guard evaluation piggy-backs on the canonical-state system: the
         // same moves are legal in both views (that is the whole point).
-        self.system
-            .successors(m)
-            .iter()
-            .any(|(mv, _)| match mv {
-                idar_solver::depth1::Depth1Move::Add(i) => t.adds && *i == t.guard_bit,
-                idar_solver::depth1::Depth1Move::Del(i) => !t.adds && *i == t.guard_bit,
-            })
+        self.system.successors(m).iter().any(|(mv, _)| match mv {
+            idar_solver::depth1::Depth1Move::Add(i) => t.adds && *i == t.guard_bit,
+            idar_solver::depth1::Depth1Move::Del(i) => !t.adds && *i == t.guard_bit,
+        })
     }
 
     /// Fire `t` at `m` (caller must check enabledness).
@@ -257,11 +251,7 @@ mod tests {
     use idar_core::{AccessRules, Instance, Schema};
     use std::sync::Arc;
 
-    fn form(
-        rules: &[(&str, &str, &str)],
-        initial: &str,
-        completion: &str,
-    ) -> GuardedForm {
+    fn form(rules: &[(&str, &str, &str)], initial: &str, completion: &str) -> GuardedForm {
         let schema = Arc::new(Schema::parse("a, b, c").unwrap());
         let mut table = AccessRules::new(&schema);
         for (l, add, del) in rules {
@@ -289,8 +279,16 @@ mod tests {
     fn reachability_matches_canonical_system() {
         let cases: Vec<Vec<(&str, &str, &str)>> = vec![
             vec![("a", "!a", "true"), ("b", "a", "false")],
-            vec![("a", "b", "true"), ("b", "!b", "a"), ("c", "a & b", "false")],
-            vec![("a", "true", "true"), ("b", "true", "true"), ("c", "!a", "b")],
+            vec![
+                ("a", "b", "true"),
+                ("b", "!b", "a"),
+                ("c", "a & b", "false"),
+            ],
+            vec![
+                ("a", "true", "true"),
+                ("b", "true", "true"),
+                ("c", "!a", "b"),
+            ],
         ];
         for rules in cases {
             let g = form(&rules, "", "a");
@@ -304,22 +302,14 @@ mod tests {
         let g = form(&[("a", "!a", "true")], "", "a");
         let net = PetriNet::from_depth1(&g).unwrap();
         let m0 = net.initial_marking();
-        let add_a = net
-            .transitions
-            .iter()
-            .find(|t| t.name == "add a")
-            .unwrap();
+        let add_a = net.transitions.iter().find(|t| t.name == "add a").unwrap();
         assert!(net.enabled(m0, add_a));
         let m1 = net.fire(m0, add_a);
         assert!(net.marked(m1, Place::Present(0)));
         // ¬a guard now blocks re-adding.
         assert!(!net.enabled(m1, add_a));
         // Deleting brings the token back.
-        let del_a = net
-            .transitions
-            .iter()
-            .find(|t| t.name == "del a")
-            .unwrap();
+        let del_a = net.transitions.iter().find(|t| t.name == "del a").unwrap();
         assert!(net.enabled(m1, del_a));
         assert_eq!(net.fire(m1, del_a), m0);
     }
@@ -329,7 +319,11 @@ mod tests {
         // c is declared but never addable (guard references an impossible
         // state) → `add c` is a dead transition.
         let g = form(
-            &[("a", "!a", "true"), ("b", "a", "false"), ("c", "b & !a", "false")],
+            &[
+                ("a", "!a", "true"),
+                ("b", "a", "false"),
+                ("c", "b & !a", "false"),
+            ],
             "",
             "a & b",
         );
@@ -337,7 +331,11 @@ mod tests {
         // `true`: c's guard b ∧ ¬a IS reachable (add a, add b, del a).
         // Use a genuinely impossible guard instead:
         let g2 = form(
-            &[("a", "!a", "false"), ("b", "a", "false"), ("c", "b & !a", "false")],
+            &[
+                ("a", "!a", "false"),
+                ("b", "a", "false"),
+                ("c", "b & !a", "false"),
+            ],
             "",
             "a & b",
         );

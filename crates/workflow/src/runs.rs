@@ -131,7 +131,16 @@ fn dfs(
         }
         on_path.push(code);
         path.push(u);
-        dfs(form, completable, &next, on_path, path, runs, truncated, opts);
+        dfs(
+            form,
+            completable,
+            &next,
+            on_path,
+            path,
+            runs,
+            truncated,
+            opts,
+        );
         path.pop();
         on_path.pop();
     }
@@ -148,8 +157,16 @@ mod tests {
         // two complete runs.
         let schema = Arc::new(Schema::parse("a, b").unwrap());
         let mut rules = AccessRules::new(&schema);
-        rules.set(Right::Add, schema.resolve("a").unwrap(), Formula::parse("!a").unwrap());
-        rules.set(Right::Add, schema.resolve("b").unwrap(), Formula::parse("!b").unwrap());
+        rules.set(
+            Right::Add,
+            schema.resolve("a").unwrap(),
+            Formula::parse("!a").unwrap(),
+        );
+        rules.set(
+            Right::Add,
+            schema.resolve("b").unwrap(),
+            Formula::parse("!b").unwrap(),
+        );
         GuardedForm::new(
             schema.clone(),
             rules,
@@ -230,16 +247,10 @@ mod tests {
         let mut saw_reject = false;
         for r in &rs.runs {
             let last = g.replay(r).unwrap();
-            if idar_core::formula::holds_at_root(
-                last.last(),
-                &Formula::parse("d[a]").unwrap(),
-            ) {
+            if idar_core::formula::holds_at_root(last.last(), &Formula::parse("d[a]").unwrap()) {
                 saw_approve = true;
             }
-            if idar_core::formula::holds_at_root(
-                last.last(),
-                &Formula::parse("d[r]").unwrap(),
-            ) {
+            if idar_core::formula::holds_at_root(last.last(), &Formula::parse("d[r]").unwrap()) {
                 saw_reject = true;
             }
         }

@@ -30,14 +30,62 @@ fn main() {
     let root = InstNodeId::ROOT;
     // The citizen fills in the form.
     let steps: Vec<(&str, Update)> = vec![
-        ("create application", Update::Add { parent: root, edge: e("a") }),
-        ("enter name", Update::Add { parent: InstNodeId(1), edge: e("a/n") }),
-        ("enter department", Update::Add { parent: InstNodeId(1), edge: e("a/d") }),
-        ("add a period", Update::Add { parent: InstNodeId(1), edge: e("a/p") }),
-        ("period begin date", Update::Add { parent: InstNodeId(4), edge: e("a/p/b") }),
-        ("period end date", Update::Add { parent: InstNodeId(4), edge: e("a/p/e") }),
-        ("submit", Update::Add { parent: root, edge: e("s") }),
-        ("open decision", Update::Add { parent: root, edge: e("d") }),
+        (
+            "create application",
+            Update::Add {
+                parent: root,
+                edge: e("a"),
+            },
+        ),
+        (
+            "enter name",
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: e("a/n"),
+            },
+        ),
+        (
+            "enter department",
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: e("a/d"),
+            },
+        ),
+        (
+            "add a period",
+            Update::Add {
+                parent: InstNodeId(1),
+                edge: e("a/p"),
+            },
+        ),
+        (
+            "period begin date",
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: e("a/p/b"),
+            },
+        ),
+        (
+            "period end date",
+            Update::Add {
+                parent: InstNodeId(4),
+                edge: e("a/p/e"),
+            },
+        ),
+        (
+            "submit",
+            Update::Add {
+                parent: root,
+                edge: e("s"),
+            },
+        ),
+        (
+            "open decision",
+            Update::Add {
+                parent: root,
+                edge: e("d"),
+            },
+        ),
     ];
     for (what, u) in steps {
         mgr.submit(u).expect(what);
@@ -45,15 +93,22 @@ fn main() {
     }
 
     // The manager's menu at this point:
-    println!("\nsafe updates now: {} of {} allowed by raw rules", mgr.safe_updates().len(), {
-        // (raw count for comparison)
-        let form = leave::section_3_5_variant();
-        let replayed = form.replay(mgr.history()).unwrap();
-        form.allowed_updates(replayed.last()).len()
-    });
+    println!(
+        "\nsafe updates now: {} of {} allowed by raw rules",
+        mgr.safe_updates().len(),
+        {
+            // (raw count for comparison)
+            let form = leave::section_3_5_variant();
+            let replayed = form.replay(mgr.history()).unwrap();
+            form.allowed_updates(replayed.last()).len()
+        }
+    );
 
     // The manager rejects the premature `final` that the raw rules allow.
-    let premature = Update::Add { parent: root, edge: e("f") };
+    let premature = Update::Add {
+        parent: root,
+        edge: e("f"),
+    };
     match mgr.submit(premature) {
         Err(Rejection::WouldStrand) => {
             println!("rejected: marking final before a decision (would strand the form)")
@@ -62,11 +117,17 @@ fn main() {
     }
 
     // Decide, then finalise — both sail through.
-    mgr.submit(Update::Add { parent: InstNodeId(8), edge: e("d/a") })
-        .expect("approve");
+    mgr.submit(Update::Add {
+        parent: InstNodeId(8),
+        edge: e("d/a"),
+    })
+    .expect("approve");
     println!("accepted: approve");
-    mgr.submit(Update::Add { parent: root, edge: e("f") })
-        .expect("final");
+    mgr.submit(Update::Add {
+        parent: root,
+        edge: e("f"),
+    })
+    .expect("final");
     println!("accepted: final");
 
     assert!(mgr.is_complete());

@@ -34,7 +34,12 @@ fn main() {
     for (what, text) in invariants {
         let inv = Formula::parse(text).unwrap();
         let r = check_invariant(&form, &inv, &opts);
-        println!("{:<44} {:<10} {}", what, format!("[{text}]"), describe(r.verdict));
+        println!(
+            "{:<44} {:<10} {}",
+            what,
+            format!("[{text}]"),
+            describe(r.verdict)
+        );
         assert_ne!(r.verdict, Verdict::Fails, "unexpected violation of {text}");
     }
 

@@ -9,8 +9,8 @@
 //! ```
 
 use idar::core::{fragment, leave};
-use idar::solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
 use idar::solver::semisound::{semisoundness, SemisoundnessOptions};
+use idar::solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
 
 fn main() {
     // ── The schema (Figure 1) ────────────────────────────────────────────
@@ -26,9 +26,9 @@ fn main() {
     for (i, u) in run.iter().enumerate() {
         let edge_path = match u {
             idar::core::Update::Add { edge, .. } => form.schema().path_of(*edge),
-            idar::core::Update::Del { node } => {
-                form.schema().path_of(replay.instances[i].schema_node(*node))
-            }
+            idar::core::Update::Del { node } => form
+                .schema()
+                .path_of(replay.instances[i].schema_node(*node)),
         };
         println!("  step {:>2}: {} {}", i + 1, kind(u), edge_path);
     }

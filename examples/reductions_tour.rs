@@ -58,7 +58,10 @@ fn main() {
         baseline.explored,
         verdict.verdict
     );
-    assert_eq!(baseline.deadlock.is_some(), verdict.verdict == Verdict::Holds);
+    assert_eq!(
+        baseline.deadlock.is_some(),
+        verdict.verdict == Verdict::Holds
+    );
 
     // ── Thm 5.3: QSAT_2k → ¬semi-soundness (k = 1) ───────────────────────
     let n = 1;
@@ -78,7 +81,10 @@ fn main() {
     let c = completability(&base, &CompletabilityOptions::default());
     let s = semisoundness(&reduced, &SemisoundnessOptions::default());
     println!("\nCor 4.7  completability -> semi-soundness (reset/build)");
-    println!("  G completable: {}   G' semi-sound: {}", c.verdict, s.verdict);
+    println!(
+        "  G completable: {}   G' semi-sound: {}",
+        c.verdict, s.verdict
+    );
     assert_eq!(c.verdict, s.verdict);
 
     // ── Cor 4.5: QSAT → satisfiability ───────────────────────────────────
@@ -98,7 +104,11 @@ fn main() {
     let sat = idar::solver::satisfiability::satisfiable(&f, &Default::default());
     println!("\nCor 4.5  QSAT -> satisfiability");
     println!("  qbf: {qbf}");
-    println!("  qbf true: {}   formula satisfiable: {}", qbf.eval(), sat.is_sat());
+    println!(
+        "  qbf true: {}   formula satisfiable: {}",
+        qbf.eval(),
+        sat.is_sat()
+    );
     assert_eq!(qbf.eval(), sat.is_sat());
 
     println!("\nAll reductions agree with their baselines.");

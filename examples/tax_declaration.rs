@@ -20,10 +20,8 @@ use std::sync::Arc;
 fn build_form() -> GuardedForm {
     // decl(income(src, amt), ded(kind, amt), id), sub, rev(ok, fix(why)), closed
     let schema = Arc::new(
-        Schema::parse(
-            "decl(income(src, amt), ded(kind, amt), id), sub, rev(ok, fix(why)), closed",
-        )
-        .expect("schema parses"),
+        Schema::parse("decl(income(src, amt), ded(kind, amt), id), sub, rev(ok, fix(why)), closed")
+            .expect("schema parses"),
     );
     let f = |s: &str| Formula::parse(s).expect("rule parses");
     let mut rules = AccessRules::new(&schema);
@@ -35,8 +33,16 @@ fn build_form() -> GuardedForm {
     // decl node) and the case is not closed.
     rules.set_both(e("decl/id"), f("!../sub & !id"), f("!../sub"));
     rules.set_both(e("decl/income"), f("!../sub"), f("!../sub"));
-    rules.set_both(e("decl/income/src"), f("!../../sub & !src"), f("!../../sub"));
-    rules.set_both(e("decl/income/amt"), f("!../../sub & !amt"), f("!../../sub"));
+    rules.set_both(
+        e("decl/income/src"),
+        f("!../../sub & !src"),
+        f("!../../sub"),
+    );
+    rules.set_both(
+        e("decl/income/amt"),
+        f("!../../sub & !amt"),
+        f("!../../sub"),
+    );
     rules.set_both(e("decl/ded"), f("!../sub"), f("!../sub"));
     rules.set_both(e("decl/ded/kind"), f("!../../sub & !kind"), f("!../../sub"));
     rules.set_both(e("decl/ded/amt"), f("!../../sub & !amt"), f("!../../sub"));
@@ -78,18 +84,16 @@ fn main() {
     let sch = form.schema().clone();
     let root = idar::core::InstNodeId::ROOT;
     let mut inst = form.initial().clone();
-    let apply = |form: &GuardedForm,
-                     inst: &mut Instance,
-                     parent: idar::core::InstNodeId,
-                     path: &str| {
-        let u = idar::core::Update::Add {
-            parent,
-            edge: sch.resolve(path).unwrap(),
+    let apply =
+        |form: &GuardedForm, inst: &mut Instance, parent: idar::core::InstNodeId, path: &str| {
+            let u = idar::core::Update::Add {
+                parent,
+                edge: sch.resolve(path).unwrap(),
+            };
+            form.apply(inst, &u)
+                .unwrap_or_else(|err| panic!("{path}: {err}"))
+                .expect("addition")
         };
-        form.apply(inst, &u)
-            .unwrap_or_else(|err| panic!("{path}: {err}"))
-            .expect("addition")
-    };
 
     let decl = apply(&form, &mut inst, root, "decl");
     apply(&form, &mut inst, decl, "decl/id");
@@ -112,10 +116,13 @@ fn main() {
     // the correction round), then submission is retracted: first delete
     // why, then fix, then sub — leaf-only deletions force this order.
     let why = inst.children_with_label(fix, "why").next().unwrap();
-    form.apply(&mut inst, &idar::core::Update::Del { node: why }).unwrap();
-    form.apply(&mut inst, &idar::core::Update::Del { node: fix }).unwrap();
+    form.apply(&mut inst, &idar::core::Update::Del { node: why })
+        .unwrap();
+    form.apply(&mut inst, &idar::core::Update::Del { node: fix })
+        .unwrap();
     let sub = inst.children_with_label(root, "sub").next().unwrap();
-    form.apply(&mut inst, &idar::core::Update::Del { node: sub }).unwrap();
+    form.apply(&mut inst, &idar::core::Update::Del { node: sub })
+        .unwrap();
     // Now the citizen can add the deduction, resubmit; assessor approves.
     let ded = apply(&form, &mut inst, decl, "decl/ded");
     apply(&form, &mut inst, ded, "decl/ded/kind");

@@ -37,8 +37,17 @@ fn main() {
         .decode_config(&inst)
         .expect("initial instance is quiescent");
     let reference = machine.trace(64);
-    println!("{:<8}{:<16}{:<16}micro-steps", "step", "form decodes", "simulator");
-    println!("{:<8}{:<16}{:<16}{}", 0, config.to_string(), reference[0].to_string(), 0);
+    println!(
+        "{:<8}{:<16}{:<16}micro-steps",
+        "step", "form decodes", "simulator"
+    );
+    println!(
+        "{:<8}{:<16}{:<16}{}",
+        0,
+        config.to_string(),
+        reference[0].to_string(),
+        0
+    );
     let mut step = 1;
     while !machine.is_accepting(config.state) {
         match compiled.step_to_next_config(&mut inst, 10_000) {
@@ -75,7 +84,10 @@ fn main() {
             ..ExploreLimits::default()
         }),
     );
-    println!("completability of the compiled form: {} (machine halts)", r.verdict);
+    println!(
+        "completability of the compiled form: {} (machine halts)",
+        r.verdict
+    );
     assert_eq!(r.verdict, Verdict::Holds);
 
     // And a machine that never halts: the solver cannot say Holds.

@@ -27,8 +27,7 @@ fn leave_application_is_completable() {
 /// from the initial instance there is no full run."
 #[test]
 fn leave_with_f_and_not_s_has_no_full_run() {
-    let g = leave::example_3_12()
-        .with_completion(Formula::parse("f & !s").unwrap());
+    let g = leave::example_3_12().with_completion(Formula::parse("f & !s").unwrap());
     let r = completability(&g, &capped(2));
     assert_ne!(r.verdict, Verdict::Holds);
 }
@@ -193,8 +192,14 @@ fn figure_2_scenarios() {
     assert_eq!(a.children_with_label(app, "p").count(), 2);
     // "an application for a single period that was rejected"
     let b = leave::figure2b(s);
-    assert!(formula::holds_at_root(&b, &Formula::parse("d[r] & f").unwrap()));
-    assert!(!formula::holds_at_root(&b, &Formula::parse("d[a]").unwrap()));
+    assert!(formula::holds_at_root(
+        &b,
+        &Formula::parse("d[r] & f").unwrap()
+    ));
+    assert!(!formula::holds_at_root(
+        &b,
+        &Formula::parse("d[a]").unwrap()
+    ));
 }
 
 /// Footnote 1: semi-soundness is weaker than soundness — a semi-sound

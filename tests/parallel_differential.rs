@@ -1,0 +1,182 @@
+//! Differential tests: the parallel layered frontier engine must be
+//! indistinguishable from the sequential explorer wherever the contract
+//! promises it — same state set, same `SearchStats.closed`, same
+//! verdicts, same BFS goal depths — on the paper's running example and on
+//! the Theorem 4.1 two-counter workloads.
+//!
+//! These tests force thread counts above the machine's core count on
+//! purpose: the parallel code paths (chunking, shared interning, layer
+//! merge) are exercised even on a single-core host.
+
+use idar::core::leave;
+use idar::solver::{
+    completability, CompletabilityOptions, ExploreLimits, Explorer, Method, Verdict,
+};
+use idar_bench::workloads;
+
+/// Sorted iso-codes of a graph's states: the canonical state set.
+fn state_set(g: &idar::solver::explore::StateGraph) -> Vec<String> {
+    let mut v: Vec<String> = g.states.iter().map(|s| s.iso_code()).collect();
+    v.sort_unstable();
+    v
+}
+
+fn capped(cap: usize) -> ExploreLimits {
+    ExploreLimits {
+        multiplicity_cap: Some(cap),
+        ..ExploreLimits::small()
+    }
+}
+
+/// Ex. 3.12 leave form, multiplicity-capped so the space is finite: both
+/// engines must enumerate exactly the same isomorphism classes and agree
+/// that the capped search did not close (the cap prunes, by design).
+#[test]
+fn leave_example_3_12_same_state_set() {
+    let form = leave::example_3_12();
+    let seq = Explorer::new(&form, capped(2)).with_threads(1).graph();
+    for threads in [2, 4] {
+        let par = Explorer::new(&form, capped(2))
+            .with_threads(threads)
+            .graph();
+        assert_eq!(state_set(&par), state_set(&seq), "threads={threads}");
+        assert_eq!(par.stats.states, seq.stats.states);
+        assert_eq!(par.stats.transitions, seq.stats.transitions);
+        assert_eq!(par.stats.closed, seq.stats.closed);
+        let seq_edges: usize = seq.edges.iter().map(|e| e.len()).sum();
+        let par_edges: usize = par.edges.iter().map(|e| e.len()).sum();
+        assert_eq!(par_edges, seq_edges);
+    }
+}
+
+/// Both engines find a complete run for φ = f at the same BFS depth, and
+/// both runs replay.
+#[test]
+fn leave_example_3_12_same_goal_depth() {
+    let form = leave::example_3_12();
+    let seq = Explorer::new(&form, ExploreLimits::small())
+        .with_threads(1)
+        .find(|i| form.is_complete(i));
+    let par = Explorer::new(&form, ExploreLimits::small())
+        .with_threads(4)
+        .find(|i| form.is_complete(i));
+    let seq_run = seq.goal_run.expect("completable");
+    let par_run = par.goal_run.expect("completable");
+    assert_eq!(seq_run.len(), par_run.len());
+    assert!(form.is_complete_run(&par_run));
+}
+
+/// φ = f ∧ ¬s has no complete run (Sec. 3.5): both engines agree on the
+/// verdict-relevant facts under the capped search.
+#[test]
+fn leave_negative_claim_agrees() {
+    let form = leave::example_3_12().with_completion(idar::core::Formula::parse("f & !s").unwrap());
+    let seq = Explorer::new(&form, capped(2))
+        .with_threads(1)
+        .find(|i| form.is_complete(i));
+    let par = Explorer::new(&form, capped(2))
+        .with_threads(4)
+        .find(|i| form.is_complete(i));
+    assert!(seq.goal_run.is_none());
+    assert!(par.goal_run.is_none());
+    assert_eq!(seq.stats.closed, par.stats.closed);
+    assert_eq!(seq.stats.states, par.stats.states);
+}
+
+/// Halting two-counter machines (Thm 4.1): completability through the
+/// forced bounded-exploration path must return `Holds` with equal-length
+/// witness runs from both engines.
+#[test]
+fn two_counter_halting_machines_agree() {
+    let machines = [
+        (
+            "count_up(2)",
+            idar::machines::library::count_up_then_accept(2),
+        ),
+        ("transfer(2)", idar::machines::library::transfer_c1_to_c2(2)),
+    ];
+    for (name, machine) in machines {
+        let w = workloads::tcm(&machine, name, true);
+        let limits = ExploreLimits {
+            max_states: 500_000,
+            max_state_size: 256,
+            ..ExploreLimits::default()
+        };
+        let seq = Explorer::new(&w.form, limits)
+            .with_threads(1)
+            .find(|i| w.form.is_complete(i));
+        let par = Explorer::new(&w.form, limits)
+            .with_threads(4)
+            .find(|i| w.form.is_complete(i));
+        let seq_run = seq
+            .goal_run
+            .unwrap_or_else(|| panic!("{name}: seq finds halt"));
+        let par_run = par
+            .goal_run
+            .unwrap_or_else(|| panic!("{name}: par finds halt"));
+        assert_eq!(seq_run.len(), par_run.len(), "{name}: same BFS goal depth");
+        assert!(w.form.is_complete_run(&par_run), "{name}: par run replays");
+    }
+}
+
+/// A diverging machine under tight limits: neither engine may claim a
+/// verdict, and closedness must agree (both searches are truncated).
+#[test]
+fn two_counter_diverging_machine_agrees() {
+    let machine = idar::machines::library::ping_pong();
+    let w = workloads::tcm(&machine, "ping_pong", false);
+    let limits = ExploreLimits {
+        max_states: 20_000,
+        max_state_size: 64,
+        ..ExploreLimits::default()
+    };
+    let seq = Explorer::new(&w.form, limits)
+        .with_threads(1)
+        .find(|i| w.form.is_complete(i));
+    let par = Explorer::new(&w.form, limits)
+        .with_threads(4)
+        .find(|i| w.form.is_complete(i));
+    assert!(seq.goal_run.is_none());
+    assert!(par.goal_run.is_none());
+    assert_eq!(seq.stats.closed, par.stats.closed);
+    // When both searches closed, the negative answer is exact and the
+    // state sets must coincide in size.
+    if seq.stats.closed {
+        assert_eq!(seq.stats.states, par.stats.states);
+    }
+}
+
+/// The subset-lattice scaling workload: a closed 2ⁿ space where the two
+/// engines must agree on everything observable.
+#[test]
+fn subset_lattice_closed_space_agrees() {
+    let w = workloads::subset_lattice(8);
+    let seq = Explorer::new(&w.form, ExploreLimits::small())
+        .with_threads(1)
+        .graph();
+    let par = Explorer::new(&w.form, ExploreLimits::small())
+        .with_threads(4)
+        .graph();
+    assert_eq!(seq.states.len(), 256);
+    assert_eq!(state_set(&par), state_set(&seq));
+    assert!(seq.stats.closed && par.stats.closed);
+    assert_eq!(seq.stats.transitions, par.stats.transitions);
+}
+
+/// End-to-end through the solver dispatch: forcing bounded exploration on
+/// the leave form yields the same verdict regardless of engine (the
+/// solver uses the explorer's default thread count internally, so this
+/// also smoke-tests the default path).
+#[test]
+fn completability_verdicts_engine_independent() {
+    let form = leave::example_3_12();
+    let r = completability(
+        &form,
+        &CompletabilityOptions {
+            limits: ExploreLimits::small(),
+            force_method: Some(Method::BoundedExploration),
+        },
+    );
+    assert_eq!(r.verdict, Verdict::Holds);
+    assert!(form.is_complete_run(r.witness_run.as_ref().unwrap()));
+}

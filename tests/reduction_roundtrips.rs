@@ -60,7 +60,10 @@ fn thm_5_3_qsat_k2_witness_protocol() {
                 assert!(qbf.eval(), "witness only for true QBFs");
                 let run = qsat_to_semisoundness::run_to(&q, &w);
                 let replay = q.form.replay(&run).unwrap();
-                assert!(!qsat_to_semisoundness::ucfree_completable(&q, replay.last()));
+                assert!(!qsat_to_semisoundness::ucfree_completable(
+                    &q,
+                    replay.last()
+                ));
             }
             None => assert!(!qbf.eval(), "true QBFs must yield a witness"),
         }
@@ -135,7 +138,8 @@ fn cor_4_2_deletion_elimination_on_random_depth1_forms() {
         }
         let mut init = Instance::empty(schema.clone());
         if rng.bool() {
-            init.add_child_by_label(idar::core::InstNodeId::ROOT, "a").unwrap();
+            init.add_child_by_label(idar::core::InstNodeId::ROOT, "a")
+                .unwrap();
         }
         let completion = match rng.below(3) {
             0 => Formula::parse("a & !b").unwrap(),
@@ -198,10 +202,7 @@ fn thm_4_1_machine_suite_roundtrip() {
             max_state_size: 128,
             ..Default::default()
         };
-        let r = completability(
-            &compiled.form,
-            &CompletabilityOptions::with_limits(limits),
-        );
+        let r = completability(&compiled.form, &CompletabilityOptions::with_limits(limits));
         if halts {
             assert_eq!(r.verdict, Verdict::Holds);
         } else {

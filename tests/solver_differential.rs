@@ -6,9 +6,7 @@
 use idar::core::{
     bisim, formula, AccessRules, Formula, GuardedForm, InstNodeId, Instance, Right, Schema,
 };
-use idar::solver::{
-    completability, CompletabilityOptions, ExploreLimits, Method, Verdict,
-};
+use idar::solver::{completability, CompletabilityOptions, ExploreLimits, Method, Verdict};
 use proptest::prelude::*;
 use std::sync::Arc;
 
