@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idar_bench::workloads;
-use idar_logic::gen::{random_3cnf, XorShift};
+use idar_logic::gen::{random_3cnf, Rng, XorShift};
 use idar_logic::qbf::{Qbf, Quantifier};
 use idar_logic::Var;
 use idar_solver::satisfiability::{satisfiable, SatOptions, SatResult};

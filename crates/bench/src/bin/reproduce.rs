@@ -1,10 +1,16 @@
 //! Regenerate every table and figure of the paper and print
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
+//! Alongside the human-readable transcript, the run writes a
+//! machine-readable **`BENCH_2.json`** (per-section wall-times, parallel
+//! frontier state counts and seq-vs-par speedups) so CI can archive the
+//! perf trajectory; pass `--json PATH` to redirect it.
+//!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_2.json]
 //! ```
 
+use idar_bench::json::Json;
 use idar_bench::workloads;
 use idar_core::{bisim, fragment, leave, Instance, Schema};
 use idar_logic::qbf::Qbf;
@@ -16,25 +22,109 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
+/// One row of the engine-check table, recorded for `BENCH_2.json`.
+struct ParRow {
+    name: String,
+    states: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
 fn main() {
+    let json_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.iter().position(|a| a == "--json") {
+            Some(i) => args
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_2.json".to_string()),
+            None => "BENCH_2.json".to_string(),
+        }
+    };
+    let run_start = Instant::now();
+    let mut sections: Vec<(&'static str, f64)> = Vec::new();
+    let mut timed = |name: &'static str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        sections.push((name, t.elapsed().as_secs_f64() * 1e3));
+    };
+
     banner("Table 1 (paper): complexity matrix");
     print!("{}", fragment::render_table1());
 
-    table1_completability_positive();
-    table1_completability_np();
-    table1_completability_depth1();
-    table1_undecidable();
-    table1_semisoundness_conp();
-    table1_semisoundness_qsat();
-    table1_semisoundness_depth1();
-    corollary_4_5_satisfiability();
-    figures();
-    running_example();
-    transformations();
-    parallel_frontier();
-    batch_analysis();
+    timed(
+        "table1_completability_positive",
+        &mut table1_completability_positive,
+    );
+    timed("table1_completability_np", &mut table1_completability_np);
+    timed(
+        "table1_completability_depth1",
+        &mut table1_completability_depth1,
+    );
+    timed("table1_undecidable", &mut table1_undecidable);
+    timed("table1_semisoundness_conp", &mut table1_semisoundness_conp);
+    timed("table1_semisoundness_qsat", &mut table1_semisoundness_qsat);
+    timed(
+        "table1_semisoundness_depth1",
+        &mut table1_semisoundness_depth1,
+    );
+    timed(
+        "corollary_4_5_satisfiability",
+        &mut corollary_4_5_satisfiability,
+    );
+    timed("figures", &mut figures);
+    timed("running_example", &mut running_example);
+    timed("transformations", &mut transformations);
+    let mut par_rows = Vec::new();
+    timed("parallel_frontier", &mut || par_rows = parallel_frontier());
+    timed("batch_analysis", &mut batch_analysis);
 
-    println!("\nAll experiments completed.");
+    let report = Json::obj([
+        ("schema_version", Json::Int(2)),
+        ("generated_by", Json::Str("idar-bench reproduce".into())),
+        ("threads", Json::Int(default_threads() as u64)),
+        (
+            "sections",
+            Json::Arr(
+                sections
+                    .iter()
+                    .map(|(name, ms)| {
+                        Json::obj([
+                            ("name", Json::Str((*name).into())),
+                            ("wall_ms", Json::Num(*ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "parallel_frontier",
+            Json::Arr(
+                par_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::Str(r.name.clone())),
+                            ("states", Json::Int(r.states as u64)),
+                            ("seq_ms", Json::Num(r.seq_ms)),
+                            ("par_ms", Json::Num(r.par_ms)),
+                            ("speedup", Json::Num(r.seq_ms / r.par_ms.max(1e-9))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total_ms",
+            Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
+        ),
+    ]);
+    match std::fs::write(&json_path, report.render()) {
+        Ok(()) => println!("\nmachine-readable report written to {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    println!("All experiments completed.");
 }
 
 fn banner(s: &str) {
@@ -339,6 +429,7 @@ fn corollary_4_5_satisfiability() {
     let total = 12;
     for seed in 0..total {
         let qbf = {
+            use idar_logic::gen::Rng;
             use idar_logic::qbf::Quantifier;
             use idar_logic::Var;
             let mut rng = idar_logic::gen::XorShift::new(seed * 31 + 5);
@@ -473,7 +564,7 @@ fn running_example() {
 /// closed 2ⁿ-state space (not a paper experiment — the engineering
 /// validation that parallel exploration is verdict- and state-set-
 /// identical, plus its wall-clock on this machine).
-fn parallel_frontier() {
+fn parallel_frontier() -> Vec<ParRow> {
     banner("Engine check -- parallel frontier vs sequential explorer");
     let threads = default_threads();
     println!("hardware threads available: {threads}");
@@ -481,6 +572,7 @@ fn parallel_frontier() {
         "{:<24}{:>10}{:>14}{:>14}{:>10}",
         "workload", "states", "seq time", "par time", "speedup"
     );
+    let mut rows = Vec::new();
     for n in [12usize, 14, 16] {
         let w = workloads::subset_lattice(n);
         let limits = ExploreLimits {
@@ -509,9 +601,16 @@ fn parallel_frontier() {
                 seq_dt.as_secs_f64() / par_dt.as_secs_f64().max(1e-9)
             ),
         );
+        rows.push(ParRow {
+            name: w.name.clone(),
+            states: seq.states.len(),
+            seq_ms: seq_dt.as_secs_f64() * 1e3,
+            par_ms: par_dt.as_secs_f64() * 1e3,
+        });
     }
     println!("(speedup tracks the core count; on a single-core host the parallel");
     println!("column shows pure coordination overhead, with identical results)");
+    rows
 }
 
 /// The batch analyzer over a cross-section of Table 1 families: every

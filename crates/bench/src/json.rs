@@ -1,0 +1,130 @@
+//! A minimal JSON writer for the machine-readable benchmark reports
+//! (`BENCH_2.json`) — dependency-free, append-only, just enough structure
+//! for CI artifacts and trend tooling to consume.
+
+use std::fmt::Write as _;
+
+/// An owned JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string value (escaped on render).
+    Str(String),
+    /// A finite number, rendered with exactly 3 decimal places
+    /// (non-finite values render as `null`).
+    Num(f64),
+    /// An integer, rendered exactly.
+    Int(u64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let j = Json::obj([
+            ("name", Json::Str("subset_lattice/n16".into())),
+            ("states", Json::Int(65536)),
+            ("speedup", Json::Num(3.25)),
+            ("closed", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"states\": 65536"));
+        assert!(s.contains("\"speedup\": 3.250"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

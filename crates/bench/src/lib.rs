@@ -12,6 +12,7 @@
 //! which is exactly what [`workloads`] generates and the Criterion benches
 //! plus the `reproduce` binary measure.
 
+pub mod json;
 pub mod workloads;
 
 use idar_core::GuardedForm;

@@ -1,11 +1,13 @@
 //! Parameterised workload families, one per Table 1 cell (see DESIGN.md §4).
 //!
 //! Every generator is deterministic in its seed so benchmark runs are
-//! reproducible.
+//! reproducible. Form *assembly* lives in [`idar_gen::builders`] — the
+//! construction path shared with the differential fuzz harness — and this
+//! module only attaches names and expected verdicts.
 
 use crate::Workload;
-use idar_core::{AccessRules, Formula, GuardedForm, Instance, Right, SchemaBuilder, SchemaNodeId};
-use idar_logic::gen::{random_3cnf, random_qsat2k, XorShift};
+use idar_core::{AccessRules, Formula, GuardedForm, Instance, SchemaBuilder, SchemaNodeId};
+use idar_logic::gen::{random_3cnf, random_qsat2k, Rng, XorShift};
 use idar_logic::qbf::Qbf;
 use idar_machines::TwoCounterMachine;
 use std::sync::Arc;
@@ -13,26 +15,9 @@ use std::sync::Arc;
 /// `F(A+, φ+, 1)` — a dependency chain: label `i` requires label `i−1`.
 /// Completable, decided by Thm 5.5 saturation in O(n²) guard checks.
 pub fn positive_chain(n: usize) -> Workload {
-    let mut b = SchemaBuilder::new();
-    let mut edges = Vec::with_capacity(n);
-    for i in 0..n {
-        edges.push(b.child(SchemaNodeId::ROOT, &format!("l{i}")).unwrap());
-    }
-    let schema = Arc::new(b.build());
-    let mut rules = AccessRules::new(&schema);
-    for (i, &e) in edges.iter().enumerate() {
-        let guard = if i == 0 {
-            Formula::True
-        } else {
-            Formula::label(&format!("l{}", i - 1))
-        };
-        rules.set(Right::Add, e, guard);
-    }
-    let completion = Formula::conj((0..n).map(|i| Formula::label(&format!("l{i}"))));
-    let initial = Instance::empty(schema.clone());
     Workload {
         name: format!("positive_chain/n{n}"),
-        form: GuardedForm::new(schema, rules, initial, completion),
+        form: idar_gen::builders::positive_chain(n),
         expected: Some(true),
     }
 }
@@ -80,22 +65,9 @@ pub fn positive_tree(depth: usize, fanout: usize) -> Workload {
 /// so mid-search frontiers are wide enough to feed every core. `n = 17`
 /// gives 131 072 states.
 pub fn subset_lattice(n: usize) -> Workload {
-    let mut b = SchemaBuilder::new();
-    let mut edges = Vec::with_capacity(n);
-    for i in 0..n {
-        edges.push(b.child(SchemaNodeId::ROOT, &format!("l{i}")).unwrap());
-    }
-    let schema = Arc::new(b.build());
-    let mut rules = AccessRules::new(&schema);
-    for (i, &e) in edges.iter().enumerate() {
-        rules.set(Right::Add, e, Formula::parse(&format!("!l{i}")).unwrap());
-        rules.set(Right::Del, e, Formula::True);
-    }
-    let completion = Formula::conj((0..n).map(|i| Formula::label(&format!("l{i}"))));
-    let initial = Instance::empty(schema.clone());
     Workload {
         name: format!("subset_lattice/n{n}"),
-        form: GuardedForm::new(schema, rules, initial, completion),
+        form: idar_gen::builders::subset_lattice(n),
         expected: Some(true),
     }
 }
@@ -165,9 +137,10 @@ pub fn qsat_semisound(seed: u64, k: usize, n: usize) -> (Workload, Qbf) {
     )
 }
 
-/// Undecidable cell — Thm 4.1 on a library machine.
+/// Undecidable cell — Thm 4.1 on a library machine, compiled through the
+/// shared [`idar_gen::builders::two_counter`] path.
 pub fn tcm(machine: &TwoCounterMachine, name: &str, halts: bool) -> Workload {
-    let compiled = idar_reductions::tcm_to_completability::reduce(machine);
+    let compiled = idar_gen::builders::two_counter(machine);
     Workload {
         name: format!("tcm/{name}"),
         form: compiled.form,

@@ -285,6 +285,61 @@ impl Instance {
         Ok(inst)
     }
 
+    /// Render this instance in the compact [`Instance::parse`] notation,
+    /// children in child order (not sorted — contrast
+    /// [`Instance::iso_code`]). Inverse of `parse`:
+    /// `Instance::parse(schema, &i.to_text())` rebuilds an isomorphic
+    /// instance.
+    pub fn to_text(&self) -> String {
+        self.text_of(InstNodeId::ROOT)
+    }
+
+    fn text_of(&self, node: InstNodeId) -> String {
+        let kids: Vec<String> = self
+            .children(node)
+            .iter()
+            .map(|&c| {
+                let sub = self.text_of(c);
+                if sub.is_empty() {
+                    self.label(c).to_string()
+                } else {
+                    format!("{}({})", self.label(c), sub)
+                }
+            })
+            .collect();
+        kids.join(", ")
+    }
+
+    /// Grow a pseudo-random instance of `schema` with at most `budget`
+    /// added nodes, drawing every decision from `chooser` — the
+    /// *arbitrary-instance hook* for external generators (`idar-gen`, the
+    /// proptest shim): `chooser(n)` must return a value `< n`.
+    ///
+    /// Each step picks a live node uniformly via the hook; if its schema
+    /// node has children, one schema edge is picked the same way and a
+    /// fresh leaf added. The construction is total (never fails) and
+    /// deterministic in the chooser's choices.
+    pub fn arbitrary_with(
+        schema: Arc<Schema>,
+        budget: usize,
+        chooser: &mut dyn FnMut(usize) -> usize,
+    ) -> Instance {
+        let mut inst = Instance::empty(schema.clone());
+        let mut live: Vec<InstNodeId> = vec![InstNodeId::ROOT];
+        for _ in 0..budget {
+            let p = live[chooser(live.len()).min(live.len() - 1)];
+            let sp = inst.schema_node(p);
+            let kids = schema.children(sp);
+            if kids.is_empty() {
+                continue;
+            }
+            let edge = kids[chooser(kids.len()).min(kids.len() - 1)];
+            let c = inst.add_child(p, edge).expect("edge below parent's image");
+            live.push(c);
+        }
+        inst
+    }
+
     /// Render this instance in the [`Instance::parse`] notation, children
     /// sorted canonically so that isomorphic instances render identically.
     ///

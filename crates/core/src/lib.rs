@@ -37,6 +37,7 @@ pub mod instance;
 pub mod intern;
 pub mod leave;
 pub mod schema;
+pub mod serialize;
 
 pub use error::CoreError;
 pub use formula::{Formula, PathExpr};

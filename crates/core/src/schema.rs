@@ -164,6 +164,29 @@ impl Schema {
         Ok(b.build())
     }
 
+    /// Render the schema in the compact [`Schema::parse`] notation
+    /// (children in creation order). Inverse of `parse`:
+    /// `Schema::parse(&s.to_text())` rebuilds an identical schema.
+    pub fn to_text(&self) -> String {
+        self.text_of(SchemaNodeId::ROOT)
+    }
+
+    fn text_of(&self, id: SchemaNodeId) -> String {
+        let kids: Vec<String> = self
+            .children(id)
+            .iter()
+            .map(|&c| {
+                let sub = self.text_of(c);
+                if sub.is_empty() {
+                    self.label(c).to_string()
+                } else {
+                    format!("{}({})", self.label(c), sub)
+                }
+            })
+            .collect();
+        kids.join(", ")
+    }
+
     /// Render the schema as an ASCII tree (root first), mirroring Fig. 1.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,160 @@
+//! Generator configuration: fragment restriction, size envelope, rule
+//! density.
+
+use idar_core::fragment::{DepthClass, Polarity};
+use std::fmt;
+
+/// Which fragment of Sec. 3.5 the generator must stay inside.
+///
+/// Each spec names a *generator family*, not just a classification: the
+/// generated form is guaranteed to satisfy the spec's defining property
+/// (checked by [`FragmentSpec::admits`] and the property tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragmentSpec {
+    /// `F(A+, φ+, d)` — all access guards and the completion formula are
+    /// positive (negation-free). Completability is polynomial (Thm 5.5).
+    Positive,
+    /// `F(A−, φ−, d)` — unrestricted guarded forms: negation anywhere,
+    /// any depth within the envelope. The general (undecidable) cell.
+    Guarded,
+    /// `F(A−, φ−, 1)` — depth-1 schemas, unrestricted formulas. The
+    /// PSPACE-complete cell with an exact canonical-state solver.
+    Depth1,
+    /// Deletion-free forms: no `del` right is ever granted (all deletion
+    /// guards are `false`), the target shape of the Cor. 4.2
+    /// deletion-elimination construction.
+    DeletionFree,
+}
+
+impl FragmentSpec {
+    /// All specs, in the fixed order the fuzz harness iterates them.
+    pub const ALL: [FragmentSpec; 4] = [
+        FragmentSpec::Positive,
+        FragmentSpec::Guarded,
+        FragmentSpec::Depth1,
+        FragmentSpec::DeletionFree,
+    ];
+
+    /// Stable machine name (CLI argument / repro-file header).
+    pub fn name(self) -> &'static str {
+        match self {
+            FragmentSpec::Positive => "positive",
+            FragmentSpec::Guarded => "guarded",
+            FragmentSpec::Depth1 => "depth1",
+            FragmentSpec::DeletionFree => "deletion-free",
+        }
+    }
+
+    /// Parse a [`FragmentSpec::name`] back.
+    pub fn from_name(s: &str) -> Option<FragmentSpec> {
+        FragmentSpec::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// A seed-mixing tag so the same master seed yields distinct case
+    /// streams per fragment.
+    pub(crate) fn tag(self) -> u64 {
+        match self {
+            FragmentSpec::Positive => 0x706F73,
+            FragmentSpec::Guarded => 0x677264,
+            FragmentSpec::Depth1 => 0x643165,
+            FragmentSpec::DeletionFree => 0x64656C,
+        }
+    }
+
+    /// Does `form` satisfy this spec's defining property?
+    pub fn admits(self, form: &idar_core::GuardedForm) -> bool {
+        let frag = idar_core::fragment::classify(form);
+        match self {
+            FragmentSpec::Positive => {
+                frag.access == Polarity::Positive && frag.completion == Polarity::Positive
+            }
+            FragmentSpec::Guarded => true,
+            FragmentSpec::Depth1 => frag.depth == DepthClass::One,
+            FragmentSpec::DeletionFree => {
+                let schema = form.schema();
+                schema.edge_ids().all(|e| {
+                    form.rules().get(idar_core::Right::Del, e) == &idar_core::Formula::False
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for FragmentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bounds on the size of generated forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeEnvelope {
+    /// Maximum number of schema edges (non-root nodes); at least 1.
+    pub max_fields: usize,
+    /// Maximum schema depth (ignored — forced to 1 — by
+    /// [`FragmentSpec::Depth1`]).
+    pub max_depth: usize,
+    /// Maximum number of nodes *added* to the initial instance beyond the
+    /// root (the initial instance is empty about half the time).
+    pub max_initial_nodes: usize,
+    /// Maximum AST size of each generated guard / completion formula.
+    pub max_formula_size: usize,
+}
+
+impl Default for SizeEnvelope {
+    fn default() -> Self {
+        // Small enough that bounded exploration usually closes under the
+        // fuzz harness's limits, large enough to exercise depth, sibling
+        // multiplicity and guard interaction.
+        SizeEnvelope {
+            max_fields: 5,
+            max_depth: 3,
+            max_initial_nodes: 4,
+            max_formula_size: 7,
+        }
+    }
+}
+
+/// Everything a generation run is parameterised by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Fragment the generated forms must stay inside.
+    pub fragment: FragmentSpec,
+    /// Size envelope.
+    pub size: SizeEnvelope,
+    /// Percentage (0..=100) of (right, edge) pairs that get an explicit
+    /// guard; the rest fall through to the table default (`false`).
+    pub rule_density: u32,
+}
+
+impl GenConfig {
+    /// The default configuration for a fragment.
+    pub fn new(fragment: FragmentSpec) -> GenConfig {
+        GenConfig {
+            fragment,
+            size: SizeEnvelope::default(),
+            rule_density: 70,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for f in FragmentSpec::ALL {
+            assert_eq!(FragmentSpec::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FragmentSpec::from_name("nope"), None);
+    }
+
+    #[test]
+    fn tags_distinct() {
+        let mut tags: Vec<u64> = FragmentSpec::ALL.iter().map(|f| f.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), FragmentSpec::ALL.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! # idar-gen
+//!
+//! The workspace's **scenario engine**: deterministic, seed-driven
+//! generation of guarded forms — schemas, instance-dependent access rules,
+//! initial instances and completion formulas — parameterised by the
+//! paper's fragment lattice (Sec. 3.5), a size envelope and a rule
+//! density.
+//!
+//! Three layers:
+//!
+//! * [`config`] / [`form`] — the random generators. Every decision is
+//!   drawn through the [`idar_logic::gen::Rng`] trait, so a `u64` seed
+//!   reproduces a form bit-for-bit (`generate(&cfg, seed)`); the fragment
+//!   parameter ([`FragmentSpec`]) guarantees the generated form *stays
+//!   inside* its fragment (positive guards/completion, depth-1 schema,
+//!   deletion-free rules).
+//! * [`builders`] — the deterministic named families the benchmarks and
+//!   the fuzz harness share ([`builders::subset_lattice`],
+//!   [`builders::positive_chain`], [`builders::flat_form`],
+//!   [`builders::two_counter`]), so one construction path feeds both.
+//! * [`mod@shrink`] — greedy, size-monotone minimisation of a failing form
+//!   while an oracle keeps reporting the failure; the differential fuzz
+//!   harness uses it to emit minimal `.ron` repro cases
+//!   ([`idar_core::serialize`]).
+//!
+//! The random-instance evaluation style follows Crampton & Gutin's
+//! workflow-satisfiability experiments; determinism-per-seed is the
+//! contract CI relies on (`fuzz --seed N` reproduces the identical case
+//! sequence).
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod config;
+pub mod form;
+pub mod shrink;
+
+pub use config::{FragmentSpec, GenConfig, SizeEnvelope};
+pub use form::{generate, generate_stream};
+pub use shrink::{form_size, shrink};

@@ -1,0 +1,127 @@
+//! Property tests for the generator invariants (via the proptest shim):
+//!
+//! * generated forms are **well-formed** — valid schema/instance pairing,
+//!   canonical serialization round-trips, replayable updates;
+//! * fragment-restricted generators **stay inside their fragment**;
+//! * shrinking is **monotone** in form size and preserves the oracle.
+
+use idar_core::serialize;
+use idar_core::{GuardedForm, Update};
+use idar_gen::{form_size, generate, shrink, FragmentSpec, GenConfig};
+use proptest::prelude::*;
+
+fn spec_of(ix: usize) -> FragmentSpec {
+    FragmentSpec::ALL[ix % FragmentSpec::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_forms_are_well_formed(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let cfg = GenConfig::new(spec_of(ix));
+        let g = generate(&cfg, seed);
+        // Schema: at least one field, root labelled r.
+        prop_assert!(g.schema().edge_count() >= 1);
+        prop_assert_eq!(g.schema().label(idar_core::SchemaNodeId::ROOT), "r");
+        // The initial instance is an instance of the form's schema (same
+        // allocation) and parses back from its own text.
+        prop_assert!(std::sync::Arc::ptr_eq(g.initial().schema(), g.schema()));
+        let reparsed = idar_core::Instance::parse(
+            g.schema().clone(),
+            &g.initial().to_text(),
+        ).unwrap();
+        prop_assert!(reparsed.isomorphic(g.initial()));
+        // Every allowed update on the initial instance applies cleanly.
+        for u in g.allowed_updates(g.initial()) {
+            let mut inst = g.initial().clone();
+            prop_assert!(g.apply(&mut inst, &u).is_ok());
+        }
+    }
+
+    #[test]
+    fn serialization_is_canonical(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let cfg = GenConfig::new(spec_of(ix));
+        let g = generate(&cfg, seed);
+        let once = serialize::to_ron(&g);
+        let back = serialize::from_ron(&once).unwrap();
+        prop_assert_eq!(&once, &serialize::to_ron(&back));
+    }
+
+    #[test]
+    fn fragment_generators_stay_inside_their_fragment(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let spec = spec_of(ix);
+        let g = generate(&GenConfig::new(spec), seed);
+        prop_assert!(spec.admits(&g), "{} escaped: {}", spec, serialize::to_ron(&g));
+    }
+
+    #[test]
+    fn depth1_forms_have_depth_one(seed in 0u64..1_000_000) {
+        let g = generate(&GenConfig::new(FragmentSpec::Depth1), seed);
+        prop_assert!(g.schema().depth() <= 1);
+    }
+
+    #[test]
+    fn deletion_free_forms_never_allow_deletions(seed in 0u64..1_000_000) {
+        let g = generate(&GenConfig::new(FragmentSpec::DeletionFree), seed);
+        // No deletion is allowed on the initial instance nor on any
+        // one-step successor.
+        let check = |form: &GuardedForm, inst: &idar_core::Instance| {
+            form.allowed_updates(inst)
+                .iter()
+                .all(|u| matches!(u, Update::Add { .. }))
+        };
+        prop_assert!(check(&g, g.initial()));
+        for u in g.allowed_updates(g.initial()) {
+            let mut inst = g.initial().clone();
+            g.apply(&mut inst, &u).unwrap();
+            prop_assert!(check(&g, &inst));
+        }
+    }
+
+    #[test]
+    fn shrinking_is_monotone_in_form_size(seed in 0u64..1_000_000) {
+        let g = generate(&GenConfig::new(FragmentSpec::Guarded), seed);
+        let before = form_size(&g);
+        let small = shrink(&g, |f| f.schema().edge_count() >= 1);
+        prop_assert!(form_size(&small) <= before);
+        prop_assert!(small.schema().edge_count() >= 1);
+    }
+
+    #[test]
+    fn shrinking_preserves_a_semantic_oracle(seed in 0u64..40_000) {
+        // Oracle: the completion formula mentions at least one label. Any
+        // shrink accepted must keep that property.
+        let g = generate(&GenConfig::new(FragmentSpec::Positive), seed);
+        let oracle = |f: &GuardedForm| !f.completion().labels().is_empty();
+        prop_assume!(oracle(&g));
+        let small = shrink(&g, oracle);
+        prop_assert!(oracle(&small));
+        prop_assert!(form_size(&small) <= form_size(&g));
+    }
+}
+
+/// Shrinking chains strictly decrease: instrument the oracle to observe
+/// every accepted candidate in order.
+#[test]
+fn shrink_accepted_chain_strictly_decreases() {
+    for seed in 0..10u64 {
+        let g = generate(&GenConfig::new(FragmentSpec::Guarded), seed);
+        let mut last = form_size(&g);
+        let mut sizes = Vec::new();
+        let _ = shrink(&g, |f| {
+            // The shrinker only consults the oracle on strictly smaller
+            // candidates; accepting all of them makes every call an
+            // accepted step.
+            sizes.push(form_size(f));
+            true
+        });
+        for s in sizes {
+            assert!(
+                s < last,
+                "seed {seed}: non-decreasing step {s} after {last}"
+            );
+            last = s;
+        }
+    }
+}

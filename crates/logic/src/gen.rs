@@ -1,11 +1,47 @@
 //! Deterministic (seeded) instance generators for tests and benchmarks.
 //!
+//! Every generator is expressed against the [`Rng`] trait, so the same
+//! construction can be driven by the crate's own [`XorShift`], by the
+//! proptest shim's generator, or by `idar-gen`'s per-case seed streams.
 //! A tiny xorshift PRNG keeps this crate dependency-free; the benchmark
 //! harness re-seeds per workload so every run regenerates identical
 //! instances.
 
 use crate::prop::{Cnf, Lit, PropFormula};
 use crate::qbf::Qbf;
+
+/// A deterministic source of randomness.
+///
+/// The one trait every seeded generator in the workspace draws from
+/// (CNF/QBF families here, schemas/guards/forms in `idar-gen`). Only
+/// [`Rng::next_u64`] is required; the derived helpers define the shared
+/// sampling vocabulary so that a generator behaves identically no matter
+/// which implementation drives it.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform coin flip.
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num/den` (`den` > 0).
+    fn chance(&mut self, num: u32, den: u32) -> bool {
+        (self.next_u64() % u64::from(den)) < u64::from(num)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+}
 
 /// Minimal xorshift64* PRNG.
 #[derive(Debug, Clone)]
@@ -14,11 +50,32 @@ pub struct XorShift {
 }
 
 impl XorShift {
+    /// Seed the generator (seed 0 is mapped to 1: xorshift has no zero
+    /// state).
     pub fn new(seed: u64) -> XorShift {
         XorShift { state: seed.max(1) }
     }
 
-    pub fn next_u64(&mut self) -> u64 {
+    /// Derive a decorrelated child generator, advancing `self` once.
+    ///
+    /// SplitMix64-finalises one output so sibling streams (e.g. one per
+    /// fuzz case) do not overlap even for consecutive seeds.
+    pub fn split(&mut self) -> XorShift {
+        XorShift::new(split_mix(Rng::next_u64(self)))
+    }
+}
+
+/// One SplitMix64 finalisation step — the recommended way to turn a
+/// (seed, index) pair into an independent stream seed.
+pub fn split_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng for XorShift {
+    fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x << 13;
         x ^= x >> 7;
@@ -26,22 +83,17 @@ impl XorShift {
         self.state = x;
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
-
-    /// Uniform in `0..n` (n > 0).
-    pub fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
-
-    pub fn bool(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
 }
 
 /// A random 3-CNF with `vars` variables and `clauses` clauses (distinct
 /// variables within each clause when possible).
 pub fn random_3cnf(seed: u64, vars: usize, clauses: usize) -> Cnf {
+    random_3cnf_with(&mut XorShift::new(seed), vars, clauses)
+}
+
+/// [`random_3cnf`] driven by an arbitrary [`Rng`].
+pub fn random_3cnf_with(rng: &mut impl Rng, vars: usize, clauses: usize) -> Cnf {
     assert!(vars >= 1);
-    let mut rng = XorShift::new(seed);
     let mut out = Vec::with_capacity(clauses);
     for _ in 0..clauses {
         let mut clause = Vec::with_capacity(3);
@@ -68,25 +120,25 @@ pub fn random_3cnf(seed: u64, vars: usize, clauses: usize) -> Cnf {
 /// A random propositional formula over `vars` variables with `size`
 /// internal connectives.
 pub fn random_prop(seed: u64, vars: usize, size: usize) -> PropFormula {
-    let mut rng = XorShift::new(seed);
-    random_prop_inner(&mut rng, vars, size)
+    random_prop_with(&mut XorShift::new(seed), vars, size)
 }
 
-fn random_prop_inner(rng: &mut XorShift, vars: usize, size: usize) -> PropFormula {
+/// [`random_prop`] driven by an arbitrary [`Rng`].
+pub fn random_prop_with(rng: &mut impl Rng, vars: usize, size: usize) -> PropFormula {
     if size == 0 {
         return PropFormula::var(rng.below(vars) as u32);
     }
     match rng.below(3) {
-        0 => random_prop_inner(rng, vars, size - 1).not(),
+        0 => random_prop_with(rng, vars, size - 1).not(),
         1 => {
             let l = size - 1;
             let left = rng.below(l + 1);
-            random_prop_inner(rng, vars, left).and(random_prop_inner(rng, vars, l - left))
+            random_prop_with(rng, vars, left).and(random_prop_with(rng, vars, l - left))
         }
         _ => {
             let l = size - 1;
             let left = rng.below(l + 1);
-            random_prop_inner(rng, vars, left).or(random_prop_inner(rng, vars, l - left))
+            random_prop_with(rng, vars, left).or(random_prop_with(rng, vars, l - left))
         }
     }
 }
@@ -96,6 +148,13 @@ fn random_prop_inner(rng: &mut XorShift, vars: usize, size: usize) -> PropFormul
 pub fn random_qsat2k(seed: u64, k: usize, n: usize, matrix_size: usize) -> Qbf {
     let vars = 2 * k * n;
     let matrix = random_prop(seed ^ 0x9E3779B97F4A7C15, vars, matrix_size);
+    Qbf::qsat2k(k, n, matrix)
+}
+
+/// [`random_qsat2k`] driven by an arbitrary [`Rng`].
+pub fn random_qsat2k_with(rng: &mut impl Rng, k: usize, n: usize, matrix_size: usize) -> Qbf {
+    let vars = 2 * k * n;
+    let matrix = random_prop_with(rng, vars, matrix_size);
     Qbf::qsat2k(k, n, matrix)
 }
 
@@ -131,6 +190,40 @@ mod tests {
             vars.dedup();
             assert_eq!(vars.len(), 3, "clause {c} repeats a variable");
         }
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        let mut sa = a.split();
+        let mut sb = b.split();
+        assert_eq!(sa.next_u64(), sb.next_u64());
+        // The child stream differs from the parent's continuation.
+        assert_ne!(a.next_u64(), sa.next_u64());
+    }
+
+    #[test]
+    fn chance_and_range_bounds() {
+        let mut rng = XorShift::new(3);
+        for _ in 0..100 {
+            assert!(!rng.chance(0, 10));
+            assert!(rng.chance(10, 10));
+            let v = rng.range(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeded_wrappers_match_with_variants() {
+        assert_eq!(
+            random_3cnf(42, 10, 30),
+            random_3cnf_with(&mut XorShift::new(42), 10, 30)
+        );
+        assert_eq!(
+            random_prop(9, 5, 12),
+            random_prop_with(&mut XorShift::new(9), 5, 12)
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! * [`qbf`] — prenex quantified Boolean formulas with alternating blocks
 //!   (`QSAT_2k`) and a recursive evaluation solver, the baseline for
 //!   Thm 5.3 / Cor. 5.4 and for Cor. 4.5's PSPACE encoding.
-//! * [`gen`] — seeded random instance generators for tests and the
-//!   benchmark harness.
+//! * [`gen`] — the workspace-wide [`gen::Rng`] trait plus seeded random
+//!   instance generators for tests, the benchmark harness and `idar-gen`.
 //! * [`dimacs`] — DIMACS CNF I/O, so the reductions can consume standard
 //!   benchmark instances.
 //!

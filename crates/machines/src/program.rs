@@ -123,17 +123,14 @@ impl Program {
         for (pc, instr) in self.instrs.iter().enumerate() {
             let pc = pc as u32;
             let next = pc + 1; // fall-through; may be out of range → stuck
-            let has_next = (next as usize) < n;
             match *instr {
                 Instr::Accept => accepting.push(State(pc)),
                 Instr::Halt => { /* no transitions: stuck, not accepting */ }
                 Instr::Inc(c) => {
-                    if has_next || true {
-                        // Falling off the end is allowed: the machine just
-                        // gets stuck in a fresh sink state `n` (added below).
-                        let (a1, a2) = action_pair(c, Action::Inc);
-                        b = b.rule_any(pc, next.min(n as u32), a1, a2);
-                    }
+                    // Falling off the end is allowed: the machine just
+                    // gets stuck in a fresh sink state `n` (added below).
+                    let (a1, a2) = action_pair(c, Action::Inc);
+                    b = b.rule_any(pc, next.min(n as u32), a1, a2);
                 }
                 Instr::Dec(c) => {
                     let (a1, a2) = action_pair(c, Action::Dec);

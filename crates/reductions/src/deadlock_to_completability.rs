@@ -263,7 +263,7 @@ mod tests {
     fn random_systems_agree_with_baseline() {
         // Small random synchronised systems; compare reduction verdict
         // with the explicit checker.
-        use idar_logic::gen::XorShift;
+        use idar_logic::gen::{Rng, XorShift};
         let mut rng = XorShift::new(2024);
         let mut holds = 0;
         let mut fails = 0;

@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn random_small_qbfs_agree_with_baseline() {
-        use idar_logic::gen::{random_prop, XorShift};
+        use idar_logic::gen::{random_prop, Rng, XorShift};
         let mut rng = XorShift::new(99);
         for seed in 0..20 {
             let nvars = 2 + rng.below(2); // 2..3 variables

@@ -17,6 +17,9 @@
 //!   compilers between problem representations.
 //! * [`workflow`] — reachability graphs, run extraction, the online form
 //!   manager, and full workflow soundness.
+//! * [`gen`] — seed-driven scenario generation: fragment-parameterised
+//!   guarded-form generators, the deterministic builders the benches
+//!   share, and verdict-preserving shrinking for fuzz repros.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +37,7 @@
 
 pub use idar_core as core;
 pub use idar_deadlock as deadlock;
+pub use idar_gen as gen;
 pub use idar_logic as logic;
 pub use idar_machines as machines;
 pub use idar_reductions as reductions;

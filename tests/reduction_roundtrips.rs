@@ -2,7 +2,7 @@
 //! per-crate unit tests: compile a problem instance, decide the resulting
 //! guarded form, compare with the baseline solver.
 
-use idar::logic::gen::{random_3cnf, random_qsat2k, XorShift};
+use idar::logic::gen::{random_3cnf, random_qsat2k, Rng, XorShift};
 use idar::reductions::*;
 use idar::solver::semisound::{semisoundness, SemisoundnessOptions};
 use idar::solver::{completability, CompletabilityOptions, Verdict};
