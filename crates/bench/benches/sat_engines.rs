@@ -1,0 +1,90 @@
+//! SAT-engine benches: CDCL vs DPLL on the `idar_gen::cnf` families.
+//!
+//! * `chain/*` — implication chains: pure unit propagation; the workload
+//!   that exposed the original quadratic DPLL rescan (53.6 s at 200k
+//!   clauses) and the ISSUE 3 acceptance bound (CDCL < 100 ms there).
+//! * `pigeonhole/*` — UNSAT with exponentially long resolution proofs:
+//!   conflict analysis and clause learning dominate.
+//! * `random3cnf/*` — seeded 3-CNF at the ~4.2 phase-transition ratio
+//!   (DPLL rows stop at 30 variables; without learning it falls off a
+//!   cliff shortly after).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_gen::cnf;
+use idar_logic::Engine;
+
+fn chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_engines/chain");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000, 200_000] {
+        let instance = cnf::implication_chain(n);
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), n),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        assert!(engine.solve(criterion::black_box(instance)).is_some());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_engines/pigeonhole");
+    group.sample_size(10);
+    for holes in [4usize, 5, 6] {
+        let instance = cnf::pigeonhole(holes);
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            // DPLL explores the full factorial tree; keep it to the sizes
+            // that stay in milliseconds.
+            if engine == Engine::Dpll && holes > 5 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), holes),
+                &instance,
+                |b, instance| {
+                    b.iter(|| {
+                        assert!(engine.solve(criterion::black_box(instance)).is_none());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn random3cnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_engines/random3cnf");
+    group.sample_size(10);
+    for vars in [20usize, 30, 60] {
+        let clauses = vars * 21 / 5; // ratio 4.2
+        let family: Vec<_> = (0..3u64)
+            .map(|s| cnf::random_3cnf(s * 31 + 7, vars, clauses))
+            .collect();
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            if engine == Engine::Dpll && vars > 30 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), vars),
+                &family,
+                |b, family| {
+                    b.iter(|| {
+                        for instance in family {
+                            criterion::black_box(engine.solve(criterion::black_box(instance)));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain, pigeonhole, random3cnf);
+criterion_main!(benches);

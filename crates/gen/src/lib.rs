@@ -18,6 +18,9 @@
 //!   the fuzz harness share ([`builders::subset_lattice`],
 //!   [`builders::positive_chain`], [`builders::flat_form`],
 //!   [`builders::two_counter`]), so one construction path feeds both.
+//! * [`cnf`] — deterministic CNF families (implication chains,
+//!   pigeonhole, seeded random 3-CNF) for the SAT-engine benches and the
+//!   cdcl-vs-dpll differential oracle.
 //! * [`mod@shrink`] — greedy, size-monotone minimisation of a failing form
 //!   while an oracle keeps reporting the failure; the differential fuzz
 //!   harness uses it to emit minimal `.ron` repro cases
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod cnf;
 pub mod config;
 pub mod form;
 pub mod shrink;

@@ -1,0 +1,163 @@
+//! Indexed binary max-heap over variables, ordered by an external
+//! activity array (EVSIDS). The heap stores variable indices; the
+//! activity scores live in the solver so decays and rescales never touch
+//! the heap structure (relative order is preserved by both).
+
+/// Max-heap of variable indices with O(1) membership lookup.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` is `v`'s index in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// A heap containing every variable in `0..n` (all activities start
+    /// equal, so insertion order is a valid heap).
+    pub fn full(n: usize) -> VarHeap {
+        VarHeap {
+            heap: (0..n as u32).collect(),
+            pos: (0..n).collect(),
+        }
+    }
+
+    /// Track `n` variables, inserting any new ones.
+    pub fn grow(&mut self, n: usize, activity: &[f64]) {
+        while self.pos.len() < n {
+            let v = self.pos.len() as u32;
+            self.pos.push(ABSENT);
+            self.insert(v, activity);
+        }
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    /// Insert `v` (no-op if present).
+    pub fn insert(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Remove and return the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restore the heap property after `v`'s activity increased.
+    pub fn bumped(&mut self, v: u32, activity: &[f64]) {
+        if let Some(&i) = self.pos.get(v as usize) {
+            if i != ABSENT {
+                self.sift_up(i, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        // `full` assumes equal activities; unequal scores go through
+        // insert, which sifts.
+        let activity = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let mut h = VarHeap::full(0);
+        h.grow(5, &activity);
+        let mut out = Vec::new();
+        while let Some(v) = h.pop(&activity) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![4, 2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn reinsert_and_bump() {
+        let mut activity = vec![0.0; 4];
+        let mut h = VarHeap::full(4);
+        assert!(h.contains(2));
+        while h.pop(&activity).is_some() {}
+        assert!(h.is_empty());
+        h.insert(1, &activity);
+        h.insert(3, &activity);
+        activity[3] = 5.0;
+        h.bumped(3, &activity);
+        assert_eq!(h.pop(&activity), Some(3));
+        assert_eq!(h.pop(&activity), Some(1));
+        assert_eq!(h.pop(&activity), None);
+    }
+
+    #[test]
+    fn grow_adds_fresh_vars() {
+        let activity = vec![1.0; 6];
+        let mut h = VarHeap::full(3);
+        h.grow(6, &activity);
+        let mut seen = Vec::new();
+        while let Some(v) = h.pop(&activity) {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

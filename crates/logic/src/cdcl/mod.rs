@@ -1,0 +1,306 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver — the default
+//! engine behind [`crate::sat_solve`].
+//!
+//! The paper's Thm 5.1 / Thm 5.6 hardness results put propositional
+//! solving on the hot path of every satisfiability and semi-soundness
+//! reduction check; the naive DPLL baseline rescans every clause per unit
+//! propagation, which is quadratic in the clause count. This engine is
+//! bounded by propagations instead:
+//!
+//! * **two-watched-literal propagation** — only clauses whose watch was
+//!   falsified are touched;
+//! * **trail with decision levels** and non-chronological backjumping;
+//! * **1UIP conflict analysis** with recursive learned-clause
+//!   minimization;
+//! * **EVSIDS decision heuristic** (activity decay by geometric bump
+//!   growth) with **phase saving**;
+//! * **Luby restarts** and **LBD-based clause-database reduction**;
+//! * **incremental solving under assumptions**
+//!   ([`Cdcl::solve_with_assumptions`]) — learnt clauses persist across
+//!   calls, which the assumption-based 2QBF expansion
+//!   ([`crate::qbf::Qbf::solve_via_sat`]) and the reduction layers that
+//!   re-solve near-identical CNFs rely on.
+//!
+//! For one-shot solving use [`solve`]; it matches the
+//! [`crate::dpll::solve`] contract (a satisfying [`Assignment`] or
+//! `None`), so the two engines are interchangeable behind
+//! [`crate::engine::SatEngine`].
+
+mod heap;
+mod solver;
+
+pub use solver::{Cdcl, CdclStats};
+
+use crate::prop::{Assignment, Cnf};
+
+/// Decide satisfiability; returns a satisfying assignment if one exists.
+pub fn solve(cnf: &Cnf) -> Option<Assignment> {
+    let mut s = Cdcl::from_cnf(cnf);
+    if s.solve() {
+        let model = s.model();
+        debug_assert!(cnf.eval(&model), "CDCL produced a non-model");
+        Some(model)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Lit;
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(&Cnf::new(vec![])).is_some());
+        assert!(solve(&Cnf::new(vec![vec![]])).is_none());
+        assert!(solve(&Cnf::new(vec![vec![Lit::pos(0)]])).is_some());
+        assert!(solve(&Cnf::new(vec![vec![Lit::pos(0)], vec![Lit::neg(0)]])).is_none());
+    }
+
+    #[test]
+    fn model_is_returned() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(0)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ]);
+        let a = solve(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        // (x0 ∨ x0), (x0 ∨ ¬x0 ∨ x1), (¬x0 ∨ ¬x0 ∨ ¬x1)
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(0)],
+            vec![Lit::pos(0), Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(0), Lit::neg(0), Lit::neg(1)],
+        ]);
+        let a = solve(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn unsat_chain() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+            vec![Lit::neg(2)],
+        ]);
+        assert!(solve(&cnf).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        // PHP(4,3): pigeon i in hole j is var 3i + j — needs real conflict
+        // analysis to stay fast.
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..4u32 {
+            clauses.push((0..3).map(|j| Lit::pos(3 * i + j)).collect());
+        }
+        for j in 0..3u32 {
+            for i1 in 0..4u32 {
+                for i2 in (i1 + 1)..4 {
+                    clauses.push(vec![Lit::neg(3 * i1 + j), Lit::neg(3 * i2 + j)]);
+                }
+            }
+        }
+        assert!(solve(&Cnf::new(clauses)).is_none());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_exhaustively() {
+        let menu = [
+            Lit::pos(0),
+            Lit::neg(0),
+            Lit::pos(1),
+            Lit::neg(1),
+            Lit::pos(2),
+            Lit::neg(2),
+        ];
+        for a in 0..menu.len() {
+            for b in 0..menu.len() {
+                for c in 0..menu.len() {
+                    let cnf = Cnf::new(vec![
+                        vec![menu[a]],
+                        vec![menu[b], menu[c]],
+                        vec![menu[c].negated(), menu[a]],
+                    ]);
+                    assert_eq!(
+                        solve(&cnf).is_some(),
+                        cnf.brute_force().is_some(),
+                        "menu ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_instances_cross_checked() {
+        use crate::gen::{random_3cnf, Rng, XorShift};
+        let mut rng = XorShift::new(0xCDC1);
+        for case in 0..300 {
+            let vars = rng.range(3, 9);
+            let clauses = rng.range(2, 5 * vars);
+            let cnf = random_3cnf(rng.next_u64(), vars, clauses);
+            let model = solve(&cnf);
+            if let Some(m) = &model {
+                assert!(cnf.eval(m), "case {case}: returned model must satisfy");
+            }
+            assert_eq!(
+                model.is_some(),
+                cnf.brute_force().is_some(),
+                "case {case}: {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_implication_chain_is_fast() {
+        // x0 ∧ (xi → xi+1): trivially SAT, quadratic for a rescanning
+        // propagator. 50k clauses must be near-instant even in debug.
+        let n = 50_000u32;
+        let mut clauses = vec![vec![Lit::pos(0)]];
+        for i in 0..n - 1 {
+            clauses.push(vec![Lit::neg(i), Lit::pos(i + 1)]);
+        }
+        let cnf = Cnf::new(clauses);
+        let t = std::time::Instant::now();
+        let a = solve(&cnf).expect("chain is satisfiable");
+        assert!(cnf.eval(&a));
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(5),
+            "chain took {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        // (x0 ∨ x1) with assumption ¬x0 forces x1; assumptions clear
+        // between calls.
+        let cnf = Cnf::new(vec![vec![Lit::pos(0), Lit::pos(1)]]);
+        let mut s = Cdcl::from_cnf(&cnf);
+        assert!(s.solve_with_assumptions(&[Lit::neg(0)]));
+        let m = s.model();
+        assert!(!m.get(crate::prop::Var(0)) && m.get(crate::prop::Var(1)));
+        assert!(s.solve_with_assumptions(&[Lit::neg(1)]));
+        let m = s.model();
+        assert!(m.get(crate::prop::Var(0)) && !m.get(crate::prop::Var(1)));
+        // Contradictory assumptions: UNSAT under them, SAT again after.
+        assert!(!s.solve_with_assumptions(&[Lit::neg(0), Lit::neg(1)]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn assumptions_conflicting_with_units() {
+        let cnf = Cnf::new(vec![vec![Lit::pos(0)]]);
+        let mut s = Cdcl::from_cnf(&cnf);
+        assert!(!s.solve_with_assumptions(&[Lit::neg(0)]));
+        assert!(s.solve());
+        assert!(s.model().get(crate::prop::Var(0)));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Cdcl::new(2);
+        assert!(s.solve());
+        assert!(s.add_clause(&[Lit::pos(0), Lit::pos(1)]));
+        assert!(s.solve());
+        assert!(s.add_clause(&[Lit::neg(0)]));
+        assert!(s.solve());
+        assert!(s.model().get(crate::prop::Var(1)));
+        // x1 is already forced at level 0, so adding ¬x1 makes the solver
+        // UNSAT immediately — add_clause reports that.
+        assert!(!s.add_clause(&[Lit::neg(1)]));
+        assert!(!s.solve());
+        // Once level-0 UNSAT, the solver stays UNSAT.
+        assert!(!s.add_clause(&[Lit::pos(0)]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn incremental_solving_exhaustive_small() {
+        // Enumerate all models of a formula by blocking clauses; the
+        // count must match brute force.
+        use crate::gen::random_3cnf;
+        for seed in 0..20u64 {
+            let cnf = random_3cnf(seed, 4, 6);
+            let mut expected = 0usize;
+            for bits in 0u8..16 {
+                let a = Assignment::from_bits((0..4).map(|i| bits >> i & 1 == 1).collect());
+                if cnf.eval(&a) {
+                    expected += 1;
+                }
+            }
+            let mut s = Cdcl::from_cnf(&cnf);
+            let mut found = 0usize;
+            while s.solve() {
+                found += 1;
+                assert!(found <= 16, "runaway model enumeration");
+                let m = s.model();
+                let block: Vec<Lit> = (0..4u32)
+                    .map(|v| {
+                        if m.get(crate::prop::Var(v)) {
+                            Lit::neg(v)
+                        } else {
+                            Lit::pos(v)
+                        }
+                    })
+                    .collect();
+                s.add_clause(&block);
+            }
+            assert_eq!(found, expected, "seed {seed}: {cnf}");
+        }
+    }
+
+    #[test]
+    fn conflict_budget_is_honoured() {
+        // PHP(4,3) needs real conflicts; a budget of 1 cannot decide it.
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..4u32 {
+            clauses.push((0..3).map(|j| Lit::pos(3 * i + j)).collect());
+        }
+        for j in 0..3u32 {
+            for i1 in 0..4u32 {
+                for i2 in (i1 + 1)..4 {
+                    clauses.push(vec![Lit::neg(3 * i1 + j), Lit::neg(3 * i2 + j)]);
+                }
+            }
+        }
+        let cnf = Cnf::new(clauses);
+        let mut s = Cdcl::from_cnf(&cnf);
+        assert_eq!(s.solve_limited(&[], 1), None, "budget 1 is indeterminate");
+        // The solver stays reusable and eventually decides.
+        assert_eq!(s.solve_limited(&[], u64::MAX), Some(false));
+        // Propagation-only instances decide without spending any budget.
+        let unit = Cnf::new(vec![vec![Lit::pos(0)]]);
+        assert_eq!(Cdcl::from_cnf(&unit).solve_limited(&[], 0), Some(true));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let cnf = crate::gen::random_3cnf(5, 8, 34);
+        let mut s = Cdcl::from_cnf(&cnf);
+        s.solve();
+        assert!(s.stats.propagations > 0);
+    }
+
+    #[test]
+    fn hard_random_instances_near_threshold() {
+        // Ratio ~4.26 around the SAT/UNSAT threshold exercises restarts,
+        // learning and DB reduction paths.
+        use crate::gen::random_3cnf;
+        for seed in 0..10u64 {
+            let cnf = random_3cnf(seed * 77 + 3, 20, 85);
+            let model = solve(&cnf);
+            if let Some(m) = &model {
+                assert!(cnf.eval(m));
+            }
+            assert_eq!(model.is_some(), crate::dpll::solve(&cnf).is_some());
+        }
+    }
+}

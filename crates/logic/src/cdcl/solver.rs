@@ -1,0 +1,655 @@
+//! The CDCL search core: two-watched-literal propagation, a trail with
+//! decision levels, 1UIP conflict analysis with recursive learned-clause
+//! minimization, EVSIDS decisions with phase saving, Luby restarts and
+//! LBD-based clause-database reduction.
+
+use super::heap::VarHeap;
+use crate::prop::{Assignment, Cnf, Lit};
+
+/// Internal literal encoding: `var << 1 | sign` with `sign = 1` for the
+/// negative literal, so `l ^ 1` is the complement and the code doubles as
+/// an index into watch lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct L(u32);
+
+impl L {
+    fn from_lit(l: Lit) -> L {
+        L(l.var.0 << 1 | u32::from(!l.positive))
+    }
+
+    fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    fn positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    fn negated(self) -> L {
+        L(self.0 ^ 1)
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Tri-state variable value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Unset,
+    True,
+    False,
+}
+
+/// Truth value of literal `l` under per-variable values `assign`.
+fn val(assign: &[Val], l: L) -> Val {
+    match (assign[l.var()], l.positive()) {
+        (Val::Unset, _) => Val::Unset,
+        (Val::True, true) | (Val::False, false) => Val::True,
+        _ => Val::False,
+    }
+}
+
+/// A stored clause. Watched literals are `lits[0]` and `lits[1]`; the
+/// literal a reason clause propagated is always `lits[0]`.
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<L>,
+    learnt: bool,
+    deleted: bool,
+    /// Literal-block distance at learn time (glue); lower survives longer.
+    lbd: u32,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CdclStats {
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Decisions taken (assumption pseudo-decisions included).
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+}
+
+/// An incremental CDCL solver over a growing clause set.
+///
+/// Clauses can be added between `solve` calls and
+/// [`Cdcl::solve_with_assumptions`] decides satisfiability under a
+/// temporary partial assignment — learnt clauses persist across calls, so
+/// re-solving near-identical CNFs (the 2QBF expansion, the reduction
+/// layers) amortises the search.
+#[derive(Debug, Clone)]
+pub struct Cdcl {
+    clauses: Vec<ClauseData>,
+    /// Per literal code: indices of clauses watching that literal.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Val>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<L>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// EVSIDS activity per variable, with the bump increment growing
+    /// geometrically (decay by division) and rescaled near overflow.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+    /// `false` once unsatisfiability was derived at level 0.
+    ok: bool,
+    seen: Vec<bool>,
+    /// Conflicts before the next clause-database reduction.
+    reduce_budget: u64,
+    /// Search statistics.
+    pub stats: CdclStats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESCALE_AT: f64 = 1e100;
+const RESTART_BASE: u64 = 128;
+const REDUCE_FIRST: u64 = 2000;
+const REDUCE_INC: u64 = 500;
+
+impl Cdcl {
+    /// A solver over `nvars` variables and no clauses.
+    pub fn new(nvars: usize) -> Cdcl {
+        let mut s = Cdcl {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::full(0),
+            saved_phase: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            reduce_budget: REDUCE_FIRST,
+            stats: CdclStats::default(),
+        };
+        s.ensure_vars(nvars);
+        s
+    }
+
+    /// A solver preloaded with a CNF.
+    pub fn from_cnf(cnf: &Cnf) -> Cdcl {
+        let mut s = Cdcl::new(cnf.vars);
+        s.add_cnf(cnf);
+        s
+    }
+
+    /// Number of variables currently tracked.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Grow the variable space to at least `n` variables.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            self.assign.push(Val::Unset);
+            self.level.push(0);
+            self.reason.push(NO_REASON);
+            self.activity.push(0.0);
+            self.saved_phase.push(false);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+        }
+        self.order.grow(n, &self.activity);
+    }
+
+    /// Add every clause of `cnf`; returns `false` if the solver became
+    /// unsatisfiable at level 0.
+    pub fn add_cnf(&mut self, cnf: &Cnf) -> bool {
+        self.ensure_vars(cnf.vars);
+        for c in &cnf.clauses {
+            if !self.add_clause(&c.0) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Add one clause (backtracking to level 0 first); returns `false` if
+    /// the solver became unsatisfiable at level 0.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        self.ensure_vars(
+            lits.iter()
+                .map(|l| l.var.index() + 1)
+                .max()
+                .unwrap_or(0)
+                .max(self.num_vars()),
+        );
+        // Normalise: dedupe, drop level-0-false literals, detect
+        // tautologies and level-0-satisfied clauses.
+        let mut ls: Vec<L> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            let l = L::from_lit(lit);
+            match val(&self.assign, l) {
+                Val::True => return true, // satisfied at level 0
+                Val::False => continue,   // false at level 0: drop
+                Val::Unset => {}
+            }
+            if ls.contains(&l.negated()) {
+                return true; // tautology
+            }
+            if !ls.contains(&l) {
+                ls.push(l);
+            }
+        }
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.assign_lit(ls[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach(ls, false, 0);
+                true
+            }
+        }
+    }
+
+    /// Store a clause (len ≥ 2) and watch its first two literals.
+    fn attach(&mut self, lits: Vec<L>, learnt: bool, lbd: u32) -> u32 {
+        let ci = self.clauses.len() as u32;
+        self.watches[lits[0].idx()].push(ci);
+        self.watches[lits[1].idx()].push(ci);
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            lbd,
+        });
+        ci
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Put `l` on the trail as true at the current decision level.
+    fn assign_lit(&mut self, l: L, reason: u32) {
+        let v = l.var();
+        debug_assert_eq!(self.assign[v], Val::Unset);
+        self.assign[v] = if l.positive() { Val::True } else { Val::False };
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Undo the trail back to `level`, saving phases and refilling the
+    /// decision heap.
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let mark = self.trail_lim[level];
+        for i in (mark..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.saved_phase[v] = self.assign[v] == Val::True;
+            self.assign[v] = Val::Unset;
+            self.reason[v] = NO_REASON;
+            self.order.insert(v as u32, &self.activity);
+        }
+        self.trail.truncate(mark);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint; returns the index
+    /// of a conflicting clause, if any. Work is proportional to the
+    /// watches visited — clause count never enters the bound.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.idx()]);
+            let mut i = 0;
+            let mut j = 0;
+            let mut confl = None;
+            'clauses: while i < ws.len() {
+                let ci = ws[i];
+                i += 1;
+                let c = &mut self.clauses[ci as usize];
+                if c.deleted {
+                    continue; // lazily drop stale watch entries
+                }
+                if c.lits[0] == false_lit {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], false_lit);
+                let first = c.lits[0];
+                if val(&self.assign, first) == Val::True {
+                    ws[j] = ci;
+                    j += 1;
+                    continue;
+                }
+                for k in 2..c.lits.len() {
+                    if val(&self.assign, c.lits[k]) != Val::False {
+                        c.lits.swap(1, k);
+                        let w = c.lits[1];
+                        self.watches[w.idx()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement watch: unit or conflict.
+                ws[j] = ci;
+                j += 1;
+                if val(&self.assign, first) == Val::False {
+                    confl = Some(ci);
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                } else {
+                    let v = first.var();
+                    self.assign[v] = if first.positive() {
+                        Val::True
+                    } else {
+                        Val::False
+                    };
+                    self.level[v] = self.decision_level() as u32;
+                    self.reason[v] = ci;
+                    self.trail.push(first);
+                }
+            }
+            ws.truncate(j);
+            // Replacement watches always go to non-false literals, never
+            // back onto `false_lit`, so this cannot clobber new entries.
+            self.watches[false_lit.idx()] = ws;
+            if confl.is_some() {
+                return confl;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE_AT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_AT;
+            }
+            self.var_inc *= 1.0 / RESCALE_AT;
+        }
+        self.order.bumped(v as u32, &self.activity);
+    }
+
+    /// 1UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first, second-highest level at index 1), the backtrack
+    /// level, and the clause's LBD.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<L>, usize, u32) {
+        let mut learnt: Vec<L> = vec![L(0)]; // slot for the asserting literal
+        let mut to_clear: Vec<usize> = Vec::new();
+        let dl = self.decision_level() as u32;
+        let mut counter = 0usize;
+        let mut p: Option<L> = None;
+        let mut index = self.trail.len();
+        loop {
+            let start = usize::from(p.is_some()); // skip the implied literal
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    to_clear.push(v);
+                    self.bump(v);
+                    if self.level[v] >= dl {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next marked literal on the trail at the conflict level.
+            let next = loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var()] && self.level[l.var()] >= dl {
+                    break l;
+                }
+            };
+            p = Some(next);
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[next.var()];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        let uip = p.expect("conflict has a UIP");
+        learnt[0] = uip.negated();
+
+        // Recursive minimization: a non-asserting literal is redundant if
+        // its reason closure bottoms out in seen or level-0 literals.
+        let mut keep = vec![true; learnt.len()];
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            if self.reason[l.var()] != NO_REASON && self.lit_redundant(l, &mut to_clear) {
+                keep[i] = false;
+            }
+        }
+        let mut it = keep.iter();
+        learnt.retain(|_| *it.next().expect("keep mask aligned"));
+
+        for v in to_clear {
+            self.seen[v] = false;
+        }
+
+        // Backtrack level: highest level below dl among the kept literals;
+        // its literal moves to index 1 so it is watched.
+        let mut bt = 0usize;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var()] > self.level[learnt[max_i].var()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level[learnt[1].var()] as usize;
+        }
+
+        // LBD: distinct decision levels among the learnt literals.
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (learnt, bt, lbd)
+    }
+
+    /// Can literal `l` be removed from a learnt clause? Walks the
+    /// implication graph through reasons; every path must terminate in a
+    /// literal that is already in the clause (`seen`) or fixed at level 0.
+    /// Successful sub-proofs are memoized via `seen`; failed walks are
+    /// rolled back through `to_clear`.
+    fn lit_redundant(&mut self, l: L, to_clear: &mut Vec<usize>) -> bool {
+        let top = to_clear.len();
+        let mut stack = vec![l];
+        while let Some(x) = stack.pop() {
+            let r = self.reason[x.var()];
+            debug_assert_ne!(r, NO_REASON);
+            for k in 1..self.clauses[r as usize].lits.len() {
+                let q = self.clauses[r as usize].lits[k];
+                let v = q.var();
+                if self.level[v] == 0 || self.seen[v] {
+                    continue;
+                }
+                if self.reason[v] == NO_REASON {
+                    // Reached an unmarked decision: not redundant.
+                    for &u in &to_clear[top..] {
+                        self.seen[u] = false;
+                    }
+                    to_clear.truncate(top);
+                    return false;
+                }
+                self.seen[v] = true;
+                to_clear.push(v);
+                stack.push(q);
+            }
+        }
+        true
+    }
+
+    /// Record a learnt clause and assert its first literal.
+    fn learn(&mut self, learnt: Vec<L>, lbd: u32) {
+        debug_assert!(!learnt.is_empty());
+        if learnt.len() == 1 {
+            self.assign_lit(learnt[0], NO_REASON);
+        } else {
+            let first = learnt[0];
+            let ci = self.attach(learnt, true, lbd);
+            self.assign_lit(first, ci);
+        }
+    }
+
+    /// Delete roughly half of the learnt clauses, worst LBD first. Glue
+    /// clauses (LBD ≤ 2), binary clauses and clauses currently acting as
+    /// reasons are kept.
+    fn reduce_db(&mut self) {
+        let mut locked = vec![false; self.clauses.len()];
+        for &l in &self.trail {
+            let r = self.reason[l.var()];
+            if r != NO_REASON {
+                locked[r as usize] = true;
+            }
+        }
+        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && !locked[i as usize] && c.lbd > 2 && c.lits.len() > 2
+            })
+            .collect();
+        candidates.sort_by_key(|&i| std::cmp::Reverse(self.clauses[i as usize].lbd));
+        for &i in candidates.iter().take(candidates.len() / 2) {
+            let c = &mut self.clauses[i as usize];
+            c.deleted = true;
+            // Free the literal storage now — every reader checks
+            // `deleted` first, and watch lists drop stale entries
+            // lazily, so a long-lived incremental solver must not keep
+            // dead clause bodies alive.
+            c.lits = Vec::new();
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    /// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …), 1-indexed.
+    fn luby(mut x: u64) -> u64 {
+        debug_assert!(x >= 1);
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < x {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == x {
+                return 1u64 << (k - 1);
+            }
+            x -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Decide satisfiability of the accumulated clauses.
+    pub fn solve(&mut self) -> bool {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decide satisfiability under `assumptions` (each forced true for
+    /// this call only). Returns `true` with a complete model available via
+    /// [`Cdcl::model`], or `false` if unsatisfiable under the assumptions.
+    /// Learnt clauses and activities persist to the next call.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        self.solve_limited(assumptions, u64::MAX)
+            .expect("u64::MAX conflicts is effectively unbounded")
+    }
+
+    /// [`Cdcl::solve_with_assumptions`] under a **conflict budget**:
+    /// `None` means the budget ran out before a verdict (the solver is
+    /// left consistent at level 0 and reusable; learnt clauses persist).
+    /// This is the hook bounded callers (the solver layer's pre-checks)
+    /// use to keep the honest-bounded-search contract.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], max_conflicts: u64) -> Option<bool> {
+        if !self.ok {
+            return Some(false);
+        }
+        let mut budget = max_conflicts;
+        self.ensure_vars(
+            assumptions
+                .iter()
+                .map(|l| l.var.index() + 1)
+                .max()
+                .unwrap_or(0)
+                .max(self.num_vars()),
+        );
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Some(false);
+        }
+        let mut restart_budget = RESTART_BASE;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(false);
+                }
+                if budget == 0 {
+                    self.cancel_until(0);
+                    return None; // conflict budget exhausted: indeterminate
+                }
+                budget -= 1;
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.cancel_until(bt);
+                self.learn(learnt, lbd);
+                self.var_inc *= VAR_DECAY;
+                restart_budget = restart_budget.saturating_sub(1);
+                if self.reduce_budget > 0 {
+                    self.reduce_budget -= 1;
+                } else {
+                    self.reduce_db();
+                    self.reduce_budget = REDUCE_FIRST
+                        + REDUCE_INC * (self.stats.deleted_clauses / REDUCE_FIRST.max(1));
+                }
+                continue;
+            }
+            if restart_budget == 0 {
+                self.stats.restarts += 1;
+                restart_budget = RESTART_BASE * Cdcl::luby(self.stats.restarts);
+                self.cancel_until(0);
+                continue;
+            }
+            // Assumptions act as pseudo-decisions on the lowest levels.
+            if self.decision_level() < assumptions.len() {
+                let a = L::from_lit(assumptions[self.decision_level()]);
+                match val(&self.assign, a) {
+                    Val::True => {
+                        // Already implied: open an empty level so the
+                        // level↔assumption indexing stays aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Val::False => return Some(false), // UNSAT under assumptions
+                    Val::Unset => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.assign_lit(a, NO_REASON);
+                    }
+                }
+                continue;
+            }
+            // EVSIDS decision with phase saving.
+            let mut next = None;
+            while let Some(v) = self.order.pop(&self.activity) {
+                if self.assign[v as usize] == Val::Unset {
+                    next = Some(v);
+                    break;
+                }
+            }
+            let Some(v) = next else {
+                return Some(true); // complete model
+            };
+            self.stats.decisions += 1;
+            self.trail_lim.push(self.trail.len());
+            let phase = self.saved_phase[v as usize];
+            self.assign_lit(L(v << 1 | u32::from(!phase)), NO_REASON);
+        }
+    }
+
+    /// The model of the last successful `solve` call (unset variables —
+    /// possible only before any solve — read as false).
+    pub fn model(&self) -> Assignment {
+        Assignment::from_bits(self.assign.iter().map(|&v| v == Val::True).collect())
+    }
+
+    /// Truth value of `v` in the current model.
+    pub fn model_value(&self, v: crate::prop::Var) -> bool {
+        self.assign[v.index()] == Val::True
+    }
+}

@@ -53,11 +53,13 @@ pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
         if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
             continue;
         }
-        if let Some(rest) = line.strip_prefix('p') {
+        // The header keyword must be the standalone token `p` — matching a
+        // bare `p` prefix would accept malformed headers like `pcnf 1 1`.
+        if line.split_whitespace().next() == Some("p") {
             if declared.is_some() {
                 return Err(err(n, "duplicate `p` header"));
             }
-            let mut parts = rest.split_whitespace();
+            let mut parts = line.split_whitespace().skip(1);
             if parts.next() != Some("cnf") {
                 return Err(err(n, "expected `p cnf <vars> <clauses>`"));
             }
@@ -69,6 +71,9 @@ pub fn parse(text: &str) -> Result<Cnf, DimacsError> {
                 .next()
                 .and_then(|v| v.parse::<usize>().ok())
                 .ok_or_else(|| err(n, "bad clause count"))?;
+            if let Some(extra) = parts.next() {
+                return Err(err(n, format!("trailing garbage `{extra}` after header")));
+            }
             declared = Some((vars, ncl));
             continue;
         }
@@ -172,6 +177,22 @@ mod tests {
         assert!(parse("p cnf 1 1\np cnf 1 1\n1 0\n").is_err()); // dup header
         assert!(parse("p dnf 1 1\n1 0\n").is_err()); // not cnf
         assert!(parse("p cnf 1 1\nx 0\n").is_err()); // bad literal
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        // Regression: `strip_prefix('p')` used to accept `pcnf` as a
+        // valid header keyword. `p` must be its own token.
+        assert!(parse("pcnf 1 1\n1 0\n").is_err());
+        assert!(parse("pdnf 1 1\n1 0\n").is_err());
+        assert!(parse("p dnf 1 1\n1 0\n").is_err());
+        // Trailing garbage after the clause count.
+        assert!(parse("p cnf 1 1 junk\n1 0\n").is_err());
+        assert!(parse("p cnf 1 1 2\n1 0\n").is_err());
+        // Whitespace variations of the well-formed header still parse.
+        assert!(parse("p  cnf  1  1\n1 0\n").is_ok());
+        assert!(parse("  p cnf 1 1\n1 0\n").is_ok());
+        assert!(parse("p\tcnf\t1\t1\n1 0\n").is_ok());
     }
 
     #[test]

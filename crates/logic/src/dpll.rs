@@ -1,162 +1,263 @@
-//! A DPLL SAT solver: unit propagation, pure-literal elimination, and
-//! first-unassigned branching.
+//! A DPLL SAT solver with occurrence-indexed unit propagation and an
+//! explicit (heap-allocated) decision stack.
 //!
 //! This is the independent baseline used to validate the Thm 5.1 and
-//! Thm 5.6 reductions: SAT instances are compiled into guarded forms, the
-//! guarded-form solvers produce a verdict, and the verdict must match what
-//! DPLL says about the original instance.
+//! Thm 5.6 reductions and to cross-check the CDCL engine
+//! ([`crate::cdcl`]) in the differential fuzzer: SAT instances are
+//! compiled into guarded forms, the guarded-form solvers produce a
+//! verdict, and the verdict must match what DPLL says about the original
+//! instance.
+//!
+//! Two historical defects are deliberately *fixed* here while keeping the
+//! search itself naive (no learning, no restarts — that independence is
+//! the point of a differential baseline):
+//!
+//! * unit propagation is driven by per-literal occurrence lists and
+//!   per-clause counters instead of rescanning every clause, so a
+//!   propagation step costs the size of the affected clauses, not the
+//!   size of the formula (the 200k-clause implication chain used to take
+//!   tens of seconds; it is now linear);
+//! * the branching recursion is an explicit stack of decision frames, so
+//!   deep fuzz-generated instances cannot overflow the thread stack.
 
-use crate::prop::{Assignment, Cnf, Lit, Var};
+use crate::prop::{Assignment, Cnf, Lit};
 
 /// Tri-state assignment during search.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Val {
     Unset,
     True,
     False,
 }
 
-/// Decide satisfiability; returns a satisfying assignment if one exists.
-pub fn solve(cnf: &Cnf) -> Option<Assignment> {
-    let mut vals = vec![Val::Unset; cnf.vars];
-    if dpll(cnf, &mut vals) {
-        Some(Assignment::from_bits(
-            vals.iter().map(|v| *v == Val::True).collect(),
-        ))
-    } else {
-        None
-    }
+/// Literal code `var << 1 | sign` for occurrence-list indexing.
+fn code(l: Lit) -> usize {
+    (l.var.0 as usize) << 1 | usize::from(!l.positive)
 }
 
-fn lit_val(l: Lit, vals: &[Val]) -> Val {
-    match (vals[l.var.index()], l.positive) {
-        (Val::Unset, _) => Val::Unset,
-        (Val::True, true) | (Val::False, false) => Val::True,
-        _ => Val::False,
-    }
+/// One branching point: variable, trail length at decision time, and
+/// whether the second phase was already tried.
+struct Frame {
+    var: u32,
+    trail_mark: usize,
+    flipped: bool,
 }
 
-fn dpll(cnf: &Cnf, vals: &mut Vec<Val>) -> bool {
-    // Unit propagation to fixpoint.
-    let mut trail: Vec<Var> = Vec::new();
-    loop {
-        let mut unit: Option<Lit> = None;
-        for clause in &cnf.clauses {
-            let mut unassigned = None;
-            let mut n_unassigned = 0;
-            let mut satisfied = false;
-            for &l in &clause.0 {
-                match lit_val(l, vals) {
-                    Val::True => {
-                        satisfied = true;
-                        break;
-                    }
-                    Val::Unset => {
-                        n_unassigned += 1;
-                        unassigned = Some(l);
-                    }
-                    Val::False => {}
-                }
+/// Indexed solver state.
+struct Search<'a> {
+    cnf: &'a Cnf,
+    vals: Vec<Val>,
+    /// Per literal code: indices of clauses containing that literal (one
+    /// entry per occurrence).
+    occ: Vec<Vec<u32>>,
+    /// Per clause: occurrences of still-unassigned variables.
+    unassigned: Vec<u32>,
+    /// Per clause: occurrences currently evaluating to true.
+    true_lits: Vec<u32>,
+    /// Number of clauses with at least one true literal.
+    sat_clauses: usize,
+    /// Assigned literals in order (the undo log).
+    trail: Vec<Lit>,
+    /// Pending unit literals discovered by propagation.
+    units: Vec<Lit>,
+}
+
+impl<'a> Search<'a> {
+    fn new(cnf: &'a Cnf) -> Search<'a> {
+        let mut occ = vec![Vec::new(); cnf.vars * 2];
+        let mut unassigned = Vec::with_capacity(cnf.clauses.len());
+        for (ci, c) in cnf.clauses.iter().enumerate() {
+            for &l in &c.0 {
+                occ[code(l)].push(ci as u32);
             }
-            if satisfied {
+            unassigned.push(c.0.len() as u32);
+        }
+        Search {
+            cnf,
+            vals: vec![Val::Unset; cnf.vars],
+            occ,
+            true_lits: vec![0; cnf.clauses.len()],
+            sat_clauses: 0,
+            unassigned,
+            trail: Vec::new(),
+            units: Vec::new(),
+        }
+    }
+
+    fn lit_val(&self, l: Lit) -> Val {
+        match (self.vals[l.var.index()], l.positive) {
+            (Val::Unset, _) => Val::Unset,
+            (Val::True, true) | (Val::False, false) => Val::True,
+            _ => Val::False,
+        }
+    }
+
+    /// Assign `l` true and update the clause counters; returns `false` on
+    /// an immediate conflict (some clause ran out of literals). Newly-unit
+    /// clauses push their forced literal onto `self.units`.
+    fn assign(&mut self, l: Lit) -> bool {
+        debug_assert_eq!(self.vals[l.var.index()], Val::Unset);
+        self.vals[l.var.index()] = if l.positive { Val::True } else { Val::False };
+        self.trail.push(l);
+        let mut ok = true;
+        for i in 0..self.occ[code(l)].len() {
+            let ci = self.occ[code(l)][i] as usize;
+            self.unassigned[ci] -= 1;
+            self.true_lits[ci] += 1;
+            if self.true_lits[ci] == 1 {
+                self.sat_clauses += 1;
+            }
+        }
+        for i in 0..self.occ[code(l.negated())].len() {
+            let ci = self.occ[code(l.negated())][i] as usize;
+            self.unassigned[ci] -= 1;
+            if self.true_lits[ci] > 0 {
                 continue;
             }
-            match n_unassigned {
-                0 => {
-                    // Conflict: undo and fail.
-                    for v in trail {
-                        vals[v.index()] = Val::Unset;
-                    }
-                    return false;
-                }
+            match self.unassigned[ci] {
+                0 => ok = false,
                 1 => {
-                    unit = unassigned;
-                    break;
+                    // Find the single unassigned literal; cost is the
+                    // clause width, paid once per unit event. Counters are
+                    // per-occurrence, so a clause repeating a literal can
+                    // hit 1 with nothing left unassigned — that is a
+                    // conflict (all occurrences assigned, none true).
+                    match self.cnf.clauses[ci]
+                        .0
+                        .iter()
+                        .copied()
+                        .find(|&q| self.lit_val(q) == Val::Unset)
+                    {
+                        Some(u) => self.units.push(u),
+                        None => ok = false,
+                    }
                 }
                 _ => {}
             }
         }
-        match unit {
-            Some(l) => {
-                vals[l.var.index()] = if l.positive { Val::True } else { Val::False };
-                trail.push(l.var);
-            }
-            None => break,
-        }
+        ok
     }
 
-    // Pure-literal elimination.
-    let mut seen_pos = vec![false; cnf.vars];
-    let mut seen_neg = vec![false; cnf.vars];
-    for clause in &cnf.clauses {
-        if clause.0.iter().any(|&l| lit_val(l, vals) == Val::True) {
-            continue;
-        }
-        for &l in &clause.0 {
-            if lit_val(l, vals) == Val::Unset {
-                if l.positive {
-                    seen_pos[l.var.index()] = true;
-                } else {
-                    seen_neg[l.var.index()] = true;
+    /// Undo every assignment past `mark` and clear pending units.
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let l = self.trail.pop().expect("trail non-empty");
+            self.vals[l.var.index()] = Val::Unset;
+            for i in 0..self.occ[code(l)].len() {
+                let ci = self.occ[code(l)][i] as usize;
+                self.unassigned[ci] += 1;
+                self.true_lits[ci] -= 1;
+                if self.true_lits[ci] == 0 {
+                    self.sat_clauses -= 1;
                 }
             }
+            for i in 0..self.occ[code(l.negated())].len() {
+                let ci = self.occ[code(l.negated())][i] as usize;
+                self.unassigned[ci] += 1;
+            }
         }
-    }
-    for i in 0..cnf.vars {
-        if vals[i] == Val::Unset && (seen_pos[i] ^ seen_neg[i]) {
-            vals[i] = if seen_pos[i] { Val::True } else { Val::False };
-            trail.push(Var(i as u32));
-        }
+        self.units.clear();
     }
 
-    // Check state: all clauses satisfied / any falsified / branch.
-    let mut all_satisfied = true;
-    let mut branch_var = None;
-    for clause in &cnf.clauses {
-        let mut satisfied = false;
-        let mut has_unset = false;
-        for &l in &clause.0 {
-            match lit_val(l, vals) {
-                Val::True => {
-                    satisfied = true;
-                    break;
-                }
+    /// Drain the unit queue to fixpoint; `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        while let Some(u) = self.units.pop() {
+            match self.lit_val(u) {
+                Val::True => continue,
+                Val::False => return false,
                 Val::Unset => {
-                    has_unset = true;
-                    if branch_var.is_none() {
-                        branch_var = Some(l.var);
+                    if !self.assign(u) {
+                        return false;
                     }
                 }
-                Val::False => {}
             }
         }
-        if !satisfied {
-            if !has_unset {
-                for v in trail {
-                    vals[v.index()] = Val::Unset;
-                }
-                return false;
-            }
-            all_satisfied = false;
-        }
+        true
     }
-    if all_satisfied {
-        // Leave remaining vars Unset (reported as false); success.
-        return true;
-    }
+}
 
-    let v = branch_var.expect("unsatisfied clause has an unset literal");
-    for value in [Val::True, Val::False] {
-        vals[v.index()] = value;
-        if dpll(cnf, vals) {
-            return true;
+/// Decide satisfiability; returns a satisfying assignment if one exists.
+/// Variables the search never had to assign are reported as false.
+pub fn solve(cnf: &Cnf) -> Option<Assignment> {
+    solve_limited(cnf, u64::MAX).expect("u64::MAX decisions is effectively unbounded")
+}
+
+/// [`solve`] under a **decision budget**: `None` means the budget ran
+/// out before a verdict — the hook bounded callers use to keep the
+/// honest-bounded-search contract when consulting this engine.
+pub fn solve_limited(cnf: &Cnf, max_decisions: u64) -> Option<Option<Assignment>> {
+    let mut budget = max_decisions;
+    let mut s = Search::new(cnf);
+    // Initial units and empty clauses.
+    for c in &cnf.clauses {
+        match c.0.len() {
+            0 => return Some(None),
+            1 => s.units.push(c.0[0]),
+            _ => {}
         }
     }
-    vals[v.index()] = Val::Unset;
-    for v in trail {
-        vals[v.index()] = Val::Unset;
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut cursor = 0usize; // round-robin branch variable cursor
+    let mut conflict_pending = false;
+    loop {
+        let conflict = conflict_pending || !s.propagate();
+        conflict_pending = false;
+        if conflict {
+            // Backtrack to the deepest frame with an untried phase.
+            loop {
+                let Some(mut frame) = stack.pop() else {
+                    return Some(None); // no frame left: UNSAT
+                };
+                s.undo_to(frame.trail_mark);
+                if !frame.flipped {
+                    frame.flipped = true;
+                    let v = frame.var;
+                    stack.push(frame);
+                    // First phase was true; now try false.
+                    if !s.assign(Lit::neg(v)) {
+                        continue; // immediate conflict: keep unwinding
+                    }
+                    break;
+                }
+            }
+            continue;
+        }
+        if s.sat_clauses == cnf.clauses.len() {
+            return Some(Some(Assignment::from_bits(
+                s.vals.iter().map(|&v| v == Val::True).collect(),
+            )));
+        }
+        // Branch on the next unassigned variable.
+        let mut var = None;
+        for _ in 0..cnf.vars {
+            if s.vals[cursor] == Val::Unset {
+                var = Some(cursor as u32);
+                break;
+            }
+            cursor = (cursor + 1) % cnf.vars;
+        }
+        let Some(v) = var else {
+            // Every variable assigned without conflict: all clauses have
+            // lost their unassigned literals, so each must hold a true
+            // one (a falsified clause would have conflicted above).
+            debug_assert_eq!(s.sat_clauses, cnf.clauses.len());
+            return Some(Some(Assignment::from_bits(
+                s.vals.iter().map(|&v| v == Val::True).collect(),
+            )));
+        };
+        if budget == 0 {
+            return None; // decision budget exhausted: indeterminate
+        }
+        budget -= 1;
+        stack.push(Frame {
+            var: v,
+            trail_mark: s.trail.len(),
+            flipped: false,
+        });
+        if !s.assign(Lit::pos(v)) {
+            conflict_pending = true; // handled as a conflict next iteration
+        }
     }
-    false
 }
 
 #[cfg(test)]
@@ -210,6 +311,17 @@ mod tests {
             }
         }
         assert!(solve(&Cnf::new(clauses)).is_none());
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(0)],
+            vec![Lit::pos(0), Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(0), Lit::neg(0), Lit::neg(1)],
+        ]);
+        let a = solve(&cnf).expect("satisfiable");
+        assert!(cnf.eval(&a));
     }
 
     #[test]
@@ -272,5 +384,40 @@ mod tests {
             }
             assert_eq!(dpll_model.is_some(), cnf.brute_force().is_some());
         }
+    }
+
+    #[test]
+    fn decision_budget_is_honoured() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) needs at least one branch decision.
+        let cnf = Cnf::new(vec![
+            vec![Lit::pos(0), Lit::pos(1)],
+            vec![Lit::neg(0), Lit::pos(1)],
+        ]);
+        assert_eq!(solve_limited(&cnf, 0), None, "budget 0 is indeterminate");
+        assert!(solve_limited(&cnf, 10).unwrap().is_some());
+        // Propagation-only instances decide without spending any budget.
+        let chain = Cnf::new(vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]]);
+        assert!(solve_limited(&chain, 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn regression_deep_chain_no_stack_overflow_and_fast() {
+        // The 53.6 s / stack-overflow regression: a 200k-clause
+        // implication chain must propagate in linear time on the explicit
+        // stack. Generous debug-build bound; release is milliseconds.
+        let n = 200_000u32;
+        let mut clauses = vec![vec![Lit::pos(0)]];
+        for i in 0..n - 1 {
+            clauses.push(vec![Lit::neg(i), Lit::pos(i + 1)]);
+        }
+        let cnf = Cnf::new(clauses);
+        let t = std::time::Instant::now();
+        let a = solve(&cnf).expect("chain is satisfiable");
+        assert!(cnf.eval(&a));
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(10),
+            "chain took {:?}",
+            t.elapsed()
+        );
     }
 }

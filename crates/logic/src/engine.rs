@@ -1,0 +1,160 @@
+//! The [`SatEngine`] trait: one interface over the workspace's three SAT
+//! procedures — [`crate::cdcl`] (the default), [`crate::dpll`] (the
+//! differential baseline) and brute force ([`Cnf::brute_force`], for
+//! cross-checking tiny instances).
+//!
+//! Callers that want runtime selection (the fuzz harness's `--engine`
+//! flag, the solver layers) use the [`Engine`] enum; `Engine::default()`
+//! is CDCL.
+
+use crate::prop::{Assignment, Cnf};
+use std::fmt;
+
+/// A complete propositional satisfiability procedure.
+pub trait SatEngine {
+    /// Engine name as used on CLI flags and in reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide satisfiability; a returned assignment must satisfy `cnf`.
+    fn solve_cnf(&self, cnf: &Cnf) -> Option<Assignment>;
+}
+
+/// The CDCL engine ([`crate::cdcl::solve`]).
+pub struct CdclEngine;
+
+impl SatEngine for CdclEngine {
+    fn name(&self) -> &'static str {
+        "cdcl"
+    }
+
+    fn solve_cnf(&self, cnf: &Cnf) -> Option<Assignment> {
+        crate::cdcl::solve(cnf)
+    }
+}
+
+/// The DPLL baseline ([`crate::dpll::solve`]).
+pub struct DpllEngine;
+
+impl SatEngine for DpllEngine {
+    fn name(&self) -> &'static str {
+        "dpll"
+    }
+
+    fn solve_cnf(&self, cnf: &Cnf) -> Option<Assignment> {
+        crate::dpll::solve(cnf)
+    }
+}
+
+/// Exhaustive assignment enumeration ([`Cnf::brute_force`]); panics above
+/// 24 variables, so only suitable for test-sized instances.
+pub struct BruteForceEngine;
+
+impl SatEngine for BruteForceEngine {
+    fn name(&self) -> &'static str {
+        "brute_force"
+    }
+
+    fn solve_cnf(&self, cnf: &Cnf) -> Option<Assignment> {
+        cnf.brute_force()
+    }
+}
+
+/// Runtime-selectable engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Conflict-driven clause learning (the default).
+    #[default]
+    Cdcl,
+    /// The DPLL differential baseline.
+    Dpll,
+    /// Brute-force enumeration (≤ 24 variables).
+    BruteForce,
+}
+
+impl Engine {
+    /// Every selectable engine, in reporting order.
+    pub const ALL: [Engine; 3] = [Engine::Cdcl, Engine::Dpll, Engine::BruteForce];
+
+    /// The trait object behind this selector.
+    pub fn as_engine(self) -> &'static dyn SatEngine {
+        match self {
+            Engine::Cdcl => &CdclEngine,
+            Engine::Dpll => &DpllEngine,
+            Engine::BruteForce => &BruteForceEngine,
+        }
+    }
+
+    /// Decide satisfiability with the selected engine.
+    pub fn solve(self, cnf: &Cnf) -> Option<Assignment> {
+        self.as_engine().solve_cnf(cnf)
+    }
+
+    /// Budgeted solve: `None` when the engine's budget ran out before a
+    /// verdict (conflicts for CDCL, branch decisions for DPLL — brute
+    /// force is already finite via its variable cap and ignores the
+    /// budget). Bounded callers use this to keep the workspace's
+    /// honest-bounded-search contract when consulting an engine.
+    pub fn solve_limited(self, cnf: &Cnf, budget: u64) -> Option<Option<Assignment>> {
+        match self {
+            Engine::Cdcl => {
+                let mut s = crate::cdcl::Cdcl::from_cnf(cnf);
+                s.solve_limited(&[], budget)
+                    .map(|sat| sat.then(|| s.model()))
+            }
+            Engine::Dpll => crate::dpll::solve_limited(cnf, budget),
+            Engine::BruteForce => Some(cnf.brute_force()),
+        }
+    }
+
+    /// Parse a CLI name (`cdcl`, `dpll`, `brute_force`/`brute`).
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "cdcl" => Some(Engine::Cdcl),
+            "dpll" => Some(Engine::Dpll),
+            "brute_force" | "brute" => Some(Engine::BruteForce),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_engine().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::from_name(e.as_engine().name()), Some(e));
+            assert_eq!(e.to_string(), e.as_engine().name());
+        }
+        assert_eq!(Engine::from_name("brute"), Some(Engine::BruteForce));
+        assert_eq!(Engine::from_name("minisat"), None);
+        assert_eq!(Engine::default(), Engine::Cdcl);
+    }
+
+    #[test]
+    fn engines_agree_on_small_instances() {
+        for seed in 0..30u64 {
+            let cnf = crate::gen::random_3cnf(seed, 5, 3 + (seed as usize % 15));
+            let verdicts: Vec<bool> = Engine::ALL
+                .iter()
+                .map(|e| e.solve(&cnf).is_some())
+                .collect();
+            assert!(
+                verdicts.iter().all(|&v| v == verdicts[0]),
+                "seed {seed}: {verdicts:?}"
+            );
+            for e in Engine::ALL {
+                if let Some(m) = e.solve(&cnf) {
+                    assert!(cnf.eval(&m), "{e} model must satisfy");
+                }
+            }
+        }
+    }
+}

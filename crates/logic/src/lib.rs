@@ -2,13 +2,22 @@
 //!
 //! Propositional substrate for the paper's hardness reductions:
 //!
-//! * [`prop`] — propositional formulas (AST, parser, evaluation) and CNF.
-//! * [`dpll`] — a DPLL SAT solver (unit propagation + pure literals),
-//!   the *baseline* the Thm 5.1 / Thm 5.6 reductions are validated
-//!   against.
+//! * [`prop`] — propositional formulas (AST, parser, evaluation), CNF and
+//!   the Tseitin transformation.
+//! * [`cdcl`] — the production CDCL SAT engine (two-watched-literal
+//!   propagation, 1UIP learning, EVSIDS + phase saving, Luby restarts,
+//!   LBD clause-DB reduction, incremental assumptions) behind
+//!   [`sat_solve`].
+//! * [`dpll`] — a DPLL SAT solver with occurrence-indexed unit
+//!   propagation, the independent *baseline* the Thm 5.1 / Thm 5.6
+//!   reductions and the CDCL engine are validated against.
+//! * [`engine`] — the [`engine::SatEngine`] trait and [`engine::Engine`]
+//!   selector unifying `cdcl` / `dpll` / `brute_force`.
 //! * [`qbf`] — prenex quantified Boolean formulas with alternating blocks
-//!   (`QSAT_2k`) and a recursive evaluation solver, the baseline for
-//!   Thm 5.3 / Cor. 5.4 and for Cor. 4.5's PSPACE encoding.
+//!   (`QSAT_2k`), a recursive evaluation solver (the baseline for
+//!   Thm 5.3 / Cor. 5.4 and for Cor. 4.5's PSPACE encoding) and the
+//!   CDCL-backed assumption-based expansion
+//!   ([`qbf::Qbf::solve_via_sat`]).
 //! * [`gen`] — the workspace-wide [`gen::Rng`] trait plus seeded random
 //!   instance generators for tests, the benchmark harness and `idar-gen`.
 //! * [`dimacs`] — DIMACS CNF I/O, so the reductions can consume standard
@@ -18,12 +27,15 @@
 //! QSAT as known-hard problems; we need executable versions to round-trip
 //! the reductions.
 
+pub mod cdcl;
 pub mod dimacs;
 pub mod dpll;
+pub mod engine;
 pub mod gen;
 pub mod prop;
 pub mod qbf;
 
-pub use dpll::solve as sat_solve;
+pub use cdcl::solve as sat_solve;
+pub use engine::{Engine, SatEngine};
 pub use prop::{Assignment, Clause, Cnf, Lit, PropFormula, Var};
 pub use qbf::{Qbf, Quantifier};

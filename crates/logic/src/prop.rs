@@ -125,6 +125,11 @@ impl fmt::Display for Clause {
     }
 }
 
+/// The largest variable count [`Cnf::brute_force`] accepts — callers
+/// guarding a brute-force consultation share this constant instead of
+/// re-hardcoding it.
+pub const BRUTE_FORCE_MAX_VARS: usize = 24;
+
 /// A CNF formula: a conjunction of clauses over variables `0..vars`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cnf {
@@ -158,10 +163,14 @@ impl Cnf {
         self.clauses.iter().all(|c| c.eval(a))
     }
 
-    /// Brute-force satisfiability (for cross-checking DPLL in tests; only
-    /// usable for small `vars`).
+    /// Brute-force satisfiability (for cross-checking the search engines
+    /// in tests; only usable for small `vars`, see
+    /// [`BRUTE_FORCE_MAX_VARS`]).
     pub fn brute_force(&self) -> Option<Assignment> {
-        assert!(self.vars <= 24, "brute force limited to 24 variables");
+        assert!(
+            self.vars <= BRUTE_FORCE_MAX_VARS,
+            "brute force limited to {BRUTE_FORCE_MAX_VARS} variables"
+        );
         for bits in 0u64..(1 << self.vars) {
             let a = Assignment::from_bits((0..self.vars).map(|i| bits >> i & 1 == 1).collect());
             if self.eval(&a) {
@@ -273,6 +282,92 @@ impl PropFormula {
         }
     }
 
+    /// Substitute a truth value for a variable, folding constants as the
+    /// result is rebuilt (the workhorse of quantifier expansion in
+    /// [`crate::qbf`]).
+    pub fn substitute(&self, v: Var, value: bool) -> PropFormula {
+        match self {
+            PropFormula::Const(c) => PropFormula::Const(*c),
+            PropFormula::Var(w) if *w == v => PropFormula::Const(value),
+            PropFormula::Var(w) => PropFormula::Var(*w),
+            PropFormula::Not(f) => match f.substitute(v, value) {
+                PropFormula::Const(c) => PropFormula::Const(!c),
+                g => g.not(),
+            },
+            PropFormula::And(x, y) => match (x.substitute(v, value), y.substitute(v, value)) {
+                (PropFormula::Const(false), _) | (_, PropFormula::Const(false)) => {
+                    PropFormula::Const(false)
+                }
+                (PropFormula::Const(true), g) | (g, PropFormula::Const(true)) => g,
+                (a, b) => a.and(b),
+            },
+            PropFormula::Or(x, y) => match (x.substitute(v, value), y.substitute(v, value)) {
+                (PropFormula::Const(true), _) | (_, PropFormula::Const(true)) => {
+                    PropFormula::Const(true)
+                }
+                (PropFormula::Const(false), g) | (g, PropFormula::Const(false)) => g,
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Eliminate every `Const` node (unless the whole formula is constant,
+    /// in which case that constant is returned).
+    pub fn const_fold(&self) -> PropFormula {
+        match self {
+            PropFormula::Const(c) => PropFormula::Const(*c),
+            PropFormula::Var(v) => PropFormula::Var(*v),
+            PropFormula::Not(f) => match f.const_fold() {
+                PropFormula::Const(c) => PropFormula::Const(!c),
+                g => g.not(),
+            },
+            PropFormula::And(x, y) => match (x.const_fold(), y.const_fold()) {
+                (PropFormula::Const(false), _) | (_, PropFormula::Const(false)) => {
+                    PropFormula::Const(false)
+                }
+                (PropFormula::Const(true), g) | (g, PropFormula::Const(true)) => g,
+                (a, b) => a.and(b),
+            },
+            PropFormula::Or(x, y) => match (x.const_fold(), y.const_fold()) {
+                (PropFormula::Const(true), _) | (_, PropFormula::Const(true)) => {
+                    PropFormula::Const(true)
+                }
+                (PropFormula::Const(false), g) | (g, PropFormula::Const(false)) => g,
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Tseitin transformation: an **equisatisfiable** CNF whose variables
+    /// `0..min_vars` (and any formula variables beyond) keep their meaning
+    /// while gate variables are allocated above them. Any model of the
+    /// result, restricted to the original variables, satisfies `self`, and
+    /// every model of `self` extends to a model of the result — the
+    /// encoding uses full (two-sided) gate clauses.
+    pub fn to_cnf_tseitin(&self, min_vars: usize) -> Cnf {
+        let folded = self.const_fold();
+        let base = self
+            .vars()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(min_vars);
+        match folded {
+            PropFormula::Const(true) => Cnf::new(vec![]).with_vars(base),
+            PropFormula::Const(false) => Cnf::new(vec![vec![]]).with_vars(base),
+            f => {
+                let mut enc = Tseitin {
+                    next: base as u32,
+                    clauses: Vec::new(),
+                };
+                let root = enc.lit(&f);
+                enc.clauses.push(vec![root]);
+                Cnf::new(enc.clauses).with_vars(enc.next as usize)
+            }
+        }
+    }
+
     /// View a CNF as a `PropFormula`.
     pub fn from_cnf(cnf: &Cnf) -> PropFormula {
         PropFormula::conj(cnf.clauses.iter().map(|c| {
@@ -285,6 +380,49 @@ impl PropFormula {
                 }
             }))
         }))
+    }
+}
+
+/// Recursive Tseitin encoder over a constant-free formula.
+struct Tseitin {
+    next: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Tseitin {
+    /// The literal equivalent to `f`, emitting gate clauses as needed.
+    fn lit(&mut self, f: &PropFormula) -> Lit {
+        match f {
+            PropFormula::Const(_) => unreachable!("const_fold ran first"),
+            PropFormula::Var(v) => Lit::pos(v.0),
+            PropFormula::Not(g) => self.lit(g).negated(),
+            PropFormula::And(x, y) => {
+                let a = self.lit(x);
+                let b = self.lit(y);
+                let g = self.fresh();
+                // g ↔ a ∧ b
+                self.clauses.push(vec![g.negated(), a]);
+                self.clauses.push(vec![g.negated(), b]);
+                self.clauses.push(vec![g, a.negated(), b.negated()]);
+                g
+            }
+            PropFormula::Or(x, y) => {
+                let a = self.lit(x);
+                let b = self.lit(y);
+                let g = self.fresh();
+                // g ↔ a ∨ b
+                self.clauses.push(vec![g.negated(), a, b]);
+                self.clauses.push(vec![g, a.negated()]);
+                self.clauses.push(vec![g, b.negated()]);
+                g
+            }
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        let v = self.next;
+        self.next += 1;
+        Lit::pos(v)
     }
 }
 
@@ -364,6 +502,59 @@ mod tests {
             let a = Assignment::from_bits((0..3).map(|i| bits >> i & 1 == 1).collect());
             assert_eq!(cnf.eval(&a), pf.eval(&a));
         }
+    }
+
+    #[test]
+    fn substitute_folds_constants() {
+        // (x0 ∧ x1) ∨ ¬x0, x0 := true  →  x1.
+        let f = PropFormula::var(0)
+            .and(PropFormula::var(1))
+            .or(PropFormula::var(0).not());
+        assert_eq!(f.substitute(Var(0), true), PropFormula::var(1));
+        assert_eq!(f.substitute(Var(0), false), PropFormula::Const(true));
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable() {
+        // Every assignment of the original variables: the formula holds
+        // iff the Tseitin CNF with those values clamped is satisfiable.
+        for seed in 0..30u64 {
+            let f = crate::gen::random_prop(seed, 4, 7);
+            let cnf = f.to_cnf_tseitin(4);
+            assert!(cnf.vars >= 4);
+            for bits in 0u8..16 {
+                let a = Assignment::from_bits((0..4).map(|i| bits >> i & 1 == 1).collect());
+                let mut clamped = cnf.clone();
+                for i in 0..4u32 {
+                    clamped.clauses.push(Clause(vec![if a.get(Var(i)) {
+                        Lit::pos(i)
+                    } else {
+                        Lit::neg(i)
+                    }]));
+                }
+                assert_eq!(
+                    clamped.brute_force().is_some(),
+                    f.eval(&a),
+                    "seed {seed} bits {bits:04b}: {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_constants() {
+        assert!(PropFormula::Const(true)
+            .to_cnf_tseitin(2)
+            .brute_force()
+            .is_some());
+        assert!(PropFormula::Const(false)
+            .to_cnf_tseitin(2)
+            .brute_force()
+            .is_none());
+        // A formula that folds to a constant.
+        let f = PropFormula::var(0).or(PropFormula::var(0).not().or(PropFormula::var(1)));
+        // Not constant-foldable syntactically (x0 ∨ (¬x0 ∨ x1)), but sat.
+        assert!(f.to_cnf_tseitin(0).brute_force().is_some());
     }
 
     #[test]

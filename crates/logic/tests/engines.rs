@@ -1,0 +1,193 @@
+//! Property tests pinning the SAT engines to each other and to brute
+//! force, plus the DIMACS `parse ∘ render` fixpoint property.
+
+use idar_logic::dimacs;
+use idar_logic::gen::{Rng as _, XorShift};
+use idar_logic::prop::{Cnf, Lit};
+use idar_logic::Engine;
+use proptest::prelude::*;
+
+/// A random CNF as raw structure: (vars, clause literal picks).
+fn cnf_strategy() -> impl Strategy<Value = Cnf> {
+    (
+        1..7usize,
+        proptest::collection::vec(proptest::collection::vec((0..7u32, 0..2u8), 0..4), 0..10),
+    )
+        .prop_map(|(vars, picks)| {
+            let clauses: Vec<Vec<Lit>> = picks
+                .into_iter()
+                .map(|c| {
+                    c.into_iter()
+                        .map(|(v, pos)| {
+                            let v = v % vars as u32;
+                            if pos == 1 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Cnf::new(clauses).with_vars(vars)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// All three engines agree on the verdict, and every returned model
+    /// actually satisfies the CNF (empty and unit clauses included).
+    #[test]
+    fn engines_agree_and_models_verify(cnf in cnf_strategy()) {
+        let brute = Engine::BruteForce.solve(&cnf);
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            let model = engine.solve(&cnf);
+            prop_assert_eq!(model.is_some(), brute.is_some(), "{} vs brute on {}", engine, &cnf);
+            if let Some(m) = model {
+                prop_assert!(cnf.eval(&m), "{} returned a non-model for {}", engine, &cnf);
+            }
+        }
+    }
+
+    /// `parse ∘ render` is the identity on CNFs, and `render ∘ parse` is
+    /// a fixpoint on rendered documents.
+    #[test]
+    fn dimacs_roundtrip_fixpoint(cnf in cnf_strategy()) {
+        let text = dimacs::render(&cnf);
+        let back = dimacs::parse(&text).expect("rendered CNF parses");
+        prop_assert_eq!(&back, &cnf);
+        prop_assert_eq!(dimacs::render(&back), text);
+    }
+}
+
+/// Exhaustive: every CNF with ≤ 2 clauses over a 2-variable literal menu
+/// (including empty clauses), engines vs brute force.
+#[test]
+fn exhaustive_small_cnfs() {
+    let menu: Vec<Vec<Lit>> = vec![
+        vec![],
+        vec![Lit::pos(0)],
+        vec![Lit::neg(0)],
+        vec![Lit::pos(1)],
+        vec![Lit::pos(0), Lit::neg(1)],
+        vec![Lit::neg(0), Lit::pos(1)],
+        vec![Lit::pos(0), Lit::pos(1)],
+        vec![Lit::neg(0), Lit::neg(1)],
+    ];
+    let mut checked = 0;
+    for a in 0..menu.len() {
+        for b in 0..menu.len() {
+            for c in 0..menu.len() {
+                let cnf =
+                    Cnf::new(vec![menu[a].clone(), menu[b].clone(), menu[c].clone()]).with_vars(2);
+                let expected = cnf.brute_force().is_some();
+                for engine in [Engine::Cdcl, Engine::Dpll] {
+                    assert_eq!(
+                        engine.solve(&cnf).is_some(),
+                        expected,
+                        "{engine} on ({a},{b},{c})"
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 512);
+}
+
+/// Seeded structured families: implication chains (SAT), chains with a
+/// contradicted head (UNSAT), pigeonhole (UNSAT) — CDCL vs DPLL.
+#[test]
+fn seeded_structured_families() {
+    let mut rng = XorShift::new(0xFA111E5);
+    for _ in 0..25 {
+        let n = rng.range(5, 400) as u32;
+        let mut clauses = vec![vec![Lit::pos(0)]];
+        for i in 0..n - 1 {
+            clauses.push(vec![Lit::neg(i), Lit::pos(i + 1)]);
+        }
+        let sat_chain = Cnf::new(clauses.clone());
+        let mut unsat = clauses.clone();
+        unsat.push(vec![Lit::neg(n - 1)]);
+        let unsat_chain = Cnf::new(unsat);
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            assert!(engine.solve(&sat_chain).is_some(), "{engine} chain n={n}");
+            assert!(
+                engine.solve(&unsat_chain).is_none(),
+                "{engine} ¬chain n={n}"
+            );
+        }
+    }
+    for holes in 2..5u32 {
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..holes + 1 {
+            clauses.push((0..holes).map(|j| Lit::pos(holes * i + j)).collect());
+        }
+        for j in 0..holes {
+            for i1 in 0..holes + 1 {
+                for i2 in (i1 + 1)..holes + 1 {
+                    clauses.push(vec![Lit::neg(holes * i1 + j), Lit::neg(holes * i2 + j)]);
+                }
+            }
+        }
+        let php = Cnf::new(clauses);
+        for engine in [Engine::Cdcl, Engine::Dpll] {
+            assert!(engine.solve(&php).is_none(), "{engine} PHP({holes})");
+        }
+    }
+}
+
+/// Seeded random 3-CNF around the phase-transition ratio, CDCL vs DPLL.
+#[test]
+fn seeded_random_threshold_family() {
+    for seed in 0..40u64 {
+        let cnf = idar_logic::gen::random_3cnf(seed * 13 + 1, 12, 51);
+        let cdcl = Engine::Cdcl.solve(&cnf);
+        let dpll = Engine::Dpll.solve(&cnf);
+        assert_eq!(cdcl.is_some(), dpll.is_some(), "seed {seed}");
+        for (name, model) in [("cdcl", cdcl), ("dpll", dpll)] {
+            if let Some(m) = model {
+                assert!(cnf.eval(&m), "{name} model seed {seed}");
+            }
+        }
+    }
+}
+
+/// The DIMACS dialect extras — comment lines, `%` lines, clauses spanning
+/// lines — parse to the same CNF as the canonical rendering.
+#[test]
+fn dimacs_dialect_extras_roundtrip() {
+    let mut rng = XorShift::new(0xD1A);
+    for case in 0..50 {
+        let cnf = idar_logic::gen::random_3cnf(rng.next_u64(), rng.range(3, 8), rng.range(1, 12));
+        // Build a messy but equivalent document.
+        let mut text = String::from("c generated by the engines property suite\n");
+        text.push_str(&format!("p cnf {} {}\n", cnf.vars, cnf.clauses.len()));
+        for clause in &cnf.clauses {
+            for (i, l) in clause.0.iter().enumerate() {
+                let v = l.var.0 as i64 + 1;
+                let lit = if l.positive { v } else { -v };
+                if rng.chance(1, 3) {
+                    text.push_str(&format!("{lit}\n")); // clause spans lines
+                    if rng.chance(1, 4) {
+                        text.push_str("c interleaved comment\n");
+                    }
+                } else {
+                    text.push_str(&format!("{lit} "));
+                }
+                if i + 1 == clause.0.len() {
+                    text.push_str("0\n");
+                }
+            }
+            if rng.chance(1, 5) {
+                text.push_str("%\n"); // SATLIB-style separator line
+            }
+        }
+        text.push_str("%\nc trailing comment\n");
+        let parsed = dimacs::parse(&text).unwrap();
+        assert_eq!(parsed, cnf, "case {case}");
+        // Canonical rendering is a parse fixpoint.
+        assert_eq!(dimacs::parse(&dimacs::render(&parsed)).unwrap(), cnf);
+    }
+}

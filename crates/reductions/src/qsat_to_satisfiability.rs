@@ -138,6 +138,9 @@ mod tests {
         let sat = satisfiable(&f, &SatOptions::default());
         assert_ne!(sat, SatResult::BudgetExhausted, "budget on {qbf}");
         assert_eq!(sat.is_sat(), qbf.eval(), "mismatch for {qbf} → {f}");
+        // The CDCL-backed assumption expansion must agree with the
+        // recursive baseline on the same instance.
+        assert_eq!(qbf.solve_via_sat(), qbf.eval(), "2QBF expansion on {qbf}");
     }
 
     fn v(i: u32) -> PropFormula {

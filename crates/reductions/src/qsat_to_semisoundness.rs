@@ -417,6 +417,23 @@ mod tests {
     }
 
     #[test]
+    fn qbf_oracles_agree_on_reduction_inputs() {
+        // The Thm 5.3 family's expected verdicts come from a QBF oracle;
+        // the recursive evaluator and the CDCL assumption-based expansion
+        // must agree on exactly the instances this reduction consumes.
+        for seed in 0..15 {
+            for (k, n) in [(1, 1), (1, 2), (2, 1)] {
+                let qbf = random_qsat2k(seed, k, n, 3 * k * n);
+                assert_eq!(
+                    qbf.solve_via_sat(),
+                    qbf.eval(),
+                    "seed {seed} k={k} n={n}: {qbf}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fragment_is_positive_depth_k() {
         let qbf = Qbf::qsat2k(2, 1, p_var(Qbf::x(0, 0, 1)));
         let q = reduce(&qbf).unwrap();

@@ -36,14 +36,25 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_dpll() {
+    fn agrees_with_every_sat_engine() {
+        use idar_logic::Engine;
         for seed in 0..40 {
             let cnf = idar_logic::gen::random_3cnf(seed, 5, 8 + (seed as usize % 14));
             let f = reduce(&cnf);
-            let tableau = satisfiable(&f, &SatOptions::default());
+            // The reduction must agree with each engine, and the engines
+            // with each other — the satisfiability solver itself is run
+            // once per engine so the fast path is exercised under both.
             let baseline = idar_logic::sat_solve(&cnf).is_some();
-            assert_eq!(tableau.is_sat(), baseline, "seed {seed}: {cnf} vs {f}");
-            assert_ne!(tableau, SatResult::BudgetExhausted);
+            for engine in [Engine::Cdcl, Engine::Dpll] {
+                let opts = SatOptions {
+                    engine,
+                    ..SatOptions::default()
+                };
+                let r = satisfiable(&f, &opts);
+                assert_eq!(r.is_sat(), baseline, "seed {seed} ({engine}): {cnf} vs {f}");
+                assert_ne!(r, SatResult::BudgetExhausted);
+                assert_eq!(engine.solve(&cnf).is_some(), baseline, "seed {seed}");
+            }
         }
     }
 

@@ -31,6 +31,7 @@ pub mod explore;
 pub mod invariants;
 pub mod np;
 pub mod positive;
+pub mod satengine;
 pub mod satisfiability;
 pub mod semisound;
 pub mod verdict;

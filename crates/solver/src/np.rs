@@ -92,10 +92,27 @@ impl std::error::Error for NotNpFragment {}
 ///
 /// `aux_limits` bounds only time/memory (states, state size); the
 /// multiplicity cap is computed from the theorem and overrides whatever the
-/// caller put there.
+/// caller put there. Uses the default SAT engine (CDCL) for the
+/// completion-formula pre-check; see [`completability_np_with_engine`].
 pub fn completability_np(
     form: &GuardedForm,
     aux_limits: &ExploreLimits,
+) -> Result<NpAnswer, NotNpFragment> {
+    completability_np_with_engine(form, aux_limits, idar_logic::Engine::default())
+}
+
+/// [`completability_np`] with an explicit SAT engine.
+///
+/// Before the capped search runs, the completion formula's propositional
+/// atom abstraction (see [`crate::satengine`]) goes to `engine`: if no
+/// valuation of the root-evaluated atoms satisfies φ then no instance can
+/// — an exact `Fails` without exploring a single state. The Thm 5.1
+/// SAT→completability encodings of unsatisfiable CNFs hit exactly this
+/// path, replacing an exponential search by one SAT call.
+pub fn completability_np_with_engine(
+    form: &GuardedForm,
+    aux_limits: &ExploreLimits,
+    engine: idar_logic::Engine,
 ) -> Result<NpAnswer, NotNpFragment> {
     for e in form.schema().edge_ids() {
         for right in [Right::Add, Right::Del] {
@@ -106,6 +123,23 @@ pub fn completability_np(
                     form.schema().path_of(e)
                 )));
             }
+        }
+    }
+    {
+        use idar_core::formula::StepFormula;
+        let step = StepFormula::from_formula(form.completion());
+        if crate::satengine::surely_unsatisfiable(&step, engine) {
+            // Nothing to search: the verdict is exact, so report the
+            // (empty) exploration as closed.
+            return Ok(NpAnswer {
+                verdict: Verdict::Fails,
+                run: None,
+                cap: 0,
+                stats: SearchStats {
+                    closed: true,
+                    ..SearchStats::default()
+                },
+            });
         }
     }
     let cap = theorem_5_2_bound(form);
@@ -249,6 +283,23 @@ mod tests {
         assert!(g.is_complete_run(&run));
         // The run must contain at least one deletion.
         assert!(run.iter().any(|u| matches!(u, Update::Del { .. })));
+    }
+
+    #[test]
+    fn propositionally_unsat_completion_short_circuits() {
+        // φ = a ∧ ¬a: no tree satisfies it, so the SAT pre-check answers
+        // Fails without exploring (states == 0, closed).
+        let g = form("a, b", &[("a", "true", "true")], "", "a & !a");
+        for engine in [
+            idar_logic::Engine::Cdcl,
+            idar_logic::Engine::Dpll,
+            idar_logic::Engine::BruteForce,
+        ] {
+            let ans = completability_np_with_engine(&g, &ExploreLimits::small(), engine).unwrap();
+            assert_eq!(ans.verdict, Verdict::Fails, "{engine}");
+            assert_eq!(ans.stats.states, 0, "{engine}");
+            assert!(ans.stats.closed, "{engine}");
+        }
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct SatOptions {
     pub max_depth: Option<usize>,
     /// Safety cap on tableau branches explored (default 1 << 22).
     pub max_branches: Option<usize>,
+    /// SAT engine consulted by the propositional fast path and the UNSAT
+    /// pre-check (default: CDCL).
+    pub engine: idar_logic::Engine,
 }
 
 /// The result of a satisfiability query.
@@ -127,12 +130,28 @@ impl WitnessTree {
 }
 
 /// Decide whether some tree's root satisfies `f`.
+///
+/// Before the tableau runs, the formula's propositional **atom
+/// abstraction** (see [`crate::satengine`]) is handed to the configured
+/// SAT engine: an UNSAT abstraction decides `Unsat` outright (sound for
+/// any formula, schema or not), and for unconstrained purely-label
+/// formulas — the Cor. 4.5 SAT encodings — a model converts directly
+/// into a witness tree, bypassing the exponential tableau entirely.
 pub fn satisfiable(f: &Formula, opts: &SatOptions) -> SatResult {
     let step = StepFormula::from_formula(f).nnf();
     let default_depth = child_nesting(&step);
     let mut max_depth = opts.max_depth.unwrap_or(default_depth);
     if let Some(schema) = &opts.schema {
         max_depth = max_depth.min(schema.depth() as usize);
+    }
+    match sat_fast_path(&step, opts, max_depth) {
+        FastPath::Decided(r) => {
+            if let SatResult::Sat(t) = &r {
+                debug_assert!(t.holds(0, f), "fast path produced a non-model for {f}");
+            }
+            return r;
+        }
+        FastPath::Inconclusive => {}
     }
     let budget = opts.max_branches.unwrap_or(1 << 22);
     let mut searcher = Searcher {
@@ -157,6 +176,46 @@ pub fn satisfiable(f: &Formula, opts: &SatOptions) -> SatResult {
             }
         }
     }
+}
+
+/// Outcome of the SAT-engine consultation.
+enum FastPath {
+    Decided(SatResult),
+    Inconclusive,
+}
+
+/// Consult the configured [`idar_logic::SatEngine`] on the propositional
+/// atom abstraction of `step`.
+fn sat_fast_path(step: &StepFormula, opts: &SatOptions, max_depth: usize) -> FastPath {
+    // An explicit branch budget is a promise of bounded work with a
+    // `BudgetExhausted` escape; the SAT engines have no such budget, so
+    // honour the cap by staying on the tableau.
+    if opts.max_branches.is_some() {
+        return FastPath::Inconclusive;
+    }
+    let abs = crate::satengine::Abstraction::of(step);
+    let Some(outcome) = crate::satengine::solve_abstraction(&abs, opts.engine) else {
+        return FastPath::Inconclusive; // engine not consultable (brute cap)
+    };
+    let Some(model) = outcome else {
+        // No atom valuation at all satisfies φ, so no tree does.
+        return FastPath::Decided(SatResult::Unsat);
+    };
+    // Exactness needs: bare-label atoms only (any label subset is
+    // realisable as root children), no schema to respect, and room for
+    // one level of children.
+    if abs.labels_only && opts.schema.is_none() && max_depth >= 1 {
+        let mut nodes = vec![(idar_core::ROOT_LABEL.to_string(), usize::MAX)];
+        for (i, atom) in abs.atoms.iter().enumerate() {
+            if model.get(idar_logic::Var(i as u32)) {
+                if let StepFormula::Child(l) = atom {
+                    nodes.push((l.clone(), 0));
+                }
+            }
+        }
+        return FastPath::Decided(SatResult::Sat(WitnessTree { nodes }));
+    }
+    FastPath::Inconclusive
 }
 
 /// Maximum nesting of child steps — a sufficient witness depth for
@@ -558,12 +617,38 @@ mod tests {
     #[test]
     fn unknown_on_budget() {
         // Branch budget of 1 forces an early bail-out on a disjunctive
-        // formula needing the right branch.
+        // formula needing the right branch. An explicit budget also
+        // disables the propositional fast path (bounded-work contract),
+        // so the purely propositional variant bails out the same way.
         let opts = SatOptions {
             max_branches: Some(1),
             ..Default::default()
         };
-        let f = Formula::parse("(a & !a) | b").unwrap();
-        assert_eq!(satisfiable(&f, &opts), SatResult::BudgetExhausted);
+        for s in ["(a[c] & !a[c]) | b[d]", "(a & !a) | b"] {
+            let f = Formula::parse(s).unwrap();
+            assert_eq!(satisfiable(&f, &opts), SatResult::BudgetExhausted, "{s}");
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_tableau_across_engines() {
+        // Purely propositional formulas are decided by the SAT engine;
+        // forcing a deep-enough formula through both paths must agree.
+        for s in ["(a | b) & !c", "a & !a", "(a | b) & (!a | c) & !b"] {
+            let f = Formula::parse(s).unwrap();
+            let mut verdicts = Vec::new();
+            for engine in [idar_logic::Engine::Cdcl, idar_logic::Engine::Dpll] {
+                let opts = SatOptions {
+                    engine,
+                    ..Default::default()
+                };
+                let r = satisfiable(&f, &opts);
+                if let SatResult::Sat(t) = &r {
+                    assert!(t.holds(0, &f), "{engine} witness fails {s}");
+                }
+                verdicts.push(r.is_sat());
+            }
+            assert_eq!(verdicts[0], verdicts[1], "{s}");
+        }
     }
 }
