@@ -26,6 +26,7 @@ fn depth1_compiled_vs_generic(c: &mut Criterion) {
                     &CompletabilityOptions {
                         limits: ExploreLimits::default(),
                         force_method: Some(Method::Depth1Canonical),
+                        ..Default::default()
                     },
                 );
                 assert_eq!(r.verdict, Verdict::Holds);
@@ -44,6 +45,7 @@ fn depth1_compiled_vs_generic(c: &mut Criterion) {
                             ..ExploreLimits::default()
                         },
                         force_method: Some(Method::BoundedExploration),
+                        ..Default::default()
                     },
                 );
                 assert_eq!(r.verdict, Verdict::Holds);
@@ -70,6 +72,7 @@ fn np_cap_tightness(c: &mut Criterion) {
                             ..ExploreLimits::default()
                         },
                         force_method: Some(Method::BoundedExploration),
+                        ..Default::default()
                     },
                 );
                 // Identical verdict regardless of cap width.

@@ -80,7 +80,7 @@ fn leave_workflow(c: &mut Criterion) {
                 max_states: 50_000,
                 ..ExploreLimits::small()
             },
-            oracle_limits: None,
+            ..Default::default()
         };
         b.iter(|| {
             let r = semisoundness(&g, &opts);

@@ -32,14 +32,14 @@ fn explore_seq_vs_par(c: &mut Criterion) {
             b.iter(|| {
                 let g = Explorer::new(&w.form, limits).with_threads(1).graph();
                 assert!(g.stats.closed);
-                assert_eq!(g.states.len(), expected_states);
+                assert_eq!(g.state_count(), expected_states);
             })
         });
         group.bench_with_input(BenchmarkId::new(format!("par{threads}"), n), &w, |b, w| {
             b.iter(|| {
                 let g = Explorer::new(&w.form, limits).with_threads(threads).graph();
                 assert!(g.stats.closed);
-                assert_eq!(g.states.len(), expected_states);
+                assert_eq!(g.state_count(), expected_states);
             })
         });
     }

@@ -89,7 +89,7 @@ fn positive_deep(c: &mut Criterion) {
                 max_states: 5_000,
                 ..ExploreLimits::small()
             },
-            oracle_limits: None,
+            ..Default::default()
         };
         group.bench_with_input(
             BenchmarkId::new("tree", format!("d{depth}f{fanout}")),

@@ -2,13 +2,15 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_3.json`** (per-section wall-times, parallel
-//! frontier state counts, seq-vs-par speedups, and the SAT-engine
-//! cdcl-vs-dpll family timings) so CI can archive the perf trajectory;
-//! pass `--json PATH` to redirect it.
+//! machine-readable **`BENCH_4.json`** (per-section wall-times, parallel
+//! frontier state counts, seq-vs-par speedups, the SAT-engine
+//! cdcl-vs-dpll family timings, and the `state_store` section: states
+//! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
+//! cached speedup, manager throughput) so CI can archive the perf
+//! trajectory; pass `--json PATH` to redirect it.
 //!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_3.json]
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_4.json]
 //! ```
 
 use idar_bench::json::Json;
@@ -49,8 +51,8 @@ fn main() {
             Some(i) => args
                 .get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_3.json".to_string()),
-            None => "BENCH_3.json".to_string(),
+                .unwrap_or_else(|| "BENCH_4.json".to_string()),
+            None => "BENCH_4.json".to_string(),
         }
     };
     let run_start = Instant::now();
@@ -92,9 +94,12 @@ fn main() {
     let mut sat_rows = Vec::new();
     timed("sat_engines", &mut || sat_rows = sat_engines());
     timed("batch_analysis", &mut batch_analysis);
+    let mut store_report = None;
+    timed("state_store", &mut || store_report = Some(state_store()));
+    let store_report = store_report.expect("state_store section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(3)),
+        ("schema_version", Json::Int(4)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         (
@@ -149,6 +154,7 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("state_store", store_report.to_json()),
         (
             "total_ms",
             Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
@@ -573,7 +579,7 @@ fn running_example() {
                 max_states: 50_000,
                 ..ExploreLimits::small()
             },
-            oracle_limits: None,
+            ..Default::default()
         },
     );
     assert_eq!(rs.verdict, Verdict::Fails);
@@ -622,13 +628,13 @@ fn parallel_frontier() -> Vec<ParRow> {
             .with_threads(threads.max(2))
             .graph();
         let par_dt = t.elapsed();
-        assert_eq!(seq.states.len(), par.states.len());
+        assert_eq!(seq.state_count(), par.state_count());
         assert_eq!(seq.stats.closed, par.stats.closed);
         assert_eq!(seq.stats.transitions, par.stats.transitions);
         println!(
             "{:<24}{:>10}{:>14}{:>14}{:>10}",
             w.name,
-            seq.states.len(),
+            seq.state_count(),
             format!("{seq_dt:.2?}"),
             format!("{par_dt:.2?}"),
             format!(
@@ -638,7 +644,7 @@ fn parallel_frontier() -> Vec<ParRow> {
         );
         rows.push(ParRow {
             name: w.name.clone(),
-            states: seq.states.len(),
+            states: seq.state_count(),
             seq_ms: seq_dt.as_secs_f64() * 1e3,
             par_ms: par_dt.as_secs_f64() * 1e3,
         });
@@ -784,7 +790,7 @@ fn batch_analysis() {
             r.name,
             compl.to_string(),
             r.semisoundness.as_ref().unwrap().verdict.to_string(),
-            if r.satisfiability.as_ref().unwrap().is_sat() {
+            if r.satisfiability.as_ref().unwrap().verdict == Verdict::Holds {
                 "sat"
             } else {
                 "unsat"
@@ -797,6 +803,181 @@ fn batch_analysis() {
         default_threads(),
     );
     assert_eq!(agree, reports.len());
+}
+
+/// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
+/// speedup, and form-manager throughput. Written to `BENCH_4.json`.
+struct StoreReport {
+    symmetry_workload: String,
+    plain_states: usize,
+    reduced_states: usize,
+    cache_workload: String,
+    cold_ms: f64,
+    cached_ms: f64,
+    manager_cold_ms: f64,
+    manager_warm_ms: f64,
+    manager_hit_rate: f64,
+}
+
+impl StoreReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "symmetry_workload",
+                Json::Str(self.symmetry_workload.clone()),
+            ),
+            ("plain_states", Json::Int(self.plain_states as u64)),
+            ("reduced_states", Json::Int(self.reduced_states as u64)),
+            (
+                "reduction_factor",
+                Json::Num(self.plain_states as f64 / self.reduced_states.max(1) as f64),
+            ),
+            ("cache_workload", Json::Str(self.cache_workload.clone())),
+            ("cold_ms", Json::Num(self.cold_ms)),
+            ("cached_ms", Json::Num(self.cached_ms)),
+            (
+                "cache_speedup",
+                Json::Num(self.cold_ms / self.cached_ms.max(1e-9)),
+            ),
+            ("manager_cold_ms", Json::Num(self.manager_cold_ms)),
+            ("manager_warm_ms", Json::Num(self.manager_warm_ms)),
+            (
+                "manager_speedup",
+                Json::Num(self.manager_cold_ms / self.manager_warm_ms.max(1e-9)),
+            ),
+            ("manager_hit_rate", Json::Num(self.manager_hit_rate)),
+        ])
+    }
+}
+
+/// The unified-pipeline engine check: (1) symmetry reduction — the
+/// canonical quotient vs the plain ordered-tree space on the subset
+/// lattice; (2) the cross-analysis `VerdictCache` — cold vs cached
+/// `AnalysisRequest` runs; (3) the `FormManager`'s cached `safe_updates`
+/// throughput. Not a paper experiment — the engineering validation of
+/// the hash-consed StateStore / VerdictCache layers, with the ≥ 10×
+/// cached-re-analysis bound asserted.
+fn state_store() -> StoreReport {
+    use idar_solver::{
+        analyze, analyze_with, AnalysisRequest, Budget, Method, SymmetryMode, VerdictCache,
+    };
+    use idar_workflow::manager::{FormManager, UnknownPolicy};
+
+    banner("Engine check -- StateStore symmetry reduction + VerdictCache");
+
+    // --- (1) symmetry reduction on the subset lattice -------------------
+    let sym = workloads::subset_lattice(8);
+    let limits = ExploreLimits {
+        max_states: 1 << 20,
+        ..ExploreLimits::default()
+    };
+    let reduced = Explorer::new(&sym.form, limits).with_threads(1).graph();
+    let plain = Explorer::new(&sym.form, limits)
+        .with_threads(1)
+        .with_symmetry(SymmetryMode::Plain)
+        .graph();
+    assert!(reduced.stats.closed && plain.stats.closed);
+    assert_eq!(reduced.state_count(), 256); // 2^8 subsets
+    assert!(
+        reduced.state_count() < plain.state_count(),
+        "symmetry reduction must shrink the explored space \
+         (reduced {} vs plain {})",
+        reduced.state_count(),
+        plain.state_count()
+    );
+    println!(
+        "{:<26}{:>16}{:>16}{:>12}",
+        "workload", "plain states", "reduced states", "factor"
+    );
+    println!(
+        "{:<26}{:>16}{:>16}{:>12}",
+        sym.name,
+        plain.state_count(),
+        reduced.state_count(),
+        format!(
+            "{:.0}x",
+            plain.state_count() as f64 / reduced.state_count() as f64
+        ),
+    );
+
+    // --- (2) cold vs cached re-analysis ---------------------------------
+    let cw = workloads::subset_lattice(14);
+    let budget = Budget {
+        limits,
+        force_method: Some(Method::BoundedExploration),
+        ..Budget::default()
+    };
+    let request = AnalysisRequest::completability(cw.form.clone()).with_budget(budget);
+    let t = Instant::now();
+    let cold = analyze(&request);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.verdict, Verdict::Holds);
+
+    let cache = VerdictCache::new();
+    let first = analyze_with(&request, Some(&cache));
+    assert_eq!(first.verdict, cold.verdict);
+    // Average many hits so the measurement is stable on fast machines.
+    let reps = 100;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let hit = analyze_with(&request, Some(&cache));
+        assert_eq!(hit.verdict, cold.verdict);
+    }
+    let cached_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    assert!(
+        cold_ms >= 10.0 * cached_ms,
+        "cached re-analysis must be >= 10x faster than cold \
+         (cold {cold_ms:.3} ms vs cached {cached_ms:.6} ms)"
+    );
+    println!(
+        "cached re-analysis ({}): cold {:.2} ms, cached {:.4} ms -> {:.0}x",
+        cw.name,
+        cold_ms,
+        cached_ms,
+        cold_ms / cached_ms.max(1e-9)
+    );
+
+    // --- (3) manager throughput: cached safe_updates ---------------------
+    let form = idar_core::leave::example_3_12();
+    let oracle = Budget::with_limits(ExploreLimits {
+        multiplicity_cap: Some(1),
+        max_states: 20_000,
+        ..ExploreLimits::small()
+    });
+    let mgr = FormManager::new(form, oracle, UnknownPolicy::Reject);
+    let t = Instant::now();
+    let safe_cold = mgr.safe_updates();
+    let manager_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let safe_warm = mgr.safe_updates();
+    let manager_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(safe_cold, safe_warm);
+    let stats = mgr.cache_stats();
+    assert!(stats.hits > 0, "warm safe_updates must hit the cache");
+    println!(
+        "manager safe_updates ({} candidates): cold {:.2} ms, warm {:.3} ms \
+         -> {:.0}x, hit rate {:.2}",
+        safe_cold.len(),
+        manager_cold_ms,
+        manager_warm_ms,
+        manager_cold_ms / manager_warm_ms.max(1e-9),
+        stats.hit_rate(),
+    );
+    println!("(the >= 10x cached-re-analysis bound is asserted above; the plain");
+    println!("column counts ordered trees -- what exploration would visit without");
+    println!("the canonical-fingerprint quotient)");
+
+    StoreReport {
+        symmetry_workload: sym.name,
+        plain_states: plain.state_count(),
+        reduced_states: reduced.state_count(),
+        cache_workload: cw.name,
+        cold_ms,
+        cached_ms,
+        manager_cold_ms,
+        manager_warm_ms,
+        manager_hit_rate: stats.hit_rate(),
+    }
 }
 
 /// Cor 4.2 and Sec 4.2 — the two fragment transformations.

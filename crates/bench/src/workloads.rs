@@ -252,7 +252,7 @@ mod tests {
         use idar_solver::{ExploreLimits, Explorer};
         let w = subset_lattice(6);
         let graph = Explorer::new(&w.form, ExploreLimits::small()).graph();
-        assert_eq!(graph.states.len(), 64); // 2^6 subsets
+        assert_eq!(graph.state_count(), 64); // 2^6 subsets
         assert!(graph.stats.closed);
         let r = completability(&w.form, &CompletabilityOptions::default());
         assert_eq!(r.verdict, Verdict::Holds);

@@ -94,6 +94,13 @@ impl CanonKey {
     pub fn words(&self) -> &[u32] {
         &self.words
     }
+
+    /// Decompose into `(fingerprint, owned words)` — lets stores take the
+    /// encoding without re-allocating it.
+    #[inline]
+    pub fn into_parts(self) -> (u64, Box<[u32]>) {
+        (self.hash, self.words)
+    }
 }
 
 fn fnv1a(words: &[u32]) -> u64 {
@@ -131,11 +138,24 @@ fn encode_children(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
     }
 }
 
-fn encode_node(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
+pub(crate) fn encode_node(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
     out.push(inst.schema_node(node).index() as u32);
     if !inst.is_leaf(node) {
         out.push(OPEN);
         encode_children(inst, node, out);
+        out.push(CLOSE);
+    }
+}
+
+/// Like [`encode_node`] but preserving child order (no sibling sort):
+/// the *ordered-tree* encoding, which distinguishes sibling permutations.
+fn encode_node_ordered(inst: &Instance, node: InstNodeId, out: &mut Vec<u32>) {
+    out.push(inst.schema_node(node).index() as u32);
+    if !inst.is_leaf(node) {
+        out.push(OPEN);
+        for &c in inst.children(node) {
+            encode_node_ordered(inst, c, out);
+        }
         out.push(CLOSE);
     }
 }
@@ -153,6 +173,23 @@ impl Instance {
             words: words.into_boxed_slice(),
         }
     }
+
+    /// The *ordered-tree* key: like [`Instance::canon_key`] but children
+    /// are encoded in child order, so sibling permutations produce
+    /// distinct keys. This is the "no symmetry reduction" identity the
+    /// solver's plain exploration mode dedups on — two instances share an
+    /// ordered key iff they are equal as ordered labelled trees.
+    pub fn ordered_key(&self) -> CanonKey {
+        let mut words = Vec::with_capacity(2 * self.live_count());
+        for &c in self.children(InstNodeId::ROOT) {
+            encode_node_ordered(self, c, &mut words);
+        }
+        let hash = fnv1a(&words);
+        CanonKey {
+            hash,
+            words: words.into_boxed_slice(),
+        }
+    }
 }
 
 /// One fingerprint bucket: the (rarely >1) distinct encodings sharing a
@@ -164,13 +201,25 @@ fn bucket_intern(
     key: CanonKey,
     next: impl FnOnce() -> u32,
 ) -> (IsoCode, bool) {
+    // The extra clone on the insert-new path happens once per class and
+    // keeps the probe logic in one place.
+    bucket_intern_ref(bucket, &key, next)
+}
+
+/// [`bucket_intern`] by reference: the key's words are cloned only when
+/// the class is new, so hot lookups stay allocation-free.
+fn bucket_intern_ref(
+    bucket: &mut Bucket,
+    key: &CanonKey,
+    next: impl FnOnce() -> u32,
+) -> (IsoCode, bool) {
     for (words, code) in bucket.iter() {
         if **words == *key.words {
             return (*code, false);
         }
     }
     let code = IsoCode(next());
-    bucket.push((key.words, code));
+    bucket.push((key.words.clone(), code));
     (code, true)
 }
 
@@ -303,6 +352,15 @@ impl SharedInterner {
         let mut map = self.shards[shard].lock().expect("interner shard poisoned");
         let bucket = map.entry(key.hash).or_default();
         bucket_intern(bucket, key, || self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// [`SharedInterner::intern`] by reference: clones the key's words
+    /// only when this caller wins the discovery race.
+    pub fn intern_ref(&self, key: &CanonKey) -> (IsoCode, bool) {
+        let shard = self.shard_of(key.hash);
+        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
+        let bucket = map.entry(key.hash).or_default();
+        bucket_intern_ref(bucket, key, || self.counter.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Number of distinct classes interned so far.

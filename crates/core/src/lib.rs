@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bisim;
+pub mod canon;
 pub mod error;
 pub mod formula;
 pub mod fragment;
@@ -39,6 +40,7 @@ pub mod leave;
 pub mod schema;
 pub mod serialize;
 
+pub use canon::Canonicalized;
 pub use error::CoreError;
 pub use formula::{Formula, PathExpr};
 pub use fragment::{DepthClass, Fragment, Polarity};

@@ -601,7 +601,7 @@ mod tests {
                     max_states: 100_000,
                     ..ExploreLimits::small()
                 },
-                oracle_limits: None,
+                ..Default::default()
             },
         )
         .verdict;

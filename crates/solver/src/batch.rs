@@ -4,9 +4,11 @@
 //! designer saves a change and *every* deployed form variant is re-vetted;
 //! a nightly job sweeps the whole catalogue. [`BatchAnalyzer`] is the
 //! entry point for that shape of workload — it fans a set of forms out
-//! over a worker pool and runs the selected analyses (completability,
-//! semi-soundness, completion-formula satisfiability) under one shared
-//! [`ExploreLimits`] budget.
+//! over a worker pool, expresses every job as an
+//! [`AnalysisRequest`] through the
+//! unified pipeline, and shares one [`VerdictCache`] across the whole
+//! batch (so duplicate forms — isomorphic initial instances included —
+//! are solved once).
 //!
 //! Parallelism is two-level: the batch pool parallelises *across* forms
 //! (one job = one analysis of one form), and each bounded search may
@@ -36,11 +38,11 @@
 //! );
 //! ```
 
-use crate::completability::{completability, CompletabilityOptions, CompletabilityResult};
+use crate::analysis::{analyze_keyed, AnalysisKind, AnalysisReport, AnalysisRequest, Budget};
+use crate::cache::{rules_signature_of, CacheStats, RulesSignature, VerdictCache};
 use crate::explore::ExploreLimits;
-use crate::satisfiability::{satisfiable, SatOptions, SatResult};
-use crate::semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
 use idar_core::GuardedForm;
+use std::sync::Arc;
 
 /// One form to analyse, with a display name for the report.
 #[derive(Debug, Clone)]
@@ -64,14 +66,31 @@ impl BatchItem {
 /// Which analyses a [`BatchAnalyzer`] runs per form.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisSelection {
-    /// Run [`completability`] (Def. 3.13).
+    /// Run completability (Def. 3.13).
     pub completability: bool,
-    /// Run [`semisoundness`] (Def. 3.14).
+    /// Run semi-soundness (Def. 3.14).
     pub semisoundness: bool,
     /// Check the completion formula is satisfiable over the form's schema
     /// (Cor. 4.5) — a cheap necessary condition for completability that
     /// catches dead completion formulas without any state search.
     pub satisfiability: bool,
+}
+
+impl AnalysisSelection {
+    /// The pipeline kinds this selection enables, in report order.
+    fn kinds(&self) -> Vec<AnalysisKind> {
+        let mut kinds = Vec::new();
+        if self.completability {
+            kinds.push(AnalysisKind::Completability);
+        }
+        if self.semisoundness {
+            kinds.push(AnalysisKind::Semisoundness);
+        }
+        if self.satisfiability {
+            kinds.push(AnalysisKind::Satisfiability);
+        }
+        kinds
+    }
 }
 
 impl Default for AnalysisSelection {
@@ -90,21 +109,23 @@ impl Default for AnalysisSelection {
 pub struct FormReport {
     /// The submitted [`BatchItem::name`].
     pub name: String,
-    /// Completability verdict and witness, if selected.
-    pub completability: Option<CompletabilityResult>,
-    /// Semi-soundness verdict and counterexample, if selected.
-    pub semisoundness: Option<SemisoundnessResult>,
-    /// Completion-formula satisfiability, if selected.
-    pub satisfiability: Option<SatResult>,
+    /// Completability report (verdict, method, witness, cache
+    /// provenance), if selected.
+    pub completability: Option<AnalysisReport>,
+    /// Semi-soundness report, if selected.
+    pub semisoundness: Option<AnalysisReport>,
+    /// Completion-formula satisfiability report, if selected.
+    pub satisfiability: Option<AnalysisReport>,
 }
 
 /// Runs the selected analyses over many forms concurrently. See the
 /// module docs for the execution model.
 #[derive(Debug, Clone)]
 pub struct BatchAnalyzer {
-    limits: ExploreLimits,
+    budget: Budget,
     threads: usize,
     selection: AnalysisSelection,
+    cache: Arc<VerdictCache>,
 }
 
 impl Default for BatchAnalyzer {
@@ -114,19 +135,27 @@ impl Default for BatchAnalyzer {
 }
 
 impl BatchAnalyzer {
-    /// An analyzer with default limits, all analyses selected, and
-    /// [`default_threads`](crate::explore::default_threads) pool size.
+    /// An analyzer with default budget, all analyses selected, a fresh
+    /// verdict cache, and [`default_threads`](crate::explore::default_threads)
+    /// pool size.
     pub fn new() -> BatchAnalyzer {
         BatchAnalyzer {
-            limits: ExploreLimits::default(),
+            budget: Budget::default(),
             threads: crate::explore::default_threads(),
             selection: AnalysisSelection::default(),
+            cache: Arc::new(VerdictCache::new()),
         }
     }
 
     /// Set the shared exploration limits for every search in the batch.
     pub fn with_limits(mut self, limits: ExploreLimits) -> Self {
-        self.limits = limits;
+        self.budget.limits = limits;
+        self
+    }
+
+    /// Set the full shared budget for every job in the batch.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -142,68 +171,54 @@ impl BatchAnalyzer {
         self
     }
 
+    /// Share a verdict cache with other analyzers or managers (e.g. the
+    /// nightly sweep and the online vetting path).
+    pub fn with_cache(mut self, cache: Arc<VerdictCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The analyzer's verdict cache (to inspect hit rates or share).
+    pub fn cache(&self) -> &Arc<VerdictCache> {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the analyzer's cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Run the batch. Reports come back in submission order.
     pub fn run(&self, items: Vec<BatchItem>) -> Vec<FormReport> {
-        // One job = one (form, analysis) pair, so a slow semi-soundness
-        // check on one form does not serialise the rest of the batch.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Kind {
-            Compl,
-            Semi,
-            Sat,
-        }
-        let mut kinds = Vec::new();
-        if self.selection.completability {
-            kinds.push(Kind::Compl);
-        }
-        if self.selection.semisoundness {
-            kinds.push(Kind::Semi);
-        }
-        if self.selection.satisfiability {
-            kinds.push(Kind::Sat);
-        }
-
-        let jobs: Vec<(usize, Kind)> = (0..items.len())
+        // One job = one (form, analysis-kind) pair, so a slow
+        // semi-soundness check on one form does not serialise the rest of
+        // the batch.
+        let kinds = self.selection.kinds();
+        let jobs: Vec<(usize, AnalysisKind)> = (0..items.len())
             .flat_map(|i| kinds.iter().map(move |&k| (i, k)))
             .collect();
 
-        /// One analysis outcome, computed without touching the report.
-        enum JobResult {
-            Compl(CompletabilityResult),
-            Semi(SemisoundnessResult),
-            Sat(SatResult),
-        }
-
-        impl JobResult {
-            fn store(self, report: &mut FormReport) {
-                match self {
-                    JobResult::Compl(r) => report.completability = Some(r),
-                    JobResult::Semi(r) => report.semisoundness = Some(r),
-                    JobResult::Sat(r) => report.satisfiability = Some(r),
-                }
+        fn store(report: &mut FormReport, result: AnalysisReport) {
+            match result.kind {
+                AnalysisKind::Completability => report.completability = Some(result),
+                AnalysisKind::Semisoundness => report.semisoundness = Some(result),
+                AnalysisKind::Satisfiability => report.satisfiability = Some(result),
             }
         }
 
-        let limits = self.limits;
-        let run_job = |item: &BatchItem, kind: Kind| match kind {
-            Kind::Compl => JobResult::Compl(completability(
-                &item.form,
-                &CompletabilityOptions::with_limits(limits),
-            )),
-            Kind::Semi => JobResult::Semi(semisoundness(
-                &item.form,
-                &SemisoundnessOptions {
-                    limits,
-                    oracle_limits: None,
-                },
-            )),
-            Kind::Sat => JobResult::Sat(satisfiable(
-                item.form.completion(),
-                &SatOptions {
-                    schema: Some(item.form.schema().clone()),
-                    ..SatOptions::default()
-                },
-            )),
+        // One rule-table serialization per item, not per (item, kind).
+        let rules_sigs: Vec<RulesSignature> = items
+            .iter()
+            .map(|it| rules_signature_of(&it.form))
+            .collect();
+
+        let budget = &self.budget;
+        let cache = &self.cache;
+        let rules_sigs = &rules_sigs;
+        let run_job = move |i: usize, item: &BatchItem, kind: AnalysisKind| {
+            let key = VerdictCache::key_with(&rules_sigs[i], &item.form, kind, budget);
+            let request = AnalysisRequest::new(item.form.clone(), kind).with_budget(budget.clone());
+            analyze_keyed(&request, cache, &key)
         };
 
         let mut reports: Vec<FormReport> = items
@@ -241,8 +256,8 @@ impl BatchAnalyzer {
                         let Some(&(i, kind)) = jobs.get(j) else {
                             break;
                         };
-                        let result = run_job(&items[i], kind);
-                        result.store(&mut slots[i].lock().expect("report slot poisoned"));
+                        let result = run_job(i, &items[i], kind);
+                        store(&mut slots[i].lock().expect("report slot poisoned"), result);
                     });
                 }
             });
@@ -250,7 +265,8 @@ impl BatchAnalyzer {
         }
 
         for &(i, kind) in &jobs {
-            run_job(&items[i], kind).store(&mut reports[i]);
+            let result = run_job(i, &items[i], kind);
+            store(&mut reports[i], result);
         }
         reports
     }
@@ -314,7 +330,10 @@ mod tests {
         // The incompletable form's completion is satisfiable in general
         // trees of its schema — the state search, not the formula, rules
         // it out.
-        assert!(reports[2].satisfiability.as_ref().unwrap().is_sat());
+        assert_eq!(
+            reports[2].satisfiability.as_ref().unwrap().verdict,
+            Verdict::Holds
+        );
     }
 
     #[cfg(feature = "parallel")]
@@ -340,8 +359,8 @@ mod tests {
                 p.semisoundness.as_ref().unwrap().verdict
             );
             assert_eq!(
-                s.satisfiability.as_ref().unwrap().is_sat(),
-                p.satisfiability.as_ref().unwrap().is_sat()
+                s.satisfiability.as_ref().unwrap().verdict,
+                p.satisfiability.as_ref().unwrap().verdict
             );
         }
     }
@@ -361,5 +380,40 @@ mod tests {
             assert!(r.semisoundness.is_none());
             assert!(r.satisfiability.is_none());
         }
+    }
+
+    /// Duplicate (and isomorphic-duplicate) forms in one batch are solved
+    /// once: the shared cache serves the repeats.
+    #[test]
+    fn batch_cache_deduplicates_identical_forms() {
+        let analyzer = BatchAnalyzer::new()
+            .with_limits(capped_limits())
+            .with_threads(1)
+            .with_selection(AnalysisSelection {
+                completability: true,
+                semisoundness: false,
+                satisfiability: false,
+            });
+        let items = vec![
+            BatchItem::new("a", leave::example_3_12()),
+            BatchItem::new("b", leave::example_3_12()),
+            BatchItem::new("c", leave::example_3_12()),
+        ];
+        let reports = analyzer.run(items);
+        let stats = analyzer.cache_stats();
+        assert_eq!(stats.misses, 1, "one cold solve");
+        assert_eq!(stats.hits, 2, "two served from cache");
+        for r in &reports {
+            assert_eq!(r.completability.as_ref().unwrap().verdict, Verdict::Holds);
+        }
+        use crate::analysis::CacheProvenance;
+        assert_eq!(
+            reports[0].completability.as_ref().unwrap().cache,
+            CacheProvenance::Miss
+        );
+        assert_eq!(
+            reports[2].completability.as_ref().unwrap().cache,
+            CacheProvenance::Hit
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Fragment-dispatched completability (Def. 3.13).
 //!
-//! [`completability`] inspects the form's fragment (Sec. 3.5) and picks the
-//! strongest procedure Table 1 licenses:
+//! [`completability`] is a thin wrapper over the unified
+//! [`analysis`](crate::analysis) pipeline; the dispatch below inspects the
+//! form's fragment (Sec. 3.5) and picks the strongest procedure Table 1
+//! licenses:
 //!
 //! 1. `F(A+, φ+, ·)` → Thm 5.5 saturation (exact, polynomial).
 //! 2. depth ≤ 1      → Lemma 4.3 canonical-state search (exact, ≤ 2ⁿ states).
@@ -10,32 +12,16 @@
 //!    `Holds` on a found run, `Fails` only if the search *closed*, else
 //!    `Unknown`.
 
+use crate::analysis::Budget;
 use crate::depth1::Depth1System;
-use crate::explore::{ExploreLimits, Explorer};
-use crate::np::completability_np;
-use crate::positive::completability_positive;
+use crate::explore::Explorer;
 use crate::verdict::{Method, SearchStats, Verdict};
 use idar_core::{GuardedForm, Update};
 
-/// Options for [`completability`].
-#[derive(Debug, Clone, Default)]
-pub struct CompletabilityOptions {
-    /// Resource limits for the bounded/NP code paths.
-    pub limits: ExploreLimits,
-    /// Skip the fragment dispatch and force a method (for ablations and
-    /// differential tests).
-    pub force_method: Option<Method>,
-}
-
-impl CompletabilityOptions {
-    /// Options with the given limits and automatic method dispatch.
-    pub fn with_limits(limits: ExploreLimits) -> Self {
-        CompletabilityOptions {
-            limits,
-            force_method: None,
-        }
-    }
-}
+/// Options for [`completability`] — an alias of the pipeline-wide
+/// [`Budget`] (the former standalone struct was one of three copies of
+/// the same `ExploreLimits` plumbing).
+pub type CompletabilityOptions = Budget;
 
 /// The result of a completability query.
 #[derive(Debug, Clone)]
@@ -53,9 +39,22 @@ pub struct CompletabilityResult {
 
 /// Decide (or bound) completability of `form`. See module docs for the
 /// dispatch; exactness is tied to [`Method`] and `stats.closed`.
+///
+/// Routes through the unified pipeline
+/// ([`analyze`](crate::analysis::analyze)); use
+/// [`analyze_with`](crate::analysis::analyze_with) directly to add a
+/// [`VerdictCache`](crate::cache::VerdictCache).
 pub fn completability(form: &GuardedForm, options: &CompletabilityOptions) -> CompletabilityResult {
-    let method = options.force_method.unwrap_or_else(|| select_method(form));
-    run_method(form, method, &options.limits)
+    let report = crate::analysis::analyze(
+        &crate::analysis::AnalysisRequest::completability(form.clone())
+            .with_budget(options.clone()),
+    );
+    CompletabilityResult {
+        verdict: report.verdict,
+        method: report.method,
+        witness_run: report.run,
+        stats: report.stats,
+    }
 }
 
 /// The method the dispatcher would choose for this form.
@@ -73,9 +72,25 @@ pub fn select_method(form: &GuardedForm) -> Method {
     }
 }
 
-fn run_method(form: &GuardedForm, method: Method, limits: &ExploreLimits) -> CompletabilityResult {
+/// The cold execution path behind the pipeline: method selection plus the
+/// budgeted run.
+pub(crate) fn run_completability(
+    form: &GuardedForm,
+    budget: &Budget,
+    threads: Option<usize>,
+) -> CompletabilityResult {
+    let method = budget.force_method.unwrap_or_else(|| select_method(form));
+    run_method(form, method, budget, threads)
+}
+
+fn run_method(
+    form: &GuardedForm,
+    method: Method,
+    budget: &Budget,
+    threads: Option<usize>,
+) -> CompletabilityResult {
     match method {
-        Method::PositiveSaturation => match completability_positive(form) {
+        Method::PositiveSaturation => match crate::positive::completability_positive(form) {
             Ok(ans) => CompletabilityResult {
                 verdict: ans.verdict,
                 method,
@@ -83,7 +98,7 @@ fn run_method(form: &GuardedForm, method: Method, limits: &ExploreLimits) -> Com
                 stats: ans.stats,
             },
             // Preconditions violated (only possible when forced): fall back.
-            Err(_) => run_method(form, Method::BoundedExploration, limits),
+            Err(_) => run_method(form, Method::BoundedExploration, budget, threads),
         },
         Method::Depth1Canonical => match Depth1System::new(form) {
             Ok(sys) => {
@@ -96,19 +111,23 @@ fn run_method(form: &GuardedForm, method: Method, limits: &ExploreLimits) -> Com
                     stats: ans.stats,
                 }
             }
-            Err(_) => run_method(form, Method::BoundedExploration, limits),
+            Err(_) => run_method(form, Method::BoundedExploration, budget, threads),
         },
-        Method::NpTwoPhase => match completability_np(form, limits) {
+        Method::NpTwoPhase => match crate::np::completability_np(form, &budget.limits) {
             Ok(ans) => CompletabilityResult {
                 verdict: ans.verdict,
                 method,
                 witness_run: ans.run,
                 stats: ans.stats,
             },
-            Err(_) => run_method(form, Method::BoundedExploration, limits),
+            Err(_) => run_method(form, Method::BoundedExploration, budget, threads),
         },
-        Method::BoundedExploration | Method::ReachableEnumeration => {
-            let out = Explorer::new(form, *limits).find(|i| form.is_complete(i));
+        Method::BoundedExploration | Method::ReachableEnumeration | Method::SatTableau => {
+            let mut explorer = Explorer::new(form, budget.limits).with_symmetry(budget.symmetry);
+            if let Some(t) = threads {
+                explorer = explorer.with_threads(t);
+            }
+            let out = explorer.find(|i| form.is_complete(i));
             let verdict = match (&out.goal_run, out.stats.closed) {
                 (Some(_), _) => Verdict::Holds,
                 (None, true) => Verdict::Fails, // space exhausted: exact
@@ -127,6 +146,7 @@ fn run_method(form: &GuardedForm, method: Method, limits: &ExploreLimits) -> Com
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::ExploreLimits;
     use idar_core::leave;
 
     #[test]
@@ -262,6 +282,7 @@ mod tests {
                     &CompletabilityOptions {
                         limits: ExploreLimits::small(),
                         force_method: Some(m),
+                        ..CompletabilityOptions::default()
                     },
                 );
                 assert_eq!(r.verdict, expected, "method {m} on {completion}");
@@ -271,6 +292,7 @@ mod tests {
                 &CompletabilityOptions {
                     limits: ExploreLimits::small(),
                     force_method: Some(Method::BoundedExploration),
+                    ..CompletabilityOptions::default()
                 },
             );
             assert_ne!(

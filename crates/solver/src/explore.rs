@@ -1,13 +1,16 @@
 //! Bounded explicit-state exploration of a guarded form's run space.
 //!
-//! States are instances *up to isomorphism* — deduplicated via the
-//! interned canonical codes of [`idar_core::intern`], which preserve
-//! sibling multiplicity. This is deliberately **not** the bisimulation
-//! quotient: Lemma 4.3 makes the canonical-instance abstraction sound for
-//! depth-1 forms only, and Thm 4.1 shows that at depth ≥ 2 multiplicities
-//! carry real information (they encode counter values!). The depth-1 fast
-//! path lives in [`crate::depth1`]; this explorer is the general-purpose
-//! engine.
+//! States live in the shared hash-consed [`StateStore`]: deduplicated
+//! — under the default [`SymmetryMode::Reduced`] — *up to isomorphism*
+//! via interned canonical encodings, which preserve sibling multiplicity.
+//! This is deliberately **not** the bisimulation quotient: Lemma 4.3
+//! makes the canonical-instance abstraction sound for depth-1 forms only,
+//! and Thm 4.1 shows that at depth ≥ 2 multiplicities carry real
+//! information (they encode counter values!). The depth-1 fast path lives
+//! in [`crate::depth1`]; this explorer is the general-purpose engine.
+//! [`SymmetryMode::Plain`] turns the symmetry reduction off (states are
+//! ordered trees) — the ablation baseline the differential fuzzer and the
+//! `reproduce` harness compare against.
 //!
 //! Because completability is undecidable in general (Thm 4.1), the
 //! exploration is bounded, and the outcome records whether the search
@@ -19,13 +22,13 @@
 //!
 //! The explorer has two interchangeable engines:
 //!
-//! * **Sequential BFS** — one FIFO queue, one [`Interner`]. Always
+//! * **Sequential BFS** — one FIFO queue, one [`StateStore`]. Always
 //!   available; state indices follow discovery order.
 //! * **Parallel layered BFS** (cargo feature `parallel`, on by default) —
 //!   each BFS layer's frontier is split across worker threads; successors
 //!   are deduplicated through a lock-striped [`SharedInterner`] and merged
-//!   into the state arrays sequentially (worker-chunk order, then
-//!   discovery order within a worker). See `docs/ARCHITECTURE.md` for the
+//!   into the store sequentially (worker-chunk order, then discovery
+//!   order within a worker). See `docs/ARCHITECTURE.md` for the
 //!   shard/merge diagram.
 //!
 //! Both engines visit exactly the same state set, report the same
@@ -41,14 +44,14 @@
 //! The differential tests in this module and in
 //! `tests/parallel_differential.rs` pin these guarantees down.
 //!
-//! [`Interner`]: idar_core::Interner
 //! [`SharedInterner`]: idar_core::SharedInterner
 
+use crate::store::{StateId, StateStore, SuccessorTable, SymmetryMode};
 use crate::verdict::{LimitKind, SearchStats};
-use idar_core::{GuardedForm, Instance, Interner, Update};
+use idar_core::{GuardedForm, Instance, Update};
 
 /// Resource limits for bounded exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExploreLimits {
     /// Maximum number of distinct states to visit.
     pub max_states: usize,
@@ -97,33 +100,56 @@ pub struct ExploreOutcome {
     pub stats: SearchStats,
 }
 
-/// The full reachable state graph produced by [`Explorer::graph`].
+/// The reachable state graph produced by [`Explorer::graph`]: the
+/// hash-consed [`StateStore`] (states, provenance) plus the compact CSR
+/// successor table.
 #[derive(Debug, Clone)]
 pub struct StateGraph {
-    /// Distinct reachable states; index 0 is the initial instance.
-    pub states: Vec<Instance>,
-    /// BFS tree pointers: `parents[i] = (j, u)` means state `i` was first
-    /// reached from state `j` by update `u` (`None` for the initial state).
-    pub parents: Vec<Option<(usize, Update)>>,
-    /// All state-graph edges: `edges[i]` lists `(update, successor index)`.
-    pub edges: Vec<Vec<(Update, usize)>>,
-    /// BFS depth of each state.
-    pub depth: Vec<usize>,
+    /// The interned states with BFS provenance; index 0 is the initial
+    /// instance.
+    pub store: StateStore,
+    /// CSR successor adjacency (empty for goal searches, which skip edge
+    /// collection).
+    pub succ: SuccessorTable,
     /// Search statistics.
     pub stats: SearchStats,
 }
 
 impl StateGraph {
+    /// Number of explored states.
+    pub fn state_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The state instances, indexed by state id (index 0 = initial).
+    pub fn states(&self) -> &[Instance] {
+        self.store.states()
+    }
+
+    /// The instance of state `i`.
+    pub fn state(&self, i: usize) -> &Instance {
+        self.store.get(StateId(i as u32))
+    }
+
+    /// BFS depth of state `i`.
+    pub fn depth_of(&self, i: usize) -> usize {
+        self.store.depth(StateId(i as u32))
+    }
+
+    /// Outgoing `(update, successor)` edges of state `i`.
+    pub fn successors(&self, i: usize) -> &[(Update, StateId)] {
+        self.succ.successors(StateId(i as u32))
+    }
+
+    /// Total number of explored edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.edge_count()
+    }
+
     /// Reconstruct the update sequence leading from the initial instance to
     /// state `i` (replayable via [`GuardedForm::replay`]).
-    pub fn run_to(&self, mut i: usize) -> Vec<Update> {
-        let mut rev = Vec::new();
-        while let Some((p, u)) = self.parents[i] {
-            rev.push(u);
-            i = p;
-        }
-        rev.reverse();
-        rev
+    pub fn run_to(&self, i: usize) -> Vec<Update> {
+        self.store.run_to(StateId(i as u32))
     }
 }
 
@@ -156,16 +182,18 @@ pub struct Explorer<'a> {
     form: &'a GuardedForm,
     limits: ExploreLimits,
     threads: usize,
+    symmetry: SymmetryMode,
 }
 
 impl<'a> Explorer<'a> {
-    /// An explorer over `form` with the given limits and the default
-    /// thread count ([`default_threads`]).
+    /// An explorer over `form` with the given limits, the default
+    /// thread count ([`default_threads`]), and symmetry reduction on.
     pub fn new(form: &'a GuardedForm, limits: ExploreLimits) -> Self {
         Explorer {
             form,
             limits,
             threads: default_threads(),
+            symmetry: SymmetryMode::Reduced,
         }
     }
 
@@ -177,9 +205,23 @@ impl<'a> Explorer<'a> {
         self
     }
 
+    /// Select the state-space quotient: [`SymmetryMode::Reduced`]
+    /// (default, isomorphism classes) or [`SymmetryMode::Plain`] (ordered
+    /// trees — no symmetry reduction, for ablations and differential
+    /// testing).
+    pub fn with_symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured symmetry mode.
+    pub fn symmetry(&self) -> SymmetryMode {
+        self.symmetry
     }
 
     /// BFS from the initial instance until `goal` holds for some state (or
@@ -190,14 +232,14 @@ impl<'a> Explorer<'a> {
         if self.threads > 1 {
             let g = self.run_parallel(Some(&goal), false);
             return ExploreOutcome {
-                goal_run: g.goal.map(|i| g.graph.run_to(i)),
+                goal_run: g.goal.map(|i| g.graph.store.run_to(i)),
                 stats: g.graph.stats,
             };
         }
         let mut goal = goal;
         let g = self.run(Some(&mut goal), false);
         ExploreOutcome {
-            goal_run: g.goal.map(|i| g.graph.run_to(i)),
+            goal_run: g.goal.map(|i| g.graph.store.run_to(i)),
             stats: g.graph.stats,
         }
     }
@@ -211,167 +253,116 @@ impl<'a> Explorer<'a> {
         self.run(None, true).graph
     }
 
-    /// The sequential engine: FIFO BFS with interned-code deduplication.
+    /// The sequential engine: FIFO BFS over a [`StateStore`].
     ///
-    /// Dense [`IsoCode`](idar_core::IsoCode)s are assigned in discovery
-    /// order here, so a code doubles as the state's index — no side table.
+    /// Dense [`StateId`]s are assigned in discovery order, so an id
+    /// doubles as the state's index — no side table.
     fn run(
         &self,
         mut goal: Option<&mut dyn FnMut(&Instance) -> bool>,
         want_edges: bool,
     ) -> RunResult {
         let mut stats = SearchStats::default();
+        let mut store = StateStore::new(self.symmetry);
+        let mut triples: Vec<(StateId, Update, StateId)> = Vec::new();
+        let finish =
+            |store, triples, stats, goal| finish_run(store, triples, stats, goal, want_edges);
+
         let initial = self.form.initial().clone();
-
-        let mut states: Vec<Instance> = Vec::new();
-        let mut parents: Vec<Option<(usize, Update)>> = Vec::new();
-        let mut depth: Vec<usize> = Vec::new();
-        let mut edges: Vec<Vec<(Update, usize)>> = Vec::new();
-        let mut interner = Interner::new();
-
-        let (c0, _) = interner.intern(initial.canon_key());
-        debug_assert_eq!(c0.index(), 0);
-        states.push(initial);
-        parents.push(None);
-        depth.push(0);
-        edges.push(Vec::new());
+        let (root, _) = store.intern(initial, None);
+        debug_assert_eq!(root, StateId(0));
         stats.states = 1;
 
         if let Some(goal) = goal.as_deref_mut() {
-            if goal(&states[0]) {
-                return RunResult {
-                    graph: StateGraph {
-                        states,
-                        parents,
-                        edges,
-                        depth,
-                        stats: SearchStats {
-                            closed: true,
-                            ..stats
-                        },
-                    },
-                    goal: Some(0),
-                };
+            if goal(store.get(root)) {
+                stats.closed = true;
+                return finish(store, triples, stats, Some(root));
             }
         }
 
-        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        queue.push_back(0);
+        let mut queue: std::collections::VecDeque<StateId> = std::collections::VecDeque::new();
+        queue.push_back(root);
         let mut pruned = false;
 
         while let Some(i) = queue.pop_front() {
-            if depth[i] >= self.limits.max_depth {
+            if store.depth(i) >= self.limits.max_depth {
                 // Unexpanded frontier state: search no longer exhaustive
                 // (unless the state has no successors at all, checked below).
-                if !self.form.allowed_updates(&states[i]).is_empty() {
+                if !self.form.allowed_updates(store.get(i)).is_empty() {
                     pruned = true;
                     stats.limit_hit = Some(LimitKind::Depth);
                 }
                 continue;
             }
-            let updates = self.form.allowed_updates(&states[i]);
+            let updates = self.form.allowed_updates(store.get(i));
             for u in updates {
                 stats.transitions += 1;
                 if let Update::Add { parent, edge } = u {
-                    if states[i].live_count() >= self.limits.max_state_size {
+                    if store.get(i).live_count() >= self.limits.max_state_size {
                         pruned = true;
                         stats.limit_hit = Some(LimitKind::StateSize);
                         continue;
                     }
                     if let Some(cap) = self.limits.multiplicity_cap {
-                        if states[i].children_at(parent, edge).count() >= cap {
+                        if store.get(i).children_at(parent, edge).count() >= cap {
                             pruned = true;
                             stats.limit_hit = Some(LimitKind::Multiplicity);
                             continue;
                         }
                     }
                 }
-                let mut next = states[i].clone();
+                let mut next = store.get(i).clone();
                 self.form
                     .apply_unchecked(&mut next, &u)
                     .expect("allowed updates apply");
-                let (code, is_new) = interner.intern(next.canon_key());
-                if !is_new {
-                    if want_edges {
-                        edges[i].push((u, code.index()));
-                    }
-                    continue;
-                }
-                let j = code.index();
-                debug_assert_eq!(j, states.len());
-                states.push(next);
-                parents.push(Some((i, u)));
-                depth.push(depth[i] + 1);
-                edges.push(Vec::new());
+                let (j, is_new) = store.intern(next, Some((i, u)));
                 if want_edges {
-                    edges[i].push((u, j));
+                    triples.push((i, u, j));
+                }
+                if !is_new {
+                    continue;
                 }
                 stats.states += 1;
 
                 if let Some(goal) = goal.as_deref_mut() {
-                    if goal(&states[j]) {
-                        return RunResult {
-                            graph: StateGraph {
-                                states,
-                                parents,
-                                edges,
-                                depth,
-                                stats,
-                            },
-                            goal: Some(j),
-                        };
+                    if goal(store.get(j)) {
+                        return finish(store, triples, stats, Some(j));
                     }
                 }
 
                 if stats.states >= self.limits.max_states {
                     stats.limit_hit = Some(LimitKind::States);
-                    return RunResult {
-                        graph: StateGraph {
-                            states,
-                            parents,
-                            edges,
-                            depth,
-                            stats,
-                        },
-                        goal: None,
-                    };
+                    return finish(store, triples, stats, None);
                 }
                 queue.push_back(j);
             }
         }
 
         stats.closed = !pruned;
-        RunResult {
-            graph: StateGraph {
-                states,
-                parents,
-                edges,
-                depth,
-                stats,
-            },
-            goal: None,
-        }
+        finish(store, triples, stats, None)
     }
 
     /// The parallel engine: layered BFS. Each layer's frontier is split
     /// into contiguous chunks, one per worker; workers expand their chunk
     /// against a [`SharedInterner`](idar_core::SharedInterner) and the
-    /// single merge step (sequential, in chunk order) assigns state
-    /// indices. Narrow frontiers are expanded inline — per-layer thread
-    /// spawns only pay off once a layer offers real work per worker.
+    /// single merge step (sequential, in chunk order) interns states into
+    /// the [`StateStore`]. Narrow frontiers are expanded inline —
+    /// per-layer thread spawns only pay off once a layer offers real work
+    /// per worker.
     #[cfg(feature = "parallel")]
     fn run_parallel(
         &self,
         goal: Option<&(dyn Fn(&Instance) -> bool + Sync)>,
         want_edges: bool,
     ) -> RunResult {
-        use idar_core::{IsoCode, SharedInterner};
+        use idar_core::{CanonKey, IsoCode, SharedInterner};
 
         /// A state discovered (won the intern race) by one worker.
         struct NewState {
             inst: Instance,
+            key: CanonKey,
             code: IsoCode,
-            parent: u32,
+            parent: StateId,
             update: Update,
             is_goal: bool,
         }
@@ -380,21 +371,22 @@ impl<'a> Explorer<'a> {
         #[derive(Default)]
         struct WorkerOut {
             new_states: Vec<NewState>,
-            pend_edges: Vec<(u32, Update, IsoCode)>,
+            pend_edges: Vec<(StateId, Update, IsoCode)>,
             transitions: usize,
             pruned: Option<LimitKind>,
         }
 
         let form = self.form;
         let limits = self.limits;
+        let symmetry = self.symmetry;
 
         // Expand the frontier slice `chunk`, mirroring the sequential
         // inner loop exactly (same prune checks, same goal policy: goal is
         // evaluated only on newly discovered states).
-        let expand = |chunk: &[usize], states: &[Instance], interner: &SharedInterner| {
+        let expand = |chunk: &[StateId], states: &[Instance], interner: &SharedInterner| {
             let mut out = WorkerOut::default();
             for &i in chunk {
-                let state = &states[i];
+                let state = &states[i.index()];
                 for u in form.allowed_updates(state) {
                     out.transitions += 1;
                     if let Update::Add { parent, edge } = u {
@@ -412,16 +404,21 @@ impl<'a> Explorer<'a> {
                     let mut next = state.clone();
                     form.apply_unchecked(&mut next, &u)
                         .expect("allowed updates apply");
-                    let (code, is_new) = interner.intern(next.canon_key());
+                    let key = match symmetry {
+                        SymmetryMode::Reduced => next.canon_key(),
+                        SymmetryMode::Plain => next.ordered_key(),
+                    };
+                    let (code, is_new) = interner.intern_ref(&key);
                     if want_edges {
-                        out.pend_edges.push((i as u32, u, code));
+                        out.pend_edges.push((i, u, code));
                     }
                     if is_new {
                         let is_goal = goal.is_some_and(|g| g(&next));
                         out.new_states.push(NewState {
                             inst: next,
+                            key,
                             code,
-                            parent: i as u32,
+                            parent: i,
                             update: u,
                             is_goal,
                         });
@@ -432,37 +429,29 @@ impl<'a> Explorer<'a> {
         };
 
         let mut stats = SearchStats::default();
-        let initial = form.initial().clone();
+        let mut store = StateStore::new(self.symmetry);
+        let mut triples: Vec<(StateId, Update, StateId)> = Vec::new();
         let interner = SharedInterner::new();
-        let (c0, _) = interner.intern(initial.canon_key());
+        let initial = form.initial().clone();
+        let (c0, _) = interner.intern(store.key_of(&initial));
         debug_assert_eq!(c0.index(), 0);
-
-        // `code_to_state[c]` is the state index of interned code `c`
-        // (u32::MAX while the code's state is still awaiting merge).
-        let mut code_to_state: Vec<u32> = vec![0];
-        let mut states = vec![initial];
-        let mut parents: Vec<Option<(usize, Update)>> = vec![None];
-        let mut depth = vec![0usize];
-        let mut edges: Vec<Vec<(Update, usize)>> = vec![Vec::new()];
+        let (root, _) = store.intern(initial, None);
         stats.states = 1;
 
+        let finish =
+            |store, triples, stats, goal| finish_run(store, triples, stats, goal, want_edges);
+
         if let Some(g) = goal {
-            if g(&states[0]) {
+            if g(store.get(root)) {
                 stats.closed = true;
-                return RunResult {
-                    graph: StateGraph {
-                        states,
-                        parents,
-                        edges,
-                        depth,
-                        stats,
-                    },
-                    goal: Some(0),
-                };
+                return finish(store, triples, stats, Some(root));
             }
         }
 
-        let mut frontier: Vec<usize> = vec![0];
+        // `code_to_state[c]` is the state id of interned code `c`
+        // (u32::MAX while the code's state is still awaiting merge).
+        let mut code_to_state: Vec<u32> = vec![0];
+        let mut frontier: Vec<StateId> = vec![root];
         let mut cur_depth = 0usize;
         let mut pruned = false;
 
@@ -476,7 +465,7 @@ impl<'a> Explorer<'a> {
                 // frontier state still has successors.
                 if frontier
                     .iter()
-                    .any(|&i| !form.allowed_updates(&states[i]).is_empty())
+                    .any(|&i| !form.allowed_updates(store.get(i)).is_empty())
                 {
                     pruned = true;
                     stats.limit_hit = Some(LimitKind::Depth);
@@ -498,9 +487,9 @@ impl<'a> Explorer<'a> {
                 .max(1);
             let chunk_len = frontier.len().div_ceil(workers);
             let outs: Vec<WorkerOut> = if workers == 1 {
-                vec![expand(&frontier, &states, &interner)]
+                vec![expand(&frontier, store.states(), &interner)]
             } else {
-                let states_ref = &states;
+                let states_ref = store.states();
                 let interner_ref = &interner;
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = frontier
@@ -515,7 +504,8 @@ impl<'a> Explorer<'a> {
             };
 
             // --- merge: deterministic (chunk order, then worker order) -
-            let mut layer_edges: Vec<Vec<(u32, Update, IsoCode)>> = Vec::with_capacity(outs.len());
+            let mut layer_edges: Vec<Vec<(StateId, Update, IsoCode)>> =
+                Vec::with_capacity(outs.len());
             let mut layer_new: Vec<Vec<NewState>> = Vec::with_capacity(outs.len());
             for out in outs {
                 stats.transitions += out.transitions;
@@ -531,13 +521,11 @@ impl<'a> Explorer<'a> {
             let mut found_goal = None;
             'merge: for chunk in layer_new {
                 for ns in chunk {
-                    let j = states.len();
                     let is_goal = ns.is_goal;
-                    states.push(ns.inst);
-                    parents.push(Some((ns.parent as usize, ns.update)));
-                    depth.push(cur_depth + 1);
-                    edges.push(Vec::new());
-                    code_to_state[ns.code.index()] = j as u32;
+                    let (j, is_new) =
+                        store.intern_keyed(ns.key, ns.inst, Some((ns.parent, ns.update)));
+                    debug_assert!(is_new, "SharedInterner already deduplicated the layer");
+                    code_to_state[ns.code.index()] = j.0;
                     stats.states += 1;
                     if is_goal {
                         found_goal = Some(j);
@@ -559,45 +547,47 @@ impl<'a> Explorer<'a> {
                     for &(from, u, code) in chunk {
                         let j = code_to_state[code.index()];
                         if j != u32::MAX {
-                            edges[from as usize].push((u, j as usize));
+                            triples.push((from, u, StateId(j)));
                         }
                     }
                 }
             }
 
             if found_goal.is_some() || stats.limit_hit == Some(LimitKind::States) {
-                return RunResult {
-                    graph: StateGraph {
-                        states,
-                        parents,
-                        edges,
-                        depth,
-                        stats,
-                    },
-                    goal: found_goal,
-                };
+                return finish(store, triples, stats, found_goal);
             }
 
             frontier = next_frontier;
             cur_depth += 1;
         }
 
-        RunResult {
-            graph: StateGraph {
-                states,
-                parents,
-                edges,
-                depth,
-                stats,
-            },
-            goal: None,
-        }
+        finish(store, triples, stats, None)
     }
 }
 
 struct RunResult {
     graph: StateGraph,
-    goal: Option<usize>,
+    goal: Option<StateId>,
+}
+
+/// Shared graph finalization of both engines: build the CSR successor
+/// table (or an empty one for goal searches) and package the result.
+fn finish_run(
+    store: StateStore,
+    triples: Vec<(StateId, Update, StateId)>,
+    stats: SearchStats,
+    goal: Option<StateId>,
+    want_edges: bool,
+) -> RunResult {
+    let succ = if want_edges {
+        SuccessorTable::from_triples(store.len(), &triples)
+    } else {
+        SuccessorTable::empty(store.len())
+    };
+    RunResult {
+        graph: StateGraph { store, succ, stats },
+        goal,
+    }
 }
 
 #[cfg(test)]
@@ -641,13 +631,13 @@ mod tests {
         let graph = Explorer::new(&g, ExploreLimits::small())
             .with_threads(1)
             .graph();
-        assert_eq!(graph.states.len(), 4); // {}, {a}, {b}, {a,b}
+        assert_eq!(graph.state_count(), 4); // {}, {a}, {b}, {a,b}
         assert!(graph.stats.closed);
         // Every non-initial state's reconstructed run replays.
-        for i in 1..graph.states.len() {
+        for i in 1..graph.state_count() {
             let run = graph.run_to(i);
             let r = g.replay(&run).unwrap();
-            assert!(r.last().isomorphic(&graph.states[i]));
+            assert!(r.last().isomorphic(graph.state(i)));
         }
     }
 
@@ -659,8 +649,7 @@ mod tests {
             .graph();
         // state {}: 2 adds; {a}: del a + add b; {b}: del b + add a;
         // {a,b}: del a + del b. Total 8 directed edges.
-        let total: usize = graph.edges.iter().map(|e| e.len()).sum();
-        assert_eq!(total, 8);
+        assert_eq!(graph.edge_count(), 8);
     }
 
     #[test]
@@ -692,7 +681,7 @@ mod tests {
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::StateSize));
         // 16 states: 0..=15 copies of `a` … plus none beyond the cap.
-        assert_eq!(graph.states.len(), 16);
+        assert_eq!(graph.state_count(), 16);
     }
 
     #[test]
@@ -706,7 +695,7 @@ mod tests {
             ..ExploreLimits::small()
         };
         let graph = Explorer::new(&g, lim).with_threads(1).graph();
-        assert_eq!(graph.states.len(), 4); // 0,1,2,3 copies
+        assert_eq!(graph.state_count(), 4); // 0,1,2,3 copies
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::Multiplicity));
     }
@@ -729,8 +718,39 @@ mod tests {
         };
         let graph = Explorer::new(&g, lim).with_threads(1).graph();
         // initial + {a} + {b}; {a,b} is at depth 2.
-        assert_eq!(graph.states.len(), 3);
+        assert_eq!(graph.state_count(), 3);
         assert!(!graph.stats.closed);
+    }
+
+    /// With the symmetry reduction off (plain mode), sibling permutations
+    /// of the toggle form count separately: {a,b} and {b,a} are distinct
+    /// ordered trees, and the verdict-relevant facts still agree.
+    #[test]
+    fn plain_mode_explores_the_ordered_space() {
+        let g = toggle_form();
+        let reduced = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .graph();
+        let plain = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .with_symmetry(SymmetryMode::Plain)
+            .graph();
+        assert_eq!(reduced.state_count(), 4);
+        assert_eq!(plain.state_count(), 5); // {}, a, b, ab, ba
+        assert!(reduced.stats.closed && plain.stats.closed);
+        // Goal search agrees on existence and BFS depth.
+        let rf = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|i| g.is_complete(i));
+        let pf = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .with_symmetry(SymmetryMode::Plain)
+            .find(|i| g.is_complete(i));
+        assert_eq!(
+            rf.goal_run.as_ref().map(Vec::len),
+            pf.goal_run.as_ref().map(Vec::len)
+        );
+        assert!(g.is_complete_run(&pf.goal_run.unwrap()));
     }
 
     // -- parallel engine ----------------------------------------------------
@@ -738,7 +758,7 @@ mod tests {
     /// The canonical state set of a graph, as a sorted list of iso codes.
     #[cfg(feature = "parallel")]
     fn state_set(g: &StateGraph) -> Vec<String> {
-        let mut v: Vec<String> = g.states.iter().map(|s| s.iso_code()).collect();
+        let mut v: Vec<String> = g.states().iter().map(|s| s.iso_code()).collect();
         v.sort_unstable();
         v
     }
@@ -760,21 +780,19 @@ mod tests {
             assert_eq!(par.stats.states, seq.stats.states);
             assert_eq!(par.stats.transitions, seq.stats.transitions);
             assert!(par.stats.closed);
-            let seq_edges: usize = seq.edges.iter().map(|e| e.len()).sum();
-            let par_edges: usize = par.edges.iter().map(|e| e.len()).sum();
-            assert_eq!(par_edges, seq_edges);
+            assert_eq!(par.edge_count(), seq.edge_count());
             // Depth multisets agree (BFS layering is engine-independent).
-            let mut sd = seq.depth.clone();
-            let mut pd = par.depth.clone();
+            let mut sd: Vec<usize> = (0..seq.state_count()).map(|i| seq.depth_of(i)).collect();
+            let mut pd: Vec<usize> = (0..par.state_count()).map(|i| par.depth_of(i)).collect();
             sd.sort_unstable();
             pd.sort_unstable();
             assert_eq!(sd, pd);
             // Every parallel parent pointer reconstructs a valid run.
-            for i in 0..par.states.len() {
+            for i in 0..par.state_count() {
                 let run = par.run_to(i);
-                assert_eq!(run.len(), par.depth[i]);
+                assert_eq!(run.len(), par.depth_of(i));
                 let r = g.replay(&run).unwrap();
-                assert!(r.last().isomorphic(&par.states[i]));
+                assert!(r.last().isomorphic(par.state(i)));
             }
         }
     }
@@ -807,7 +825,7 @@ mod tests {
             ..ExploreLimits::small()
         };
         let par = Explorer::new(&g, lim).with_threads(4).graph();
-        assert_eq!(par.states.len(), 3);
+        assert_eq!(par.state_count(), 3);
         assert!(!par.stats.closed);
         assert_eq!(par.stats.limit_hit, Some(LimitKind::Depth));
 
@@ -825,7 +843,7 @@ mod tests {
         let par = Explorer::new(&grow, lim).with_threads(4).graph();
         assert!(!par.stats.closed);
         assert_eq!(par.stats.limit_hit, Some(LimitKind::StateSize));
-        assert_eq!(par.states.len(), 16);
+        assert_eq!(par.state_count(), 16);
 
         // State-count cap.
         let lim = ExploreLimits {
@@ -847,5 +865,24 @@ mod tests {
             .find(|i| g.is_complete(i));
         assert_eq!(out.goal_run, Some(vec![]));
         assert!(out.stats.closed);
+    }
+
+    /// The parallel engine honours the plain symmetry mode and matches
+    /// the sequential plain exploration.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_plain_mode_matches_sequential() {
+        let g = toggle_form();
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .with_symmetry(SymmetryMode::Plain)
+            .graph();
+        let par = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(4)
+            .with_symmetry(SymmetryMode::Plain)
+            .graph();
+        assert_eq!(par.state_count(), seq.state_count());
+        assert_eq!(par.stats.transitions, seq.stats.transitions);
+        assert!(par.stats.closed);
     }
 }

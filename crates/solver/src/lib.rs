@@ -24,7 +24,9 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod batch;
+pub mod cache;
 pub mod completability;
 pub mod depth1;
 pub mod explore;
@@ -34,13 +36,22 @@ pub mod positive;
 pub mod satengine;
 pub mod satisfiability;
 pub mod semisound;
+pub mod store;
 pub mod verdict;
 pub mod witness;
 
+pub use analysis::{
+    analyze, analyze_keyed, analyze_with, AnalysisKind, AnalysisReport, AnalysisRequest, Budget,
+    CacheProvenance,
+};
 pub use batch::{AnalysisSelection, BatchAnalyzer, BatchItem, FormReport};
+pub use cache::{
+    rules_signature_of, CacheKey, CacheStats, CachedVerdict, RulesSignature, VerdictCache,
+};
 pub use completability::{completability, CompletabilityOptions, CompletabilityResult};
 pub use depth1::Depth1System;
-pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer};
+pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer, StateGraph};
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
+pub use store::{StateId, StateStore, SuccessorTable, SymmetryMode};
 pub use verdict::{Method, Verdict};

@@ -5,28 +5,27 @@
 //!   Thm 4.6 / Cor. 4.7): forward-reachable set ∩ backward-reachable set
 //!   of complete states.
 //! * deeper forms → bounded enumeration of reachable states (isomorphism
-//!   deduplication) with a per-state completability oracle; the oracle is
-//!   exact whenever the fragment offers one (`A+φ+`: Thm 5.5 saturation at
-//!   any depth; `A+φ−`: Thm 5.2). A counterexample (reachable +
-//!   provably-incompletable state) yields an exact `Fails` even when the
-//!   enumeration itself is bounded; `Holds` is exact only if the
-//!   enumeration closed *and* every per-state answer was exact.
+//!   deduplication via the shared [`StateStore`](crate::store::StateStore))
+//!   with a per-state completability oracle; the oracle is exact whenever
+//!   the fragment offers one (`A+φ+`: Thm 5.5 saturation at any depth;
+//!   `A+φ−`: Thm 5.2). A counterexample (reachable + provably-incompletable
+//!   state) yields an exact `Fails` even when the enumeration itself is
+//!   bounded; `Holds` is exact only if the enumeration closed *and* every
+//!   per-state answer was exact.
+//!
+//! [`semisoundness`] is a thin wrapper over the unified
+//! [`analysis`](crate::analysis) pipeline.
 
-use crate::completability::{completability, CompletabilityOptions};
+use crate::analysis::Budget;
 use crate::depth1::Depth1System;
-use crate::explore::{ExploreLimits, Explorer};
+use crate::explore::Explorer;
 use crate::verdict::{Method, SearchStats, Verdict};
 use idar_core::{GuardedForm, Update};
 
-/// Options for [`semisoundness`].
-#[derive(Debug, Clone, Default)]
-pub struct SemisoundnessOptions {
-    /// Limits on the reachable-state enumeration.
-    pub limits: ExploreLimits,
-    /// Limits for the per-state completability oracle (defaults to
-    /// `limits` when `None`).
-    pub oracle_limits: Option<ExploreLimits>,
-}
+/// Options for [`semisoundness`] — an alias of the pipeline-wide
+/// [`Budget`] (use `limits` for the reachable-state enumeration and
+/// `oracle_limits` for the per-state completability oracle).
+pub type SemisoundnessOptions = Budget;
 
 /// The result of a semi-soundness query.
 #[derive(Debug, Clone)]
@@ -43,7 +42,29 @@ pub struct SemisoundnessResult {
 }
 
 /// Decide (or bound) semi-soundness of `form`.
+///
+/// Routes through the unified pipeline
+/// ([`analyze`](crate::analysis::analyze)); use
+/// [`analyze_with`](crate::analysis::analyze_with) directly to add a
+/// [`VerdictCache`](crate::cache::VerdictCache).
 pub fn semisoundness(form: &GuardedForm, options: &SemisoundnessOptions) -> SemisoundnessResult {
+    let report = crate::analysis::analyze(
+        &crate::analysis::AnalysisRequest::semisoundness(form.clone()).with_budget(options.clone()),
+    );
+    SemisoundnessResult {
+        verdict: report.verdict,
+        method: report.method,
+        counterexample: report.run,
+        stats: report.stats,
+    }
+}
+
+/// The cold execution path behind the pipeline.
+pub(crate) fn run_semisoundness(
+    form: &GuardedForm,
+    budget: &Budget,
+    threads: Option<usize>,
+) -> SemisoundnessResult {
     if form.schema().depth() <= 1 {
         if let Ok(sys) = Depth1System::new(form) {
             let ans = sys.semisoundness();
@@ -56,16 +77,24 @@ pub fn semisoundness(form: &GuardedForm, options: &SemisoundnessOptions) -> Semi
             };
         }
     }
-    bounded_semisoundness(form, options)
+    bounded_semisoundness(form, budget, threads)
 }
 
 fn bounded_semisoundness(
     form: &GuardedForm,
-    options: &SemisoundnessOptions,
+    budget: &Budget,
+    threads: Option<usize>,
 ) -> SemisoundnessResult {
-    let graph = Explorer::new(form, options.limits).graph();
-    let oracle_limits = options.oracle_limits.unwrap_or(options.limits);
-    let oracle_opts = CompletabilityOptions::with_limits(oracle_limits);
+    let mut explorer = Explorer::new(form, budget.limits).with_symmetry(budget.symmetry);
+    if let Some(t) = threads {
+        explorer = explorer.with_threads(t);
+    }
+    let graph = explorer.graph();
+    let oracle_opts = Budget {
+        limits: budget.oracle(),
+        symmetry: budget.symmetry,
+        ..Budget::default()
+    };
 
     let mut any_unknown = false;
     // States whose completability we have already established, keyed by
@@ -73,10 +102,10 @@ fn bounded_semisoundness(
     // completable state, is completable — we exploit the graph edges to
     // avoid re-running the oracle where possible (reverse BFS from
     // complete states).
-    let n = graph.states.len();
+    let n = graph.state_count();
     let mut completable = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
-    for (i, s) in graph.states.iter().enumerate() {
+    for (i, s) in graph.states().iter().enumerate() {
         if form.is_complete(s) {
             completable[i] = true;
             queue.push_back(i);
@@ -84,10 +113,8 @@ fn bounded_semisoundness(
     }
     // Reverse edges within the enumerated subgraph.
     let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, outs) in graph.edges.iter().enumerate() {
-        for &(_, j) in outs {
-            rev[j].push(i);
-        }
+    for (i, _, j) in graph.succ.iter() {
+        rev[j.index()].push(i.index());
     }
     while let Some(j) = queue.pop_front() {
         for &i in &rev[j] {
@@ -104,8 +131,8 @@ fn bounded_semisoundness(
         }
         // Not completable within the enumerated subgraph; ask the oracle
         // (which can go beyond the enumeration's frontier).
-        let sub = form.with_initial(graph.states[i].clone());
-        let r = completability(&sub, &oracle_opts);
+        let sub = form.with_initial(graph.state(i).clone());
+        let r = crate::completability::run_completability(&sub, &oracle_opts, threads);
         match r.verdict {
             Verdict::Holds => { /* fine */ }
             Verdict::Fails => {
@@ -138,6 +165,8 @@ fn bounded_semisoundness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::completability::{completability, CompletabilityOptions};
+    use crate::explore::ExploreLimits;
     use idar_core::leave;
 
     fn capped(cap: usize) -> SemisoundnessOptions {
@@ -146,7 +175,7 @@ mod tests {
                 multiplicity_cap: Some(cap),
                 ..ExploreLimits::small()
             },
-            oracle_limits: None,
+            ..SemisoundnessOptions::default()
         }
     }
 

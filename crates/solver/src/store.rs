@@ -1,0 +1,411 @@
+//! The hash-consed **state store**: the one substrate every explicit-state
+//! analysis shares.
+//!
+//! Before this layer existed, each solver call re-materialised its own
+//! `HashSet<Instance>`-shaped dedup structures. The store centralises
+//! that:
+//!
+//! * **Hash-consing** — each isomorphism class of instances is interned
+//!   once, keyed by its canonical word encoding
+//!   ([`Instance::canon_key`]), and receives a dense [`StateId`] (`u32`)
+//!   that indexes flat side tables. The interned canonical words and the
+//!   64-bit class fingerprint are kept per state, so dedup is a hash
+//!   probe plus (within a fingerprint bucket) a word `memcmp` — 64-bit
+//!   collisions are detected, never silently merged.
+//! * **Symmetry reduction** — the store's [`SymmetryMode`] selects the
+//!   quotient: [`SymmetryMode::Reduced`] (the default) interns by the
+//!   canonical sorted encoding, collapsing all iso-value renamings of a
+//!   state into one id; [`SymmetryMode::Plain`] interns by the
+//!   order-preserving encoding ([`Instance::ordered_key`]), the ablation
+//!   baseline that counts every sibling permutation separately. Verdicts
+//!   are invariant between the two (formulas cannot observe sibling
+//!   order); state counts are not — the `reproduce` harness measures the
+//!   gap.
+//! * **BFS provenance** — parent pointers and depths live in the store,
+//!   so [`StateStore::run_to`] reconstructs a replayable update sequence
+//!   for any state.
+//!
+//! The stored [`Instance`] per class is the *as-discovered*
+//! representative, not the [`canonicalize`](Instance::canonicalize)d
+//! form: parent-pointer updates reference node ids of the stored parent
+//! instance, and replay (`GuardedForm::replay`) must see exactly those
+//! ids. The canonical encoding (what makes the consing sound) is interned
+//! alongside; callers needing the canonical *instance* can call
+//! `canonicalize()` on the representative.
+//!
+//! Successor adjacency is kept out of the store proper and finalised into
+//! a compact CSR table ([`SuccessorTable`]) once exploration ends — flat
+//! `(offset, data)` arrays instead of a `Vec<Vec<_>>` of tiny
+//! allocations.
+
+use idar_core::{CanonKey, Instance, Update};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned state. Id 0 is always the initial
+/// instance of the exploration that filled the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// This id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Which quotient of the instance space the store (and the explorers on
+/// top of it) deduplicate states by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SymmetryMode {
+    /// Quotient by iso-value renaming (canonical sorted encoding): one
+    /// state per isomorphism class. Sound for every analysis in this
+    /// workspace — formulas are invariant under sibling permutation — and
+    /// the default.
+    #[default]
+    Reduced,
+    /// No symmetry reduction: states are ordered labelled trees
+    /// (order-preserving encoding). The ablation baseline; explores the
+    /// same verdicts over a strictly larger state space.
+    Plain,
+}
+
+impl std::fmt::Display for SymmetryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymmetryMode::Reduced => write!(f, "reduced"),
+            SymmetryMode::Plain => write!(f, "plain"),
+        }
+    }
+}
+
+/// One fingerprint bucket: ids of the (rarely > 1) distinct encodings
+/// sharing a 64-bit fingerprint.
+type Bucket = Vec<StateId>;
+
+/// A hash-consed store of explored states (single-writer; the parallel
+/// engine dedups through the lock-striped `SharedInterner` and merges
+/// here sequentially). See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct StateStore {
+    symmetry: SymmetryMode,
+    buckets: HashMap<u64, Bucket>,
+    /// Interned key words per state (canonical or ordered per `symmetry`).
+    keys: Vec<Box<[u32]>>,
+    /// The 64-bit key fingerprint per state. In `Reduced` mode this is
+    /// the canonical class fingerprint ([`Instance::canonicalize`]).
+    fingerprints: Vec<u64>,
+    states: Vec<Instance>,
+    parents: Vec<Option<(StateId, Update)>>,
+    depths: Vec<u32>,
+    collisions: u64,
+}
+
+impl StateStore {
+    /// An empty store deduplicating under the given symmetry mode.
+    pub fn new(symmetry: SymmetryMode) -> StateStore {
+        StateStore {
+            symmetry,
+            ..StateStore::default()
+        }
+    }
+
+    /// The store's symmetry mode.
+    pub fn symmetry(&self) -> SymmetryMode {
+        self.symmetry
+    }
+
+    /// The dedup key of an instance under this store's symmetry mode.
+    pub fn key_of(&self, inst: &Instance) -> CanonKey {
+        match self.symmetry {
+            SymmetryMode::Reduced => inst.canon_key(),
+            SymmetryMode::Plain => inst.ordered_key(),
+        }
+    }
+
+    /// Intern `inst`: return its dense id and whether it was new. On a
+    /// new state, `parent` records the BFS tree edge that discovered it
+    /// (`None` for the initial state) and the depth is derived from it.
+    pub fn intern(&mut self, inst: Instance, parent: Option<(StateId, Update)>) -> (StateId, bool) {
+        let key = self.key_of(&inst);
+        self.intern_keyed(key, inst, parent)
+    }
+
+    /// [`StateStore::intern`] with the dedup key already computed (the
+    /// explorers compute it once per successor and reuse it).
+    pub fn intern_keyed(
+        &mut self,
+        key: CanonKey,
+        inst: Instance,
+        parent: Option<(StateId, Update)>,
+    ) -> (StateId, bool) {
+        let bucket = self.buckets.entry(key.fingerprint()).or_default();
+        for &id in bucket.iter() {
+            if *self.keys[id.index()] == *key.words() {
+                return (id, false);
+            }
+        }
+        if !bucket.is_empty() {
+            self.collisions += 1;
+        }
+        let id = StateId(self.states.len() as u32);
+        bucket.push(id);
+        let depth = match parent {
+            Some((p, _)) => self.depths[p.index()] + 1,
+            None => 0,
+        };
+        let (fingerprint, words) = key.into_parts();
+        self.fingerprints.push(fingerprint);
+        self.keys.push(words);
+        self.states.push(inst);
+        self.parents.push(parent);
+        self.depths.push(depth);
+        (id, true)
+    }
+
+    /// Look up the state id of an instance without inserting. The
+    /// intern/lookup fixpoint: after `intern(i, ..)`, `lookup(j)` returns
+    /// the same id for every `j` the symmetry mode identifies with `i`.
+    pub fn lookup(&self, inst: &Instance) -> Option<StateId> {
+        let key = self.key_of(inst);
+        self.buckets
+            .get(&key.fingerprint())?
+            .iter()
+            .copied()
+            .find(|id| *self.keys[id.index()] == *key.words())
+    }
+
+    /// The stored representative of state `id`.
+    pub fn get(&self, id: StateId) -> &Instance {
+        &self.states[id.index()]
+    }
+
+    /// The stored representatives, indexed by `StateId`.
+    pub fn states(&self) -> &[Instance] {
+        &self.states
+    }
+
+    /// The dedup-key fingerprint of state `id` (the canonical class
+    /// fingerprint in `Reduced` mode).
+    pub fn fingerprint(&self, id: StateId) -> u64 {
+        self.fingerprints[id.index()]
+    }
+
+    /// The BFS tree edge that discovered `id` (`None` for the initial
+    /// state).
+    pub fn parent(&self, id: StateId) -> Option<(StateId, Update)> {
+        self.parents[id.index()]
+    }
+
+    /// BFS depth of state `id` (steps from the initial instance).
+    pub fn depth(&self, id: StateId) -> usize {
+        self.depths[id.index()] as usize
+    }
+
+    /// Number of interned states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Detected 64-bit fingerprint collisions (distinct encodings sharing
+    /// a fingerprint). Expected to stay 0 in practice.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Reconstruct the update sequence from the initial state to `id`
+    /// along the BFS tree (replayable via `GuardedForm::replay`).
+    pub fn run_to(&self, id: StateId) -> Vec<Update> {
+        let mut rev = Vec::new();
+        let mut i = id;
+        while let Some((p, u)) = self.parents[i.index()] {
+            rev.push(u);
+            i = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Compact successor adjacency in CSR form: one flat data array plus one
+/// offset array, replacing a `Vec<Vec<(Update, StateId)>>` of per-state
+/// allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SuccessorTable {
+    off: Vec<u32>,
+    dat: Vec<(Update, StateId)>,
+}
+
+impl SuccessorTable {
+    /// An empty table over `n` states (every state has no successors) —
+    /// what goal searches that skip edge collection produce.
+    pub fn empty(n: usize) -> SuccessorTable {
+        SuccessorTable {
+            off: vec![0; n + 1],
+            dat: Vec::new(),
+        }
+    }
+
+    /// Build the CSR arrays from unordered `(from, update, to)` triples
+    /// (counting sort by source; within a source, triple order is kept).
+    pub fn from_triples(n: usize, triples: &[(StateId, Update, StateId)]) -> SuccessorTable {
+        let mut counts = vec![0u32; n + 1];
+        for &(from, _, _) in triples {
+            counts[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let off = counts.clone();
+        let mut cursor = counts;
+        let mut dat = vec![
+            (
+                Update::Del {
+                    node: idar_core::InstNodeId::ROOT
+                },
+                StateId(0)
+            );
+            triples.len()
+        ];
+        for &(from, u, to) in triples {
+            let slot = cursor[from.index()] as usize;
+            dat[slot] = (u, to);
+            cursor[from.index()] += 1;
+        }
+        SuccessorTable { off, dat }
+    }
+
+    /// Outgoing `(update, successor)` edges of state `i`.
+    pub fn successors(&self, i: StateId) -> &[(Update, StateId)] {
+        &self.dat[self.off[i.index()] as usize..self.off[i.index() + 1] as usize]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.dat.len()
+    }
+
+    /// Number of states the table was built over.
+    pub fn state_count(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// Iterate over all `(from, update, to)` edges.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, Update, StateId)> + '_ {
+        (0..self.state_count()).flat_map(move |i| {
+            let from = StateId(i as u32);
+            self.successors(from)
+                .iter()
+                .map(move |&(u, to)| (from, u, to))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idar_core::{InstNodeId, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::parse("a(b, c), s").unwrap())
+    }
+
+    #[test]
+    fn intern_lookup_fixpoint() {
+        let s = schema();
+        let mut store = StateStore::new(SymmetryMode::Reduced);
+        let i1 = Instance::parse(s.clone(), "a(b, c), s").unwrap();
+        let (id, new) = store.intern(i1.clone(), None);
+        assert!(new);
+        // Lookup of any isomorphic variant returns the same id…
+        for t in ["a(b, c), s", "s, a(c, b)", "a(c, b), s"] {
+            let j = Instance::parse(s.clone(), t).unwrap();
+            assert_eq!(store.lookup(&j), Some(id), "{t}");
+            // …and re-interning is not-new with the same id.
+            assert_eq!(store.intern(j, None), (id, false), "{t}");
+        }
+        assert_eq!(store.len(), 1);
+        // A non-isomorphic instance is absent.
+        let other = Instance::parse(s, "a(b)").unwrap();
+        assert_eq!(store.lookup(&other), None);
+    }
+
+    #[test]
+    fn plain_mode_distinguishes_sibling_order() {
+        let s = schema();
+        let mut store = StateStore::new(SymmetryMode::Plain);
+        let i1 = Instance::parse(s.clone(), "a(b, c), s").unwrap();
+        let i2 = Instance::parse(s.clone(), "s, a(c, b)").unwrap();
+        let (a, new_a) = store.intern(i1, None);
+        let (b, new_b) = store.intern(i2, None);
+        assert!(new_a && new_b);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        // Exact ordered repeat still dedups.
+        let i3 = Instance::parse(s, "a(b, c), s").unwrap();
+        assert_eq!(store.lookup(&i3), Some(a));
+    }
+
+    #[test]
+    fn provenance_and_runs() {
+        let s = schema();
+        let mut store = StateStore::new(SymmetryMode::Reduced);
+        let i0 = Instance::empty(s.clone());
+        let (root, _) = store.intern(i0.clone(), None);
+        let mut i1 = i0.clone();
+        let a_edge = s.resolve("a").unwrap();
+        let an = i1.add_child(InstNodeId::ROOT, a_edge).unwrap();
+        let u1 = Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: a_edge,
+        };
+        let (one, _) = store.intern(i1.clone(), Some((root, u1)));
+        let b_edge = s.resolve("a/b").unwrap();
+        let mut i2 = i1.clone();
+        i2.add_child(an, b_edge).unwrap();
+        let u2 = Update::Add {
+            parent: an,
+            edge: b_edge,
+        };
+        let (two, _) = store.intern(i2, Some((one, u2)));
+        assert_eq!(store.depth(root), 0);
+        assert_eq!(store.depth(one), 1);
+        assert_eq!(store.depth(two), 2);
+        assert_eq!(store.run_to(two), vec![u1, u2]);
+        assert_eq!(store.fingerprint(one), i1.canon_key().fingerprint());
+    }
+
+    #[test]
+    fn csr_from_triples() {
+        let u = Update::Del {
+            node: InstNodeId(1),
+        };
+        let triples = vec![
+            (StateId(1), u, StateId(0)),
+            (StateId(0), u, StateId(1)),
+            (StateId(0), u, StateId(2)),
+            (StateId(2), u, StateId(0)),
+        ];
+        let t = SuccessorTable::from_triples(3, &triples);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.successors(StateId(0)).len(), 2);
+        assert_eq!(t.successors(StateId(1)), &[(u, StateId(0))]);
+        assert_eq!(t.successors(StateId(2)), &[(u, StateId(0))]);
+        assert_eq!(t.iter().count(), 4);
+        let empty = SuccessorTable::empty(3);
+        assert_eq!(empty.edge_count(), 0);
+        assert_eq!(empty.successors(StateId(2)), &[]);
+    }
+}

@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// The answer to a decision problem instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Verdict {
     /// The property holds (completable / semi-sound).
     Holds,
@@ -52,7 +52,7 @@ impl fmt::Display for Verdict {
 }
 
 /// Which algorithm produced a result, and with what exactness guarantee.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Thm 5.5 saturation — exact for `F(A+, φ+, ∞)`, polynomial time.
     PositiveSaturation,
@@ -67,6 +67,9 @@ pub enum Method {
     /// Semi-soundness by reachable-state enumeration with a per-state
     /// completability oracle.
     ReachableEnumeration,
+    /// The Cor. 4.5 obligation tableau deciding completion-formula
+    /// satisfiability over the schema (exact within its branch budget).
+    SatTableau,
 }
 
 impl fmt::Display for Method {
@@ -77,6 +80,7 @@ impl fmt::Display for Method {
             Method::Depth1Canonical => "depth1-canonical (Lemma 4.3)",
             Method::BoundedExploration => "bounded-exploration",
             Method::ReachableEnumeration => "reachable-enumeration",
+            Method::SatTableau => "sat-tableau (Cor 4.5)",
         };
         write!(f, "{s}")
     }

@@ -40,14 +40,7 @@ pub struct Analysis {
 /// Analyse a guarded form within the given exploration limits.
 pub fn analyse(form: &GuardedForm, limits: ExploreLimits) -> Analysis {
     let completability = completability(form, &CompletabilityOptions::with_limits(limits)).verdict;
-    let semi = semisoundness(
-        form,
-        &SemisoundnessOptions {
-            limits,
-            oracle_limits: None,
-        },
-    )
-    .verdict;
+    let semi = semisoundness(form, &SemisoundnessOptions::with_limits(limits)).verdict;
 
     let w = WorkflowGraph::build(form, limits);
     // An event occurrence s —u→ t lies on a complete run iff t is
@@ -56,7 +49,7 @@ pub fn analyse(form: &GuardedForm, limits: ExploreLimits) -> Analysis {
     let mut live_events = BTreeSet::new();
     for i in 0..w.state_count() {
         for (u, j) in w.successors(i) {
-            if w.is_completable_state(*j) {
+            if w.is_completable_state(j.index()) {
                 live_events.insert(w.event_of(i, u));
             }
         }

@@ -29,6 +29,7 @@ pub mod runs;
 
 use idar_core::{GuardedForm, Instance, Right, SchemaNodeId, Update};
 use idar_solver::explore::{ExploreLimits, Explorer, StateGraph};
+use idar_solver::store::StateId;
 use std::fmt::Write as _;
 
 /// The reachability graph of a guarded form, with form-level conveniences
@@ -67,14 +68,12 @@ impl WorkflowGraph {
         threads: usize,
     ) -> WorkflowGraph {
         let graph = Explorer::new(form, limits).with_threads(threads).graph();
-        let n = graph.states.len();
-        let complete: Vec<bool> = graph.states.iter().map(|s| form.is_complete(s)).collect();
+        let n = graph.state_count();
+        let complete: Vec<bool> = graph.states().iter().map(|s| form.is_complete(s)).collect();
         // Backward reachability from complete states.
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, outs) in graph.edges.iter().enumerate() {
-            for &(_, j) in outs {
-                rev[j].push(i);
-            }
+        for (i, _, j) in graph.succ.iter() {
+            rev[j.index()].push(i.index());
         }
         let mut completable = complete.clone();
         let mut queue: std::collections::VecDeque<usize> = complete
@@ -100,12 +99,12 @@ impl WorkflowGraph {
 
     /// Number of explored states.
     pub fn state_count(&self) -> usize {
-        self.graph.states.len()
+        self.graph.state_count()
     }
 
     /// Number of explored transitions.
     pub fn edge_count(&self) -> usize {
-        self.graph.edges.iter().map(|e| e.len()).sum()
+        self.graph.edge_count()
     }
 
     /// Did the exploration cover the whole reachable space?
@@ -115,7 +114,7 @@ impl WorkflowGraph {
 
     /// The state instances (index 0 = initial).
     pub fn states(&self) -> &[Instance] {
-        &self.graph.states
+        self.graph.states()
     }
 
     /// Is state `i` complete?
@@ -129,8 +128,8 @@ impl WorkflowGraph {
     }
 
     /// Outgoing `(update, successor)` edges of state `i`.
-    pub fn successors(&self, i: usize) -> &[(Update, usize)] {
-        &self.graph.edges[i]
+    pub fn successors(&self, i: usize) -> &[(Update, StateId)] {
+        self.graph.successors(i)
     }
 
     /// A replayable run from the initial instance to state `i`.
@@ -147,7 +146,7 @@ impl WorkflowGraph {
             },
             Update::Del { node } => Event {
                 right: Right::Del,
-                edge: self.graph.states[state].schema_node(*node),
+                edge: self.graph.state(state).schema_node(*node),
             },
         }
     }
@@ -157,7 +156,7 @@ impl WorkflowGraph {
     /// event.
     pub fn to_dot(&self, form: &GuardedForm) -> String {
         let mut out = String::from("digraph workflow {\n  rankdir=LR;\n");
-        for (i, s) in self.graph.states.iter().enumerate() {
+        for (i, s) in self.graph.states().iter().enumerate() {
             let label = if s.live_count() == 1 {
                 "{}".to_string()
             } else {
@@ -178,16 +177,15 @@ impl WorkflowGraph {
                 "  s{i} [label=\"{label}\", shape={shape}, style=filled, fillcolor={fill}];"
             );
         }
-        for (i, outs) in self.graph.edges.iter().enumerate() {
-            for (u, j) in outs {
-                let ev = self.event_of(i, u);
-                let _ = writeln!(
-                    out,
-                    "  s{i} -> s{j} [label=\"{} {}\"];",
-                    ev.right,
-                    form.schema().path_of(ev.edge)
-                );
-            }
+        for (i, u, j) in self.graph.succ.iter() {
+            let ev = self.event_of(i.index(), &u);
+            let _ = writeln!(
+                out,
+                "  s{} -> {j} [label=\"{} {}\"];",
+                i.index(),
+                ev.right,
+                form.schema().path_of(ev.edge)
+            );
         }
         out.push_str("}\n");
         out

@@ -14,7 +14,12 @@
 //! one accepts.
 
 use idar_core::{GuardedForm, Instance, Update};
-use idar_solver::{completability, CompletabilityOptions, Verdict};
+use idar_solver::cache::CacheStats;
+use idar_solver::{
+    analyze_keyed, rules_signature_of, AnalysisKind, AnalysisRequest, CompletabilityOptions,
+    RulesSignature, Verdict, VerdictCache,
+};
+use std::sync::Arc;
 
 /// What the manager does when the oracle cannot decide completability of
 /// the successor instance.
@@ -55,6 +60,14 @@ impl std::fmt::Display for Rejection {
 }
 
 /// A live form session guarded by a completability oracle.
+///
+/// Every vet routes through the unified analysis pipeline with a
+/// [`VerdictCache`], keyed by the *canonical fingerprint* of the
+/// successor instance — so re-vetting the same update, or two updates
+/// whose successors are isomorphic (a frequent pattern: adding the same
+/// field under interchangeable siblings), costs one oracle run instead of
+/// many. [`FormManager::safe_updates`] in particular no longer re-solves
+/// the oracle per candidate update.
 #[derive(Debug, Clone)]
 pub struct FormManager {
     form: GuardedForm,
@@ -62,19 +75,44 @@ pub struct FormManager {
     oracle: CompletabilityOptions,
     policy: UnknownPolicy,
     history: Vec<Update>,
+    cache: Arc<VerdictCache>,
+    /// The memoised rule signature shared by every vet of this session
+    /// (the rules never change; only the initial instance does).
+    rules_sig: RulesSignature,
 }
 
 impl FormManager {
-    /// Open a session on the form's initial instance.
+    /// Open a session on the form's initial instance, with a fresh
+    /// verdict cache.
     pub fn new(form: GuardedForm, oracle: CompletabilityOptions, policy: UnknownPolicy) -> Self {
         let current = form.initial().clone();
+        let rules_sig = rules_signature_of(&form);
         FormManager {
             form,
             current,
             oracle,
             policy,
             history: Vec::new(),
+            cache: Arc::new(VerdictCache::new()),
+            rules_sig,
         }
+    }
+
+    /// Share a verdict cache across managers (e.g. many sessions of the
+    /// same deployed form behind one server).
+    pub fn with_cache(mut self, cache: Arc<VerdictCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The manager's verdict cache.
+    pub fn cache(&self) -> &Arc<VerdictCache> {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the manager's oracle cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The live instance.
@@ -102,7 +140,16 @@ impl FormManager {
             .apply_unchecked(&mut next, update)
             .expect("allowed update applies");
         let sub = self.form.with_initial(next);
-        match completability(&sub, &self.oracle).verdict {
+        // The memoised rule signature makes the per-candidate cache key a
+        // hash of the successor instance alone.
+        let key = VerdictCache::key_with(
+            &self.rules_sig,
+            &sub,
+            AnalysisKind::Completability,
+            &self.oracle,
+        );
+        let request = AnalysisRequest::completability(sub).with_budget(self.oracle.clone());
+        match analyze_keyed(&request, &self.cache, &key).verdict {
             Verdict::Holds => Ok(()),
             Verdict::Fails => Err(Rejection::WouldStrand),
             Verdict::Unknown => match self.policy {
@@ -123,6 +170,11 @@ impl FormManager {
     }
 
     /// The updates the manager would currently accept.
+    ///
+    /// Each candidate is vetted through the cached oracle: candidates
+    /// whose successor instances are isomorphic share one cache entry, so
+    /// the oracle runs once per *distinct* successor class (and zero
+    /// times on a repeat call) instead of once per candidate.
     pub fn safe_updates(&self) -> Vec<Update> {
         self.form
             .allowed_updates(&self.current)
@@ -182,6 +234,52 @@ mod tests {
         .unwrap();
         assert!(mgr.is_complete());
         assert_eq!(mgr.history().len(), 1);
+    }
+
+    #[test]
+    fn safe_updates_hit_the_verdict_cache() {
+        // A form whose candidate updates produce isomorphic successors:
+        // two interchangeable `p` siblings, each accepting a `b` child.
+        let schema = Arc::new(Schema::parse("p(b)").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set(
+            Right::Add,
+            schema.resolve("p").unwrap(),
+            Formula::parse("true").unwrap(),
+        );
+        rules.set(
+            Right::Add,
+            schema.resolve("p/b").unwrap(),
+            Formula::parse("true").unwrap(),
+        );
+        let init = Instance::parse(schema.clone(), "p, p").unwrap();
+        let form = GuardedForm::new(schema, rules, init, Formula::parse("p[b]").unwrap());
+        let oracle = CompletabilityOptions::with_limits(idar_solver::ExploreLimits {
+            multiplicity_cap: Some(2),
+            ..idar_solver::ExploreLimits::small()
+        });
+        let mgr = FormManager::new(form, oracle, UnknownPolicy::Reject);
+
+        // 3 candidates: add p (root), add b under p₁, add b under p₂. The
+        // two b-additions have isomorphic successors, so the cold sweep
+        // runs the oracle twice and serves the third vet from the cache.
+        let safe = mgr.safe_updates();
+        assert_eq!(safe.len(), 3);
+        let cold = mgr.cache_stats();
+        assert_eq!(cold.misses, 2, "isomorphic successors solve once");
+        assert_eq!(cold.hits, 1);
+
+        // A repeat sweep is all hits: the cache-hit rate climbs to 2/3.
+        let safe2 = mgr.safe_updates();
+        assert_eq!(safe2, safe);
+        let warm = mgr.cache_stats();
+        assert_eq!(warm.misses, 2, "no new oracle runs");
+        assert_eq!(warm.hits, 4);
+        assert!(
+            warm.hit_rate() > 0.6,
+            "cache-hit rate {:.2} below the expected 2/3",
+            warm.hit_rate()
+        );
     }
 
     #[test]

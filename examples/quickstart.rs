@@ -49,7 +49,7 @@ fn main() {
             max_states: 50_000,
             ..ExploreLimits::small()
         },
-        oracle_limits: None,
+        ..Default::default()
     };
     let s = semisoundness(&variant, &opts);
     println!("Sec 3.5 variant semi-soundness: {}", s.verdict);

@@ -57,7 +57,7 @@ fn section_3_5_variant_completable_but_not_semisound() {
                 max_states: 50_000,
                 ..ExploreLimits::small()
             },
-            oracle_limits: None,
+            ..Default::default()
         },
     );
     assert_eq!(s.verdict, Verdict::Fails);

@@ -16,7 +16,7 @@ use idar_bench::workloads;
 
 /// Sorted iso-codes of a graph's states: the canonical state set.
 fn state_set(g: &idar::solver::explore::StateGraph) -> Vec<String> {
-    let mut v: Vec<String> = g.states.iter().map(|s| s.iso_code()).collect();
+    let mut v: Vec<String> = g.states().iter().map(|s| s.iso_code()).collect();
     v.sort_unstable();
     v
 }
@@ -43,9 +43,7 @@ fn leave_example_3_12_same_state_set() {
         assert_eq!(par.stats.states, seq.stats.states);
         assert_eq!(par.stats.transitions, seq.stats.transitions);
         assert_eq!(par.stats.closed, seq.stats.closed);
-        let seq_edges: usize = seq.edges.iter().map(|e| e.len()).sum();
-        let par_edges: usize = par.edges.iter().map(|e| e.len()).sum();
-        assert_eq!(par_edges, seq_edges);
+        assert_eq!(par.edge_count(), seq.edge_count());
     }
 }
 
@@ -157,7 +155,7 @@ fn subset_lattice_closed_space_agrees() {
     let par = Explorer::new(&w.form, ExploreLimits::small())
         .with_threads(4)
         .graph();
-    assert_eq!(seq.states.len(), 256);
+    assert_eq!(seq.state_count(), 256);
     assert_eq!(state_set(&par), state_set(&seq));
     assert!(seq.stats.closed && par.stats.closed);
     assert_eq!(seq.stats.transitions, par.stats.transitions);
@@ -175,6 +173,7 @@ fn completability_verdicts_engine_independent() {
         &CompletabilityOptions {
             limits: ExploreLimits::small(),
             force_method: Some(Method::BoundedExploration),
+            ..Default::default()
         },
     );
     assert_eq!(r.verdict, Verdict::Holds);

@@ -96,6 +96,7 @@ proptest! {
             &CompletabilityOptions {
                 limits: ExploreLimits::small(),
                 force_method: Some(Method::Depth1Canonical),
+                ..Default::default()
             },
         );
         // Cap multiplicities so the raw space is finite; the guards are
@@ -110,6 +111,7 @@ proptest! {
                     ..ExploreLimits::small()
                 },
                 force_method: Some(Method::BoundedExploration),
+                ..Default::default()
             },
         );
         prop_assert!(exact.verdict != Verdict::Unknown);
@@ -152,6 +154,7 @@ proptest! {
             &CompletabilityOptions {
                 limits: ExploreLimits::small(),
                 force_method: Some(Method::PositiveSaturation),
+                ..Default::default()
             },
         );
         let exact = completability(
@@ -159,6 +162,7 @@ proptest! {
             &CompletabilityOptions {
                 limits: ExploreLimits::small(),
                 force_method: Some(Method::Depth1Canonical),
+                ..Default::default()
             },
         );
         prop_assert_eq!(sat.verdict, exact.verdict);
@@ -195,6 +199,7 @@ proptest! {
                     ..ExploreLimits::small()
                 },
                 force_method: Some(Method::NpTwoPhase),
+                ..Default::default()
             },
         );
         let exact = completability(
@@ -202,6 +207,7 @@ proptest! {
             &CompletabilityOptions {
                 limits: ExploreLimits::small(),
                 force_method: Some(Method::Depth1Canonical),
+                ..Default::default()
             },
         );
         if np.verdict != Verdict::Unknown {
