@@ -1,13 +1,16 @@
 //! Parallel frontier exploration benches.
 //!
-//! * `explore/seq_vs_par/*` — the layered parallel engine against the
-//!   sequential engine on `subset_lattice(n)`: a closed 2ⁿ-state space
-//!   with combinatorially wide frontiers (layer `d` holds `C(n, d)`
-//!   states). `n = 17` is ≥ 100k states; on a multi-core host the
-//!   parallel row should beat the sequential row by roughly the core
-//!   count once per-layer spawn overhead is amortised.
+//! * `explore/seq_vs_par/*` — the pooled parallel engine (persistent
+//!   worker pool + fingerprint-sharded store) against the sequential
+//!   engine on `subset_lattice(n)`: a closed 2ⁿ-state space with
+//!   combinatorially wide frontiers (layer `d` holds `C(n, d)` states).
+//!   `n = 17` is ≥ 100k states; on a multi-core host the parallel row
+//!   should beat the sequential row by roughly the core count (workers
+//!   are spawned once per run and intern successors concurrently — there
+//!   is no per-layer spawn/join or sequential merge left to amortise).
 //! * `batch/*` — the [`BatchAnalyzer`] sweep over a mixed family pool,
-//!   1 thread vs all threads.
+//!   1 thread vs all threads (the batch splits its thread budget, so the
+//!   all-threads row no longer oversubscribes inner explorers).
 //!
 //! Both benches assert verdict/state-set agreement inside the timed body,
 //! so a disagreement between engines fails the bench run loudly.

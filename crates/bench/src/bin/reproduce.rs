@@ -2,15 +2,23 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_4.json`** (per-section wall-times, parallel
-//! frontier state counts, seq-vs-par speedups, the SAT-engine
+//! machine-readable **`BENCH_5.json`** (schema v5: per-section wall-times
+//! *and thread counts*, the parallel-frontier object — per-workload
+//! seq/par wall-times and speedups, or `"skipped_single_core": true`
+//! when the host cannot host a fair comparison — the SAT-engine
 //! cdcl-vs-dpll family timings, and the `state_store` section: states
 //! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
 //! cached speedup, manager throughput) so CI can archive the perf
 //! trajectory; pass `--json PATH` to redirect it.
 //!
+//! Perf gates asserted inside the run: the pooled parallel engine must
+//! reach speedup ≥ 1.0 on `subset_lattice(16)` whenever the host
+//! reports ≥ 2 cores (a 1-core host skips the comparison instead of
+//! archiving a bogus < 1 "regression"), and CDCL must solve the
+//! 200k-clause chain in < 100 ms.
+//!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_4.json]
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_5.json]
 //! ```
 
 use idar_bench::json::Json;
@@ -25,15 +33,29 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One row of the engine-check table, recorded for `BENCH_3.json`.
+/// One row of the engine-check table, recorded for `BENCH_5.json`.
 struct ParRow {
     name: String,
     states: usize,
     seq_ms: f64,
-    par_ms: f64,
+    /// `None` on a single-core host (the comparison is skipped, not
+    /// faked).
+    par_ms: Option<f64>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_3.json`.
+/// The parallel-frontier section: its rows plus the thread accounting
+/// the JSON report needs.
+struct ParReport {
+    rows: Vec<ParRow>,
+    /// Worker threads the parallel runs used (1 ⇒ comparison skipped).
+    threads: usize,
+    skipped_single_core: bool,
+    /// A violated speedup gate, reported *after* the JSON is written so
+    /// the regression that tripped the gate is still archived.
+    gate_violation: Option<String>,
+}
+
+/// One row of the SAT-engine table, recorded for `BENCH_5.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -51,55 +73,84 @@ fn main() {
             Some(i) => args
                 .get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_4.json".to_string()),
-            None => "BENCH_4.json".to_string(),
+                .unwrap_or_else(|| "BENCH_5.json".to_string()),
+            None => "BENCH_5.json".to_string(),
         }
     };
     let run_start = Instant::now();
-    let mut sections: Vec<(&'static str, f64)> = Vec::new();
-    let mut timed = |name: &'static str, f: &mut dyn FnMut()| {
+    // Per-section wall-time *and* the explorer worker-thread count the
+    // section's searches were allowed — a 1-thread section on a 16-core
+    // host and a 16-thread section must be distinguishable in the
+    // archived report.
+    let mut sections: Vec<(&'static str, f64, usize)> = Vec::new();
+    let mut timed = |name: &'static str, threads: usize, f: &mut dyn FnMut()| {
         let t = Instant::now();
         f();
-        sections.push((name, t.elapsed().as_secs_f64() * 1e3));
+        sections.push((name, t.elapsed().as_secs_f64() * 1e3, threads));
     };
 
     banner("Table 1 (paper): complexity matrix");
     print!("{}", fragment::render_table1());
 
+    let dt = default_threads();
     timed(
         "table1_completability_positive",
+        dt,
         &mut table1_completability_positive,
     );
-    timed("table1_completability_np", &mut table1_completability_np);
+    timed(
+        "table1_completability_np",
+        dt,
+        &mut table1_completability_np,
+    );
     timed(
         "table1_completability_depth1",
+        dt,
         &mut table1_completability_depth1,
     );
-    timed("table1_undecidable", &mut table1_undecidable);
-    timed("table1_semisoundness_conp", &mut table1_semisoundness_conp);
-    timed("table1_semisoundness_qsat", &mut table1_semisoundness_qsat);
+    timed("table1_undecidable", dt, &mut table1_undecidable);
+    timed(
+        "table1_semisoundness_conp",
+        dt,
+        &mut table1_semisoundness_conp,
+    );
+    timed(
+        "table1_semisoundness_qsat",
+        dt,
+        &mut table1_semisoundness_qsat,
+    );
     timed(
         "table1_semisoundness_depth1",
+        dt,
         &mut table1_semisoundness_depth1,
     );
     timed(
         "corollary_4_5_satisfiability",
+        dt,
         &mut corollary_4_5_satisfiability,
     );
-    timed("figures", &mut figures);
-    timed("running_example", &mut running_example);
-    timed("transformations", &mut transformations);
-    let mut par_rows = Vec::new();
-    timed("parallel_frontier", &mut || par_rows = parallel_frontier());
+    timed("figures", 1, &mut figures);
+    timed("running_example", dt, &mut running_example);
+    timed("transformations", dt, &mut transformations);
+    let mut par_report = None;
+    timed("parallel_frontier", dt, &mut || {
+        par_report = Some(parallel_frontier())
+    });
+    let par_report = par_report.expect("parallel_frontier section ran");
     let mut sat_rows = Vec::new();
-    timed("sat_engines", &mut || sat_rows = sat_engines());
-    timed("batch_analysis", &mut batch_analysis);
+    timed("sat_engines", 1, &mut || sat_rows = sat_engines());
+    timed("batch_analysis", dt, &mut batch_analysis);
     let mut store_report = None;
-    timed("state_store", &mut || store_report = Some(state_store()));
+    // The section's symmetry comparison pins threads to 1, but the cold
+    // cache-speedup analysis and the manager throughput run the explorer
+    // at the default count — record the larger grant.
+    timed("state_store", dt, &mut || {
+        store_report = Some(state_store())
+    });
     let store_report = store_report.expect("state_store section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(4)),
+        ("schema_version", Json::Int(5)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         (
@@ -107,10 +158,11 @@ fn main() {
             Json::Arr(
                 sections
                     .iter()
-                    .map(|(name, ms)| {
+                    .map(|(name, ms, threads)| {
                         Json::obj([
                             ("name", Json::Str((*name).into())),
                             ("wall_ms", Json::Num(*ms)),
+                            ("threads", Json::Int(*threads as u64)),
                         ])
                     })
                     .collect(),
@@ -118,20 +170,37 @@ fn main() {
         ),
         (
             "parallel_frontier",
-            Json::Arr(
-                par_rows
-                    .iter()
-                    .map(|r| {
-                        Json::obj([
-                            ("workload", Json::Str(r.name.clone())),
-                            ("states", Json::Int(r.states as u64)),
-                            ("seq_ms", Json::Num(r.seq_ms)),
-                            ("par_ms", Json::Num(r.par_ms)),
-                            ("speedup", Json::Num(r.seq_ms / r.par_ms.max(1e-9))),
-                        ])
-                    })
-                    .collect(),
-            ),
+            Json::obj([
+                ("threads", Json::Int(par_report.threads as u64)),
+                (
+                    "skipped_single_core",
+                    Json::Bool(par_report.skipped_single_core),
+                ),
+                (
+                    "workloads",
+                    Json::Arr(
+                        par_report
+                            .rows
+                            .iter()
+                            .map(|r| {
+                                let mut pairs = vec![
+                                    ("workload".to_string(), Json::Str(r.name.clone())),
+                                    ("states".to_string(), Json::Int(r.states as u64)),
+                                    ("seq_ms".to_string(), Json::Num(r.seq_ms)),
+                                ];
+                                if let Some(par_ms) = r.par_ms {
+                                    pairs.push(("par_ms".to_string(), Json::Num(par_ms)));
+                                    pairs.push((
+                                        "speedup".to_string(),
+                                        Json::Num(r.seq_ms / par_ms.max(1e-9)),
+                                    ));
+                                }
+                                Json::Obj(pairs)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         ),
         (
             "sat_engine",
@@ -163,6 +232,13 @@ fn main() {
     match std::fs::write(&json_path, report.render()) {
         Ok(()) => println!("\nmachine-readable report written to {json_path}"),
         Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    // The speedup gate fails the run only *after* the report is on disk,
+    // so the regression that tripped it is still archived and diffable.
+    if let Some(violation) = par_report.gate_violation {
+        eprintln!("\nPERF GATE VIOLATED: {violation}");
+        std::process::exit(1);
     }
 
     println!("All experiments completed.");
@@ -601,57 +677,106 @@ fn running_example() {
     }
 }
 
-/// The parallel frontier engine against the sequential engine on a
-/// closed 2ⁿ-state space (not a paper experiment — the engineering
+/// The pooled parallel frontier engine against the sequential engine on
+/// a closed 2ⁿ-state space (not a paper experiment — the engineering
 /// validation that parallel exploration is verdict- and state-set-
 /// identical, plus its wall-clock on this machine).
-fn parallel_frontier() -> Vec<ParRow> {
-    banner("Engine check -- parallel frontier vs sequential explorer");
+///
+/// On a single-core host the seq-vs-par comparison is **skipped** and
+/// recorded as such: measuring a 2-thread pool on 1 core measures pure
+/// coordination overhead and used to archive a speedup < 1 into the
+/// bench report as if the engine had regressed. On a multi-core host the
+/// run *gates* on speedup ≥ 1.0 for the largest workload (best-of-two
+/// runs per engine, so a background blip cannot flake the gate).
+fn parallel_frontier() -> ParReport {
+    banner("Engine check -- pooled parallel frontier vs sequential explorer");
     let threads = default_threads();
     println!("hardware threads available: {threads}");
+    let skipped = threads < 2;
+    if skipped {
+        println!("single-core host: seq-vs-par comparison skipped (recorded as");
+        println!("\"skipped_single_core\" -- a 2-thread pool on 1 core would measure");
+        println!("pure coordination overhead, not the engine)");
+    }
     println!(
         "{:<24}{:>10}{:>14}{:>14}{:>10}",
         "workload", "states", "seq time", "par time", "speedup"
     );
     let mut rows = Vec::new();
+    let mut gate_violation = None;
     for n in [12usize, 14, 16] {
         let w = workloads::subset_lattice(n);
         let limits = ExploreLimits {
             max_states: 1 << 20,
             ..ExploreLimits::default()
         };
-        let t = Instant::now();
-        let seq = Explorer::new(&w.form, limits).with_threads(1).graph();
-        let seq_dt = t.elapsed();
-        let t = Instant::now();
-        let par = Explorer::new(&w.form, limits)
-            .with_threads(threads.max(2))
-            .graph();
-        let par_dt = t.elapsed();
-        assert_eq!(seq.state_count(), par.state_count());
-        assert_eq!(seq.stats.closed, par.stats.closed);
-        assert_eq!(seq.stats.transitions, par.stats.transitions);
+        // Best of two runs per engine: one measurement per engine is at
+        // the mercy of a single scheduler blip, and this number gates CI.
+        let measure = |engine_threads: usize| {
+            let mut best: Option<(f64, _)> = None;
+            for _ in 0..2 {
+                let t = Instant::now();
+                let g = Explorer::new(&w.form, limits)
+                    .with_threads(engine_threads)
+                    .graph();
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+                    best = Some((ms, g));
+                }
+            }
+            best.expect("measured")
+        };
+        let (seq_ms, seq) = measure(1);
+        let par = if skipped {
+            None
+        } else {
+            let (par_ms, par) = measure(threads);
+            assert_eq!(seq.state_count(), par.state_count());
+            assert_eq!(seq.stats.closed, par.stats.closed);
+            assert_eq!(seq.stats.transitions, par.stats.transitions);
+            Some(par_ms)
+        };
         println!(
             "{:<24}{:>10}{:>14}{:>14}{:>10}",
             w.name,
             seq.state_count(),
-            format!("{seq_dt:.2?}"),
-            format!("{par_dt:.2?}"),
-            format!(
-                "{:.2}x",
-                seq_dt.as_secs_f64() / par_dt.as_secs_f64().max(1e-9)
-            ),
+            format!("{:.2}ms", seq_ms),
+            par.map_or("skipped".to_string(), |p| format!("{p:.2}ms")),
+            par.map_or("-".to_string(), |p| format!("{:.2}x", seq_ms / p)),
         );
+        if n == 16 {
+            if let Some(par_ms) = par {
+                let speedup = seq_ms / par_ms.max(1e-9);
+                if speedup < 1.0 {
+                    // Deferred, not asserted here: the violation must not
+                    // abort the run before BENCH_5.json is written, or
+                    // the regression that tripped the gate would be the
+                    // one run with no archived report.
+                    gate_violation = Some(format!(
+                        "pooled engine must not lose to sequential on subset_lattice(16) \
+                         with {threads} threads (seq {seq_ms:.1} ms vs par {par_ms:.1} ms, \
+                         speedup {speedup:.2})"
+                    ));
+                }
+            }
+        }
         rows.push(ParRow {
             name: w.name.clone(),
             states: seq.state_count(),
-            seq_ms: seq_dt.as_secs_f64() * 1e3,
-            par_ms: par_dt.as_secs_f64() * 1e3,
+            seq_ms,
+            par_ms: par,
         });
     }
-    println!("(speedup tracks the core count; on a single-core host the parallel");
-    println!("column shows pure coordination overhead, with identical results)");
-    rows
+    if !skipped {
+        println!("(gate: speedup >= 1.0 enforced on subset_lattice(16) after the JSON");
+        println!("report is written; the PR-5 target on a >= 4-core host is >= 1.5x)");
+    }
+    ParReport {
+        rows,
+        threads: if skipped { 1 } else { threads },
+        skipped_single_core: skipped,
+        gate_violation,
+    }
 }
 
 /// The SAT-engine check: CDCL vs DPLL on the `idar_gen::cnf` families.
@@ -806,7 +931,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_4.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_5.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,

@@ -14,17 +14,21 @@
 //!    `u32` word sequence (schema-node ids plus tree delimiters, children
 //!    sorted), with a 64-bit FNV-1a fingerprint over the words. Building
 //!    it never allocates label strings and never formats.
-//! 2. An intern table ([`Interner`] / [`SharedInterner`]) keyed by the
-//!    fingerprint. Lookups compare the fingerprint first and fall back to
-//!    a word-slice `memcmp` only within a fingerprint bucket — so a true
-//!    64-bit collision is *detected*, never silently merged.
+//! 2. An intern table ([`Interner`]) keyed by the fingerprint. Lookups
+//!    compare the fingerprint first and fall back to a word-slice
+//!    `memcmp` only within a fingerprint bucket — so a true 64-bit
+//!    collision is *detected*, never silently merged.
 //! 3. [`IsoCode`] — the dense `u32` id the table assigns to each distinct
 //!    class. After interning, state dedup is a single integer compare, and
 //!    `IsoCode` indexes straight into flat side tables (no re-hashing).
 //!
-//! [`SharedInterner`] is the concurrent variant used by the parallel
-//! frontier explorer: the fingerprint space is lock-striped over shards so
-//! that threads interning different states rarely contend.
+//! The solver's explicit-state engines build the same scheme into their
+//! state stores directly (`idar-solver`'s `StateStore` sequentially, and
+//! its fingerprint-sharded `ShardedStateStore` for the pooled parallel
+//! engine — which retired the `SharedInterner` that used to live here:
+//! the sharded store dedups, stores, and records provenance in one lock
+//! acquisition, so a separate concurrent code-assignment table had no
+//! caller left).
 //!
 //! # Canonical encoding
 //!
@@ -50,8 +54,6 @@
 
 use crate::instance::{InstNodeId, Instance};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
 
 /// Tree-shape delimiters in the canonical word encoding. Schema node ids
 /// are `u32` indices far below these sentinels.
@@ -201,25 +203,13 @@ fn bucket_intern(
     key: CanonKey,
     next: impl FnOnce() -> u32,
 ) -> (IsoCode, bool) {
-    // The extra clone on the insert-new path happens once per class and
-    // keeps the probe logic in one place.
-    bucket_intern_ref(bucket, &key, next)
-}
-
-/// [`bucket_intern`] by reference: the key's words are cloned only when
-/// the class is new, so hot lookups stay allocation-free.
-fn bucket_intern_ref(
-    bucket: &mut Bucket,
-    key: &CanonKey,
-    next: impl FnOnce() -> u32,
-) -> (IsoCode, bool) {
     for (words, code) in bucket.iter() {
         if **words == *key.words {
             return (*code, false);
         }
     }
     let code = IsoCode(next());
-    bucket.push((key.words.clone(), code));
+    bucket.push((key.words, code));
     (code, true)
 }
 
@@ -293,95 +283,6 @@ impl Interner {
     }
 }
 
-/// Number of lock stripes in a [`SharedInterner`]. A power of two well
-/// above typical thread counts keeps contention negligible.
-const SHARDS: usize = 64;
-
-/// A concurrent intern table: the fingerprint space is striped over 64
-/// mutex-protected shards, and dense ids come from one atomic counter, so
-/// ids are globally dense while threads interning different states rarely
-/// touch the same lock.
-///
-/// ```
-/// use idar_core::{Instance, Schema, SharedInterner};
-/// use std::sync::Arc;
-///
-/// let schema = Arc::new(Schema::parse("a, b").unwrap());
-/// let interner = SharedInterner::new();
-/// let key = Instance::parse(schema, "a, b").unwrap().canon_key();
-/// let (code, new) = interner.intern(key.clone());
-/// assert!(new);
-/// let (again, new) = interner.intern(key);
-/// assert!(!new);
-/// assert_eq!(code, again);
-/// assert_eq!(interner.len(), 1);
-/// ```
-pub struct SharedInterner {
-    shards: Box<[Mutex<HashMap<u64, Bucket>>]>,
-    counter: AtomicU32,
-}
-
-impl Default for SharedInterner {
-    fn default() -> Self {
-        SharedInterner::new()
-    }
-}
-
-impl SharedInterner {
-    /// An empty table.
-    pub fn new() -> SharedInterner {
-        SharedInterner {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            counter: AtomicU32::new(0),
-        }
-    }
-
-    #[inline]
-    fn shard_of(&self, hash: u64) -> usize {
-        // High bits: the FNV low bits also pick hash-map buckets inside
-        // the shard; using disjoint bits for the stripe avoids correlating
-        // the two.
-        (hash >> 58) as usize % SHARDS
-    }
-
-    /// Intern a key: returns its dense code and whether it was new.
-    /// Safe to call from many threads; exactly one caller wins `new ==
-    /// true` for each distinct class.
-    pub fn intern(&self, key: CanonKey) -> (IsoCode, bool) {
-        let shard = self.shard_of(key.hash);
-        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
-        let bucket = map.entry(key.hash).or_default();
-        bucket_intern(bucket, key, || self.counter.fetch_add(1, Ordering::Relaxed))
-    }
-
-    /// [`SharedInterner::intern`] by reference: clones the key's words
-    /// only when this caller wins the discovery race.
-    pub fn intern_ref(&self, key: &CanonKey) -> (IsoCode, bool) {
-        let shard = self.shard_of(key.hash);
-        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
-        let bucket = map.entry(key.hash).or_default();
-        bucket_intern_ref(bucket, key, || self.counter.fetch_add(1, Ordering::Relaxed))
-    }
-
-    /// Number of distinct classes interned so far.
-    pub fn len(&self) -> usize {
-        self.counter.load(Ordering::Relaxed) as usize
-    }
-
-    /// Is the table empty?
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-impl std::fmt::Debug for SharedInterner {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedInterner")
-            .field("len", &self.len())
-            .finish()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,35 +344,5 @@ mod tests {
         distinct.dedup();
         assert_eq!(distinct, vec![0, 1, 2, 3]);
         assert_eq!(int.collisions(), 0);
-    }
-
-    #[test]
-    fn shared_interner_agrees_across_threads() {
-        let s = leave_schema();
-        let texts = ["", "a", "a(n)", "a(n, d)", "s", "d(a), f", "a(p(b))"];
-        let keys: Vec<CanonKey> = texts
-            .iter()
-            .map(|t| Instance::parse(s.clone(), t).unwrap().canon_key())
-            .collect();
-        let shared = SharedInterner::new();
-        let results: Vec<Vec<IsoCode>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    let keys = &keys;
-                    let shared = &shared;
-                    scope.spawn(move || {
-                        keys.iter()
-                            .map(|k| shared.intern(k.clone()).0)
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
-        // Every thread sees the same code for the same state.
-        for r in &results[1..] {
-            assert_eq!(r, &results[0]);
-        }
-        assert_eq!(shared.len(), texts.len());
     }
 }

@@ -46,7 +46,7 @@ pub use formula::{Formula, PathExpr};
 pub use fragment::{DepthClass, Fragment, Polarity};
 pub use guarded::{AccessRules, GuardedForm, Right, Run, Update};
 pub use instance::{InstNodeId, Instance};
-pub use intern::{CanonKey, Interner, IsoCode, SharedInterner};
+pub use intern::{CanonKey, Interner, IsoCode};
 pub use schema::{Schema, SchemaBuilder, SchemaNodeId};
 
 /// The reserved label of every schema (and instance) root, Def. 3.1.

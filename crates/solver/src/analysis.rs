@@ -195,6 +195,12 @@ pub struct AnalysisReport {
     pub stats: SearchStats,
     /// Cache provenance of this report.
     pub cache: CacheProvenance,
+    /// Worker threads the explicit-state engines were granted for this
+    /// request ([`AnalysisRequest::threads`], defaulted). Thread counts
+    /// are *accounting*, not budget: they never affect the verdict, but
+    /// layered callers (e.g. [`crate::batch::BatchAnalyzer`]) rely on the
+    /// grant to keep total concurrency within one configured budget.
+    pub threads: usize,
 }
 
 /// Run the pipeline without a cache.
@@ -242,6 +248,7 @@ pub fn analyze_keyed(
             sat_witness: None,
             stats: hit.stats,
             cache: CacheProvenance::Hit,
+            threads: granted_threads(request),
         };
     }
     let mut report = run_cold(request);
@@ -267,9 +274,18 @@ pub fn analyze_keyed(
     report
 }
 
+/// The worker-thread count a request resolves to (its pin, or the
+/// explorer default).
+fn granted_threads(request: &AnalysisRequest) -> usize {
+    request
+        .threads
+        .unwrap_or_else(crate::explore::default_threads)
+}
+
 /// Steps 2–4 of the pipeline: classify, select, run.
 fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
     let fragment = idar_core::fragment::classify(&request.form);
+    let threads = granted_threads(request);
     match request.kind {
         AnalysisKind::Completability => {
             let r = crate::completability::run_completability(
@@ -286,6 +302,7 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 sat_witness: None,
                 stats: r.stats,
                 cache: CacheProvenance::Uncached,
+                threads,
             }
         }
         AnalysisKind::Semisoundness => {
@@ -303,6 +320,7 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 sat_witness: None,
                 stats: r.stats,
                 cache: CacheProvenance::Uncached,
+                threads,
             }
         }
         AnalysisKind::Satisfiability => {
@@ -324,6 +342,7 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 sat_witness,
                 stats: SearchStats::default(),
                 cache: CacheProvenance::Uncached,
+                threads,
             }
         }
     }

@@ -24,27 +24,32 @@
 //!
 //! * **Sequential BFS** — one FIFO queue, one [`StateStore`]. Always
 //!   available; state indices follow discovery order.
-//! * **Parallel layered BFS** (cargo feature `parallel`, on by default) —
-//!   each BFS layer's frontier is split across worker threads; successors
-//!   are deduplicated through a lock-striped [`SharedInterner`] and merged
-//!   into the store sequentially (worker-chunk order, then discovery
-//!   order within a worker). See `docs/ARCHITECTURE.md` for the
-//!   shard/merge diagram.
+//! * **Pooled parallel BFS** (cargo feature `parallel`, on by default) —
+//!   a **persistent worker pool** over a fingerprint-sharded
+//!   [`ShardedStateStore`](crate::store::ShardedStateStore). Workers are
+//!   spawned lazily once per run and live until it ends (no per-layer
+//!   spawn/join); within a layer they claim frontier chunks from a
+//!   shared atomic cursor and intern successors *directly* into the
+//!   store shard that owns the successor's key fingerprint — dedup,
+//!   storage and BFS provenance in one lock acquisition, with no second
+//!   sequential merge pass. The layer barrier only assigns dense
+//!   [`StateId`]s (plain vector pushes, no hashing); the CSR successor
+//!   table is assembled from the per-worker edge logs at finish time.
+//!   See `docs/ARCHITECTURE.md` for the pool/shard diagram.
 //!
 //! Both engines visit exactly the same state set, report the same
 //! [`SearchStats::closed`] flag and the same `states` count, and find
 //! goals at the same BFS depth; these invariants are independent of
 //! thread scheduling. What *may* vary — between the engines and, for the
-//! parallel engine, between runs (when two workers race to intern the
-//! same state, the OS scheduler picks the discoverer that supplies its
-//! parent pointer and merge position) — is state numbering, which
-//! same-depth goal state is returned first, and the `transitions` count
-//! of searches that stop early (the parallel engine finishes its layer).
-//! Use `.with_threads(1)` when bit-identical graphs across runs matter.
-//! The differential tests in this module and in
-//! `tests/parallel_differential.rs` pin these guarantees down.
-//!
-//! [`SharedInterner`]: idar_core::SharedInterner
+//! parallel engine, between runs (chunk claiming is racy, so the OS
+//! scheduler picks which discoverer supplies a state's parent pointer
+//! and barrier position) — is state numbering, which same-depth goal
+//! state is returned first, and the `transitions` count of searches that
+//! stop early (workers abandon their remaining chunks as soon as the
+//! terminal condition is flagged). Use `.with_threads(1)` when
+//! bit-identical graphs across runs matter. The differential tests in
+//! this module and in `tests/parallel_differential.rs` pin these
+//! guarantees down.
 
 use crate::store::{StateId, StateStore, SuccessorTable, SymmetryMode};
 use crate::verdict::{LimitKind, SearchStats};
@@ -286,13 +291,20 @@ impl<'a> Explorer<'a> {
 
         while let Some(i) = queue.pop_front() {
             if store.depth(i) >= self.limits.max_depth {
-                // Unexpanded frontier state: search no longer exhaustive
-                // (unless the state has no successors at all, checked below).
-                if !self.form.allowed_updates(store.get(i)).is_empty() {
+                // Queue depths are non-decreasing, so every state still
+                // queued is also at the depth limit: the search is
+                // exhaustive iff none of them has a successor. `any`
+                // short-circuits on the first successor found — the old
+                // probe re-ran `allowed_updates` over the entire
+                // unexpanded frontier unconditionally.
+                if std::iter::once(i)
+                    .chain(queue.drain(..))
+                    .any(|j| has_successor(self.form, store.get(j)))
+                {
                     pruned = true;
                     stats.limit_hit = Some(LimitKind::Depth);
                 }
-                continue;
+                break;
             }
             let updates = self.form.allowed_updates(store.get(i));
             for u in updates {
@@ -342,227 +354,408 @@ impl<'a> Explorer<'a> {
         finish(store, triples, stats, None)
     }
 
-    /// The parallel engine: layered BFS. Each layer's frontier is split
-    /// into contiguous chunks, one per worker; workers expand their chunk
-    /// against a [`SharedInterner`](idar_core::SharedInterner) and the
-    /// single merge step (sequential, in chunk order) interns states into
-    /// the [`StateStore`]. Narrow frontiers are expanded inline —
-    /// per-layer thread spawns only pay off once a layer offers real work
-    /// per worker.
+    /// The parallel engine: a persistent worker pool over the
+    /// fingerprint-sharded [`ShardedStateStore`].
+    ///
+    /// Workers are spawned lazily (the first time a layer is wide enough
+    /// to dispatch) and then live for the whole run, blocking on their
+    /// job channel between layers. Within a layer every pool member —
+    /// the coordinating thread included — claims frontier chunks from a
+    /// shared atomic cursor and interns successors straight into the
+    /// store shard owning the successor's fingerprint: dedup, storage
+    /// and parent provenance happen under one shard lock, so there is no
+    /// second sequential intern pass at the barrier. The barrier itself
+    /// only assigns dense [`StateId`]s in pool order (vector pushes),
+    /// mirroring the sequential engine's goal/state-cap truncation
+    /// exactly; states interned past a terminal condition are trimmed at
+    /// finish time, which keeps `stats.states` equal to the sequential
+    /// count at every limit boundary. Narrow layers (deep, thin spaces
+    /// like the Thm 4.1 machine simulations) are expanded inline by the
+    /// coordinator without waking the pool.
     #[cfg(feature = "parallel")]
     fn run_parallel(
         &self,
         goal: Option<&(dyn Fn(&Instance) -> bool + Sync)>,
         want_edges: bool,
     ) -> RunResult {
-        use idar_core::{CanonKey, IsoCode, SharedInterner};
+        use crate::store::{PackedStateId, ShardedStateStore};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::{mpsc, Arc};
 
-        /// A state discovered (won the intern race) by one worker.
+        /// One `(from, update, successor)` record; the successor is
+        /// still a packed id until finish-time remapping.
+        type PendEdge = (StateId, Update, PackedStateId);
+
+        /// A layer's shared work description: the frontier snapshot plus
+        /// the cursor workers claim chunks from.
+        struct LayerWork {
+            items: Vec<(StateId, Arc<Instance>)>,
+            cursor: AtomicUsize,
+            chunk: usize,
+            depth: u32,
+        }
+
+        /// What the pool is asked to do with a layer.
+        enum Job {
+            /// Expand every frontier state.
+            Expand(Arc<LayerWork>),
+            /// Depth-limit exhaustiveness probe: does *any* frontier
+            /// state still have a successor? Short-circuits pool-wide.
+            Probe(Arc<LayerWork>),
+        }
+
+        /// A state discovered (intern race won) by one pool member.
         struct NewState {
-            inst: Instance,
-            key: CanonKey,
-            code: IsoCode,
-            parent: StateId,
-            update: Update,
+            id: PackedStateId,
+            inst: Arc<Instance>,
             is_goal: bool,
         }
 
-        /// One worker's layer output, merged in chunk order.
+        /// One pool member's output for one job.
         #[derive(Default)]
-        struct WorkerOut {
-            new_states: Vec<NewState>,
-            pend_edges: Vec<(StateId, Update, IsoCode)>,
+        struct LayerOut {
+            new: Vec<NewState>,
             transitions: usize,
             pruned: Option<LimitKind>,
+            probe_found: bool,
         }
 
-        let form = self.form;
-        let limits = self.limits;
-        let symmetry = self.symmetry;
+        /// The shared read-only context of every pool member.
+        #[derive(Clone, Copy)]
+        struct Ctx<'a> {
+            form: &'a GuardedForm,
+            limits: ExploreLimits,
+            store: &'a ShardedStateStore,
+            /// Terminal condition (goal found / state cap reached / probe
+            /// succeeded): abandon remaining chunks.
+            stop: &'a AtomicBool,
+            /// Running count of interned states (the workers' state-cap
+            /// heuristic; the barrier's dense assignment is the truth).
+            states_total: &'a AtomicUsize,
+            goal: Option<&'a (dyn Fn(&Instance) -> bool + Sync)>,
+            want_edges: bool,
+        }
 
-        // Expand the frontier slice `chunk`, mirroring the sequential
-        // inner loop exactly (same prune checks, same goal policy: goal is
-        // evaluated only on newly discovered states).
-        let expand = |chunk: &[StateId], states: &[Instance], interner: &SharedInterner| {
-            let mut out = WorkerOut::default();
-            for &i in chunk {
-                let state = &states[i.index()];
-                for u in form.allowed_updates(state) {
+        /// The chunk-claiming protocol shared by [`expand`] and
+        /// [`probe`]: claim chunks off the layer's shared cursor and feed
+        /// items to `handle` until the layer drains or `handle` breaks
+        /// (the pool-wide terminal flag).
+        fn for_each_claimed(
+            work: &LayerWork,
+            mut handle: impl FnMut(&(StateId, Arc<Instance>)) -> std::ops::ControlFlow<()>,
+        ) {
+            let n = work.items.len();
+            'claim: loop {
+                let start = work.cursor.fetch_add(work.chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for item in &work.items[start..(start + work.chunk).min(n)] {
+                    if handle(item).is_break() {
+                        break 'claim;
+                    }
+                }
+            }
+        }
+
+        /// The expansion loop every pool member runs, mirroring the
+        /// sequential inner loop exactly (same prune checks, goal
+        /// evaluated only on newly discovered states).
+        fn expand(ctx: &Ctx, work: &LayerWork, edges: &mut Vec<PendEdge>) -> LayerOut {
+            use std::ops::ControlFlow;
+            let mut out = LayerOut::default();
+            for_each_claimed(work, |(from, inst)| {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    return ControlFlow::Break(());
+                }
+                for u in ctx.form.allowed_updates(inst) {
+                    if ctx.stop.load(Ordering::Relaxed) {
+                        return ControlFlow::Break(());
+                    }
                     out.transitions += 1;
                     if let Update::Add { parent, edge } = u {
-                        if state.live_count() >= limits.max_state_size {
+                        if inst.live_count() >= ctx.limits.max_state_size {
                             out.pruned = Some(LimitKind::StateSize);
                             continue;
                         }
-                        if let Some(cap) = limits.multiplicity_cap {
-                            if state.children_at(parent, edge).count() >= cap {
+                        if let Some(cap) = ctx.limits.multiplicity_cap {
+                            if inst.children_at(parent, edge).count() >= cap {
                                 out.pruned = Some(LimitKind::Multiplicity);
                                 continue;
                             }
                         }
                     }
-                    let mut next = state.clone();
-                    form.apply_unchecked(&mut next, &u)
+                    let mut next = (**inst).clone();
+                    ctx.form
+                        .apply_unchecked(&mut next, &u)
                         .expect("allowed updates apply");
-                    let key = match symmetry {
-                        SymmetryMode::Reduced => next.canon_key(),
-                        SymmetryMode::Plain => next.ordered_key(),
-                    };
-                    let (code, is_new) = interner.intern_ref(&key);
-                    if want_edges {
-                        out.pend_edges.push((i, u, code));
+                    let key = ctx.store.key_of(&next);
+                    let (id, created) =
+                        ctx.store
+                            .intern(key, next, Some((*from, u)), work.depth + 1);
+                    if ctx.want_edges {
+                        edges.push((*from, u, id));
                     }
-                    if is_new {
-                        let is_goal = goal.is_some_and(|g| g(&next));
-                        out.new_states.push(NewState {
-                            inst: next,
-                            key,
-                            code,
-                            parent: i,
-                            update: u,
+                    if let Some(arc) = created {
+                        let count = ctx.states_total.fetch_add(1, Ordering::Relaxed) + 1;
+                        let is_goal = ctx.goal.is_some_and(|g| g(&arc));
+                        if is_goal || count >= ctx.limits.max_states {
+                            ctx.stop.store(true, Ordering::Relaxed);
+                        }
+                        out.new.push(NewState {
+                            id,
+                            inst: arc,
                             is_goal,
                         });
                     }
                 }
-            }
+                ControlFlow::Continue(())
+            });
             out
-        };
+        }
 
+        /// The depth-limit probe every pool member runs: short-circuit
+        /// pool-wide on the first frontier state with a successor.
+        fn probe(ctx: &Ctx, work: &LayerWork) -> LayerOut {
+            use std::ops::ControlFlow;
+            let mut out = LayerOut::default();
+            for_each_claimed(work, |(_, inst)| {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    return ControlFlow::Break(());
+                }
+                if has_successor(ctx.form, inst) {
+                    out.probe_found = true;
+                    ctx.stop.store(true, Ordering::Relaxed);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            });
+            out
+        }
+
+        let form = self.form;
+        let limits = self.limits;
+        let threads = self.threads;
         let mut stats = SearchStats::default();
-        let mut store = StateStore::new(self.symmetry);
-        let mut triples: Vec<(StateId, Update, StateId)> = Vec::new();
-        let interner = SharedInterner::new();
+
+        // Goal at the initial instance short-circuits before any pool
+        // machinery exists (and closes, per the sequential contract).
         let initial = form.initial().clone();
-        let (c0, _) = interner.intern(store.key_of(&initial));
-        debug_assert_eq!(c0.index(), 0);
-        let (root, _) = store.intern(initial, None);
+        if let Some(g) = goal {
+            if g(&initial) {
+                let mut store = StateStore::new(self.symmetry);
+                let (root, _) = store.intern(initial, None);
+                stats.states = 1;
+                stats.closed = true;
+                return finish_run(store, Vec::new(), stats, Some(root), want_edges);
+            }
+        }
+
+        let store = ShardedStateStore::new(self.symmetry);
+        let stop = AtomicBool::new(false);
+        let states_total = AtomicUsize::new(1); // the root
+        let root_key = store.key_of(&initial);
+        let (root_packed, root_arc) = store.intern(root_key, initial, None, 0);
+        let root_arc = root_arc.expect("the root interns into the empty store as new");
         stats.states = 1;
 
-        let finish =
-            |store, triples, stats, goal| finish_run(store, triples, stats, goal, want_edges);
-
-        if let Some(g) = goal {
-            if g(store.get(root)) {
-                stats.closed = true;
-                return finish(store, triples, stats, Some(root));
+        // Dense-id assignment state: `locs[g]` is the packed id of dense
+        // state `g`; `global_of[shard][local]` inverts it (missing /
+        // `u32::MAX` ⇒ trimmed, never assigned).
+        let mut locs: Vec<PackedStateId> = vec![root_packed];
+        let mut global_of: Vec<Vec<u32>> = vec![Vec::new(); ShardedStateStore::SHARD_COUNT];
+        fn assign(global_of: &mut [Vec<u32>], p: PackedStateId, g: u32) {
+            let col = &mut global_of[p.shard()];
+            if col.len() <= p.local() {
+                col.resize(p.local() + 1, u32::MAX);
             }
+            col[p.local()] = g;
         }
+        assign(&mut global_of, root_packed, 0);
 
-        // `code_to_state[c]` is the state id of interned code `c`
-        // (u32::MAX while the code's state is still awaiting merge).
-        let mut code_to_state: Vec<u32> = vec![0];
-        let mut frontier: Vec<StateId> = vec![root];
-        let mut cur_depth = 0usize;
-        let mut pruned = false;
+        let ctx = Ctx {
+            form,
+            limits,
+            store: &store,
+            stop: &stop,
+            states_total: &states_total,
+            goal,
+            want_edges,
+        };
 
-        loop {
-            if frontier.is_empty() {
-                stats.closed = !pruned;
-                break;
-            }
-            if cur_depth >= limits.max_depth {
-                // Unexpanded frontier: exhaustiveness is lost iff any
-                // frontier state still has successors.
-                if frontier
-                    .iter()
-                    .any(|&i| !form.allowed_updates(store.get(i)).is_empty())
-                {
-                    pruned = true;
-                    stats.limit_hit = Some(LimitKind::Depth);
+        let (goal_state, coord_edges, worker_edges) = std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<LayerOut>();
+            let mut job_txs: Vec<mpsc::Sender<Job>> = Vec::new();
+            let mut handles = Vec::new();
+            let mut coord_edges: Vec<PendEdge> = Vec::new();
+
+            // Spawn the pool on first use; each worker loops over its job
+            // channel until the coordinator drops the senders, returning
+            // its accumulated edge log on join.
+            let mut dispatch = |work: &Arc<LayerWork>,
+                                probe_job: bool,
+                                job_txs: &mut Vec<mpsc::Sender<Job>>|
+             -> usize {
+                if job_txs.is_empty() {
+                    for _ in 0..threads - 1 {
+                        let (jtx, jrx) = mpsc::channel::<Job>();
+                        job_txs.push(jtx);
+                        let res = res_tx.clone();
+                        let wctx = ctx;
+                        handles.push(scope.spawn(move || {
+                            let mut edges: Vec<PendEdge> = Vec::new();
+                            while let Ok(job) = jrx.recv() {
+                                let out = match job {
+                                    Job::Expand(w) => expand(&wctx, &w, &mut edges),
+                                    Job::Probe(w) => probe(&wctx, &w),
+                                };
+                                if res.send(out).is_err() {
+                                    break;
+                                }
+                            }
+                            edges
+                        }));
+                    }
                 }
-                stats.closed = !pruned;
-                break;
-            }
-
-            // --- expand: fan the frontier out over the workers ---------
-            // Deep, narrow spaces (e.g. the Thm 4.1 machine simulations,
-            // whose layers hold a handful of states) would pay a
-            // spawn/join round-trip per layer for no parallelism; expand
-            // those inline and only spawn once each worker gets a
-            // meaningful chunk.
-            const MIN_STATES_PER_WORKER: usize = 4;
-            let workers = self
-                .threads
-                .min(frontier.len() / MIN_STATES_PER_WORKER)
-                .max(1);
-            let chunk_len = frontier.len().div_ceil(workers);
-            let outs: Vec<WorkerOut> = if workers == 1 {
-                vec![expand(&frontier, store.states(), &interner)]
-            } else {
-                let states_ref = store.states();
-                let interner_ref = &interner;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = frontier
-                        .chunks(chunk_len)
-                        .map(|chunk| scope.spawn(move || expand(chunk, states_ref, interner_ref)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
-                        .collect()
-                })
+                for tx in job_txs.iter() {
+                    let j = if probe_job {
+                        Job::Probe(work.clone())
+                    } else {
+                        Job::Expand(work.clone())
+                    };
+                    tx.send(j).expect("pool worker exited early");
+                }
+                job_txs.len()
             };
 
-            // --- merge: deterministic (chunk order, then worker order) -
-            let mut layer_edges: Vec<Vec<(StateId, Update, IsoCode)>> =
-                Vec::with_capacity(outs.len());
-            let mut layer_new: Vec<Vec<NewState>> = Vec::with_capacity(outs.len());
-            for out in outs {
-                stats.transitions += out.transitions;
-                if let Some(k) = out.pruned {
-                    pruned = true;
-                    stats.limit_hit = Some(k);
-                }
-                layer_edges.push(out.pend_edges);
-                layer_new.push(out.new_states);
-            }
-            code_to_state.resize(interner.len(), u32::MAX);
-            let mut next_frontier = Vec::new();
-            let mut found_goal = None;
-            'merge: for chunk in layer_new {
-                for ns in chunk {
-                    let is_goal = ns.is_goal;
-                    let (j, is_new) =
-                        store.intern_keyed(ns.key, ns.inst, Some((ns.parent, ns.update)));
-                    debug_assert!(is_new, "SharedInterner already deduplicated the layer");
-                    code_to_state[ns.code.index()] = j.0;
-                    stats.states += 1;
-                    if is_goal {
-                        found_goal = Some(j);
-                        break 'merge;
-                    }
-                    if stats.states >= limits.max_states {
-                        stats.limit_hit = Some(LimitKind::States);
-                        break 'merge;
-                    }
-                    next_frontier.push(j);
-                }
-            }
+            let mut frontier: Vec<(StateId, Arc<Instance>)> = vec![(StateId(0), root_arc)];
+            let mut cur_depth = 0usize;
+            let mut pruned = false;
+            let mut goal_state: Option<StateId> = None;
 
-            // Wire up the edges whose targets have been merged. On an
-            // early break (goal / state cap) codes still awaiting merge
-            // are dropped, matching the sequential engine's truncation.
-            if want_edges {
-                for chunk in &layer_edges {
-                    for &(from, u, code) in chunk {
-                        let j = code_to_state[code.index()];
-                        if j != u32::MAX {
-                            triples.push((from, u, StateId(j)));
+            // A layer is dispatched to the pool only when it offers every
+            // member a meaningful chunk; narrow layers are expanded
+            // inline by the coordinator without waking anyone.
+            const MIN_ITEMS_PER_WORKER: usize = 4;
+
+            'search: loop {
+                if frontier.is_empty() {
+                    stats.closed = !pruned;
+                    break;
+                }
+                let wide = threads > 1 && frontier.len() >= MIN_ITEMS_PER_WORKER * threads;
+                let chunk = (frontier.len() / (threads * 8)).clamp(1, 1024);
+                let work = Arc::new(LayerWork {
+                    items: std::mem::take(&mut frontier),
+                    cursor: AtomicUsize::new(0),
+                    chunk,
+                    depth: cur_depth as u32,
+                });
+
+                if cur_depth >= limits.max_depth {
+                    // Unexpanded frontier: exhaustiveness is lost iff any
+                    // frontier state still has a successor. One probe hit
+                    // short-circuits the whole pool.
+                    let sent = if wide {
+                        dispatch(&work, true, &mut job_txs)
+                    } else {
+                        0
+                    };
+                    let mut found = probe(&ctx, &work).probe_found;
+                    for _ in 0..sent {
+                        found |= res_rx.recv().expect("pool worker died").probe_found;
+                    }
+                    if found {
+                        pruned = true;
+                        stats.limit_hit = Some(LimitKind::Depth);
+                    }
+                    stats.closed = !pruned;
+                    break;
+                }
+
+                // --- expand: the pool (and this thread) drain the layer
+                let sent = if wide {
+                    dispatch(&work, false, &mut job_txs)
+                } else {
+                    0
+                };
+                let mut outs = Vec::with_capacity(sent + 1);
+                outs.push(expand(&ctx, &work, &mut coord_edges));
+                for _ in 0..sent {
+                    outs.push(res_rx.recv().expect("pool worker died"));
+                }
+
+                // --- barrier: merge stats, assign dense ids ------------
+                for out in &outs {
+                    stats.transitions += out.transitions;
+                    if let Some(k) = out.pruned {
+                        pruned = true;
+                        stats.limit_hit = Some(k);
+                    }
+                }
+                let mut next: Vec<(StateId, Arc<Instance>)> = Vec::new();
+                'merge: for out in outs {
+                    for ns in out.new {
+                        let g = StateId(locs.len() as u32);
+                        locs.push(ns.id);
+                        assign(&mut global_of, ns.id, g.0);
+                        stats.states += 1;
+                        if ns.is_goal {
+                            goal_state = Some(g);
+                            break 'merge;
                         }
+                        if stats.states >= limits.max_states {
+                            stats.limit_hit = Some(LimitKind::States);
+                            break 'merge;
+                        }
+                        next.push((g, ns.inst));
                     }
                 }
+                if goal_state.is_some() || stats.limit_hit == Some(LimitKind::States) {
+                    break 'search;
+                }
+                frontier = next;
+                cur_depth += 1;
             }
 
-            if found_goal.is_some() || stats.limit_hit == Some(LimitKind::States) {
-                return finish(store, triples, stats, found_goal);
-            }
+            drop(job_txs); // workers drain and exit
+            let worker_edges: Vec<Vec<PendEdge>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect();
+            (goal_state, coord_edges, worker_edges)
+        });
 
-            frontier = next_frontier;
-            cur_depth += 1;
-        }
-
-        finish(store, triples, stats, None)
+        // --- finish: remap edges, flatten the shards -------------------
+        // Edges whose target was trimmed (interned past a terminal
+        // condition, never assigned a dense id) are dropped, matching the
+        // sequential engine's truncation. All frontier handles died with
+        // the scope, so the flatten unwraps instances without cloning.
+        let triples: Vec<(StateId, Update, StateId)> = if want_edges {
+            coord_edges
+                .into_iter()
+                .chain(worker_edges.into_iter().flatten())
+                .filter_map(|(from, u, p)| {
+                    let g = global_of[p.shard()].get(p.local()).copied();
+                    match g {
+                        Some(g) if g != u32::MAX => Some((from, u, StateId(g))),
+                        _ => None,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        debug_assert_eq!(stats.states, locs.len());
+        let store = store.into_store(&locs);
+        finish_run(store, triples, stats, goal_state, want_edges)
     }
+}
+
+/// The depth-limit exhaustiveness probe shared by both engines: does
+/// this unexpanded frontier state still have any successor?
+fn has_successor(form: &GuardedForm, inst: &Instance) -> bool {
+    !form.allowed_updates(inst).is_empty()
 }
 
 struct RunResult {

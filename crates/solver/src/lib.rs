@@ -53,5 +53,7 @@ pub use depth1::Depth1System;
 pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer, StateGraph};
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
+#[cfg(feature = "parallel")]
+pub use store::{PackedStateId, ShardedStateStore};
 pub use store::{StateId, StateStore, SuccessorTable, SymmetryMode};
-pub use verdict::{Method, Verdict};
+pub use verdict::{LimitKind, Method, Verdict};

@@ -1,18 +1,25 @@
-//! Differential tests: the parallel layered frontier engine must be
+//! Differential tests: the pooled parallel frontier engine must be
 //! indistinguishable from the sequential explorer wherever the contract
 //! promises it — same state set, same `SearchStats.closed`, same
-//! verdicts, same BFS goal depths — on the paper's running example and on
-//! the Theorem 4.1 two-counter workloads.
+//! verdicts, same BFS goal depths — on the paper's running example, the
+//! Theorem 4.1 two-counter workloads, the limit *boundaries* (depth
+//! limit hitting exactly at a frontier, state-count cap firing
+//! mid-layer, a goal discovered inside a pool-claimed chunk) under both
+//! symmetry modes, and (via the proptest block at the bottom) on
+//! seed-generated `idar-gen` forms from every fragment.
 //!
 //! These tests force thread counts above the machine's core count on
-//! purpose: the parallel code paths (chunking, shared interning, layer
-//! merge) are exercised even on a single-core host.
+//! purpose: the pooled code paths (lazy spawn, chunk claiming, sharded
+//! interning, barrier assignment, trim-at-finish) are exercised even on
+//! a single-core host.
 
 use idar::core::leave;
 use idar::solver::{
-    completability, CompletabilityOptions, ExploreLimits, Explorer, Method, Verdict,
+    completability, CompletabilityOptions, ExploreLimits, Explorer, LimitKind, Method,
+    SymmetryMode, Verdict,
 };
 use idar_bench::workloads;
+use proptest::prelude::*;
 
 /// Sorted iso-codes of a graph's states: the canonical state set.
 fn state_set(g: &idar::solver::explore::StateGraph) -> Vec<String> {
@@ -159,6 +166,226 @@ fn subset_lattice_closed_space_agrees() {
     assert_eq!(state_set(&par), state_set(&seq));
     assert!(seq.stats.closed && par.stats.closed);
     assert_eq!(seq.stats.transitions, par.stats.transitions);
+}
+
+/// Depth limit hitting **exactly at a frontier**: layers below the limit
+/// are fully expanded by both engines, the probe fires on the frontier
+/// that still has successors, and everything observable agrees — under
+/// both symmetry modes. (The subset lattice grants deletes, so every
+/// depth-`d` frontier state has a successor and the limit must de-close
+/// the search.)
+#[test]
+fn depth_limit_hit_exactly_at_frontier_agrees() {
+    let w = workloads::subset_lattice(10);
+    for symmetry in [SymmetryMode::Reduced, SymmetryMode::Plain] {
+        for max_depth in [1usize, 2, 3] {
+            let limits = ExploreLimits {
+                max_depth,
+                ..ExploreLimits::default()
+            };
+            let seq = Explorer::new(&w.form, limits)
+                .with_threads(1)
+                .with_symmetry(symmetry)
+                .graph();
+            assert_eq!(seq.stats.limit_hit, Some(LimitKind::Depth));
+            for threads in [2, 4] {
+                let par = Explorer::new(&w.form, limits)
+                    .with_threads(threads)
+                    .with_symmetry(symmetry)
+                    .graph();
+                let ctx = format!("{symmetry} depth {max_depth} threads {threads}");
+                assert_eq!(par.state_count(), seq.state_count(), "{ctx}");
+                assert_eq!(par.stats.states, seq.stats.states, "{ctx}");
+                assert_eq!(par.stats.transitions, seq.stats.transitions, "{ctx}");
+                assert!(!par.stats.closed, "{ctx}");
+                assert_eq!(par.stats.limit_hit, Some(LimitKind::Depth), "{ctx}");
+                assert_eq!(state_set(&par), state_set(&seq), "{ctx}");
+                assert_eq!(par.edge_count(), seq.edge_count(), "{ctx}");
+            }
+        }
+    }
+}
+
+/// A depth limit that exactly exhausts the space: the deletion-free
+/// lattice's deepest states have no successors, so the probe finds
+/// nothing, no limit is recorded, and the search **closes** — in both
+/// engines, under both symmetry modes.
+#[test]
+fn depth_limit_exhausting_the_space_closes_in_both_engines() {
+    use idar::core::{AccessRules, Formula, GuardedForm, Instance, Schema};
+    use std::sync::Arc;
+    let n = 6usize;
+    let labels: Vec<String> = (0..n).map(|i| format!("l{i}")).collect();
+    let schema = Arc::new(Schema::parse(&labels.join(", ")).unwrap());
+    let mut rules = AccessRules::new(&schema);
+    for l in &labels {
+        // Add-once, never delete: depth n is a dead end, not a frontier.
+        rules.set(
+            idar::core::Right::Add,
+            schema.resolve(l).unwrap(),
+            Formula::parse(&format!("!{l}")).unwrap(),
+        );
+    }
+    let form = GuardedForm::new(
+        schema.clone(),
+        rules,
+        Instance::empty(schema),
+        Formula::True,
+    );
+    let limits = ExploreLimits {
+        max_depth: n,
+        ..ExploreLimits::default()
+    };
+    for symmetry in [SymmetryMode::Reduced, SymmetryMode::Plain] {
+        let seq = Explorer::new(&form, limits)
+            .with_threads(1)
+            .with_symmetry(symmetry)
+            .graph();
+        assert!(seq.stats.closed, "{symmetry}: depth n exhausts the space");
+        assert_eq!(seq.stats.limit_hit, None, "{symmetry}");
+        if symmetry == SymmetryMode::Reduced {
+            assert_eq!(seq.state_count(), 1 << n, "one state per subset");
+        }
+        for threads in [2, 4] {
+            let par = Explorer::new(&form, limits)
+                .with_threads(threads)
+                .with_symmetry(symmetry)
+                .graph();
+            assert!(par.stats.closed, "{symmetry} threads {threads}");
+            assert_eq!(par.stats.limit_hit, None, "{symmetry} threads {threads}");
+            assert_eq!(par.state_count(), seq.state_count());
+            assert_eq!(par.stats.transitions, seq.stats.transitions);
+            assert_eq!(state_set(&par), state_set(&seq));
+        }
+    }
+}
+
+/// State-count cap firing **mid-layer**: both engines must stop at
+/// *exactly* the cap (the pooled engine trims barrier assignment at the
+/// cap, whatever its workers interned past it), report the `States`
+/// limit, and stay un-closed — under both symmetry modes.
+#[test]
+fn state_limit_mid_layer_agrees() {
+    let w = workloads::subset_lattice(8);
+    for symmetry in [SymmetryMode::Reduced, SymmetryMode::Plain] {
+        for max_states in [2usize, 7, 37, 100] {
+            let limits = ExploreLimits {
+                max_states,
+                ..ExploreLimits::default()
+            };
+            let seq = Explorer::new(&w.form, limits)
+                .with_threads(1)
+                .with_symmetry(symmetry)
+                .graph();
+            for threads in [2, 4] {
+                let par = Explorer::new(&w.form, limits)
+                    .with_threads(threads)
+                    .with_symmetry(symmetry)
+                    .graph();
+                let ctx = format!("{symmetry} cap {max_states} threads {threads}");
+                assert_eq!(seq.state_count(), max_states, "{ctx}");
+                assert_eq!(par.state_count(), max_states, "{ctx}");
+                assert_eq!(par.stats.states, seq.stats.states, "{ctx}");
+                assert!(!seq.stats.closed && !par.stats.closed, "{ctx}");
+                assert_eq!(seq.stats.limit_hit, Some(LimitKind::States), "{ctx}");
+                assert_eq!(par.stats.limit_hit, Some(LimitKind::States), "{ctx}");
+            }
+        }
+    }
+}
+
+/// A goal discovered **inside a pool-claimed chunk**: the goal sits deep
+/// in combinatorially wide layers (well past the dispatch threshold for
+/// every thread count tested), so it is found by a worker mid-chunk, not
+/// by the coordinator — and its BFS depth must still match the
+/// sequential engine exactly, under both symmetry modes.
+#[test]
+fn goal_found_during_stolen_chunk_agrees() {
+    let w = workloads::subset_lattice(12);
+    for symmetry in [SymmetryMode::Reduced, SymmetryMode::Plain] {
+        // Reduced: 2¹² subsets, goal deep at depth 8. Plain: the ordered
+        // space explodes past the state cap beyond depth 5, so the goal
+        // sits at depth 5 — still behind combinatorially wide layers.
+        let goal_size = match symmetry {
+            SymmetryMode::Reduced => 8usize,
+            SymmetryMode::Plain => 5usize,
+        };
+        let goal =
+            |i: &idar::core::Instance| i.children(idar::core::InstNodeId::ROOT).len() == goal_size;
+        let seq = Explorer::new(&w.form, ExploreLimits::default())
+            .with_threads(1)
+            .with_symmetry(symmetry)
+            .find(goal);
+        let seq_run = seq.goal_run.expect("goal reachable");
+        assert_eq!(seq_run.len(), goal_size, "{symmetry}: goal at BFS depth");
+        for threads in [2, 4, 8] {
+            let par = Explorer::new(&w.form, ExploreLimits::default())
+                .with_threads(threads)
+                .with_symmetry(symmetry)
+                .find(goal);
+            let par_run = par
+                .goal_run
+                .unwrap_or_else(|| panic!("{symmetry} threads {threads}: goal missed"));
+            assert_eq!(
+                par_run.len(),
+                seq_run.len(),
+                "{symmetry} threads {threads}: same BFS goal depth"
+            );
+            let replay = w.form.replay(&par_run).expect("pooled run replays");
+            assert!(goal(replay.last()), "{symmetry} threads {threads}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pooled-engine `SearchStats` and goal verdicts match the
+    /// sequential engine on seed-generated forms from every `idar-gen`
+    /// fragment: counts/closedness always, transitions and state sets on
+    /// closed searches, goal existence and BFS depth whenever neither
+    /// engine hit a limit, and every returned run must replay complete.
+    #[test]
+    fn pooled_engine_matches_sequential_on_generated_forms(
+        ix in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        use idar_gen::{generate, FragmentSpec, GenConfig};
+        let cfg = GenConfig::new(FragmentSpec::ALL[ix % FragmentSpec::ALL.len()]);
+        let form = generate(&cfg, seed);
+        let limits = ExploreLimits {
+            max_states: 3_000,
+            max_state_size: 20,
+            max_depth: usize::MAX,
+            multiplicity_cap: Some(2),
+        };
+        let seq = Explorer::new(&form, limits).with_threads(1).graph();
+        let par = Explorer::new(&form, limits).with_threads(4).graph();
+        prop_assert_eq!(par.state_count(), seq.state_count());
+        prop_assert_eq!(par.stats.states, seq.stats.states);
+        prop_assert_eq!(par.stats.closed, seq.stats.closed);
+        if seq.stats.closed {
+            prop_assert_eq!(par.stats.transitions, seq.stats.transitions);
+            prop_assert_eq!(state_set(&par), state_set(&seq));
+            prop_assert_eq!(par.edge_count(), seq.edge_count());
+        }
+
+        let seq_f = Explorer::new(&form, limits)
+            .with_threads(1)
+            .find(|i| form.is_complete(i));
+        let par_f = Explorer::new(&form, limits)
+            .with_threads(4)
+            .find(|i| form.is_complete(i));
+        if seq_f.stats.limit_hit.is_none() && par_f.stats.limit_hit.is_none() {
+            prop_assert_eq!(seq_f.goal_run.is_some(), par_f.goal_run.is_some());
+            if let (Some(a), Some(b)) = (&seq_f.goal_run, &par_f.goal_run) {
+                prop_assert_eq!(a.len(), b.len());
+            }
+        }
+        for run in [&seq_f.goal_run, &par_f.goal_run].into_iter().flatten() {
+            prop_assert!(form.is_complete_run(run));
+        }
+    }
 }
 
 /// End-to-end through the solver dispatch: forcing bounded exploration on
