@@ -1,0 +1,88 @@
+//! Scenario-corpus benches.
+//!
+//! * `scenarios/chain_depth/*` — completability on clean approval
+//!   chains (`workloads::approval_chain`) as the chain deepens: the
+//!   deletion-free cell, so the wall-time should scale with the state
+//!   space (`2^depth` signature subsets under multiplicity cap 1), not
+//!   blow up.
+//! * `scenarios/named/*` — completability on the six named scenarios
+//!   (rejection loops, SoD/BoD duties, delegation cycles): the shapes
+//!   the differential suite pins, timed end-to-end through the solver.
+//! * `scenarios/build/*` — pure builder + constraint-compilation cost
+//!   for a recipe-sampled spec (no solving), the per-case overhead the
+//!   fuzz harness pays.
+//!
+//! Verdict agreement with the corpus pins is asserted inside every
+//! timed body, so a drift fails the bench run loudly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idar_bench::workloads;
+use idar_gen::{named_scenarios, ScenarioAxis};
+use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+
+fn scenario_opts() -> CompletabilityOptions {
+    CompletabilityOptions::with_limits(ExploreLimits {
+        max_states: 120_000,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    })
+}
+
+fn chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios/chain_depth");
+    group.sample_size(10);
+    for depth in [4usize, 8, 12] {
+        let w = workloads::approval_chain(depth, 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &w, |b, w| {
+            b.iter(|| {
+                let r = completability(&w.form, &scenario_opts());
+                assert_eq!(r.verdict, Verdict::Holds);
+                assert_eq!(r.witness_run.unwrap().len(), depth + 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn named(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios/named");
+    group.sample_size(10);
+    for n in named_scenarios() {
+        let expected = if n.expected.completable {
+            Verdict::Holds
+        } else {
+            Verdict::Fails
+        };
+        let name = n.scenario.name.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &n, |b, n| {
+            b.iter(|| {
+                let r = completability(&n.scenario.form, &scenario_opts());
+                assert_eq!(r.verdict, expected, "{name}");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios/build");
+    group.sample_size(20);
+    for axis in ScenarioAxis::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(axis.name()),
+            &axis,
+            |b, axis| {
+                b.iter(|| {
+                    let spec = axis.sample(17);
+                    let s = spec.build("bench");
+                    assert!(s.fragment.admits(&s.form));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain_depth, named, build);
+criterion_main!(benches);

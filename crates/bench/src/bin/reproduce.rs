@@ -2,14 +2,16 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_5.json`** (schema v5: per-section wall-times
+//! machine-readable **`BENCH_6.json`** (schema v6: per-section wall-times
 //! *and thread counts*, the parallel-frontier object — per-workload
 //! seq/par wall-times and speedups, or `"skipped_single_core": true`
 //! when the host cannot host a fair comparison — the SAT-engine
-//! cdcl-vs-dpll family timings, and the `state_store` section: states
+//! cdcl-vs-dpll family timings, the `state_store` section: states
 //! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
-//! cached speedup, manager throughput) so CI can archive the perf
-//! trajectory; pass `--json PATH` to redirect it.
+//! cached speedup, manager throughput — and the `scenarios` section:
+//! the named approval-chain corpus with its pinned verdicts plus
+//! chain-depth scaling wall-times up to depth 12) so CI can archive the
+//! perf trajectory; pass `--json PATH` to redirect it.
 //!
 //! Perf gates asserted inside the run: the pooled parallel engine must
 //! reach speedup ≥ 1.0 on `subset_lattice(16)` whenever the host
@@ -18,7 +20,7 @@
 //! 200k-clause chain in < 100 ms.
 //!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_5.json]
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_6.json]
 //! ```
 
 use idar_bench::json::Json;
@@ -33,7 +35,7 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One row of the engine-check table, recorded for `BENCH_5.json`.
+/// One row of the engine-check table, recorded for `BENCH_6.json`.
 struct ParRow {
     name: String,
     states: usize,
@@ -55,7 +57,7 @@ struct ParReport {
     gate_violation: Option<String>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_5.json`.
+/// One row of the SAT-engine table, recorded for `BENCH_6.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -73,8 +75,8 @@ fn main() {
             Some(i) => args
                 .get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_5.json".to_string()),
-            None => "BENCH_5.json".to_string(),
+                .unwrap_or_else(|| "BENCH_6.json".to_string()),
+            None => "BENCH_6.json".to_string(),
         }
     };
     let run_start = Instant::now();
@@ -148,9 +150,12 @@ fn main() {
         store_report = Some(state_store())
     });
     let store_report = store_report.expect("state_store section ran");
+    let mut scenario_report = None;
+    timed("scenarios", dt, &mut || scenario_report = Some(scenarios()));
+    let scenario_report = scenario_report.expect("scenarios section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(5)),
+        ("schema_version", Json::Int(6)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         (
@@ -224,6 +229,7 @@ fn main() {
             ),
         ),
         ("state_store", store_report.to_json()),
+        ("scenarios", scenario_report.to_json()),
         (
             "total_ms",
             Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
@@ -749,7 +755,7 @@ fn parallel_frontier() -> ParReport {
                 let speedup = seq_ms / par_ms.max(1e-9);
                 if speedup < 1.0 {
                     // Deferred, not asserted here: the violation must not
-                    // abort the run before BENCH_5.json is written, or
+                    // abort the run before BENCH_6.json is written, or
                     // the regression that tripped the gate would be the
                     // one run with no archived report.
                     gate_violation = Some(format!(
@@ -931,7 +937,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_5.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_6.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,
@@ -1102,6 +1108,159 @@ fn state_store() -> StoreReport {
         manager_cold_ms,
         manager_warm_ms,
         manager_hit_rate: stats.hit_rate(),
+    }
+}
+
+/// One named-corpus row of the `scenarios` section.
+struct ScenarioRow {
+    name: String,
+    completable: bool,
+    semisound: bool,
+    wall_ms: f64,
+}
+
+/// One chain-depth scaling row of the `scenarios` section.
+struct ChainRow {
+    depth: usize,
+    states: usize,
+    wall_ms: f64,
+}
+
+/// The `scenarios` report: named-corpus verdict pins and approval-chain
+/// depth scaling. Written to `BENCH_6.json`.
+struct ScenarioReport {
+    named: Vec<ScenarioRow>,
+    chain_scaling: Vec<ChainRow>,
+}
+
+impl ScenarioReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "named",
+                Json::Arr(
+                    self.named
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("name", Json::Str(r.name.clone())),
+                                ("completable", Json::Bool(r.completable)),
+                                ("semisound", Json::Bool(r.semisound)),
+                                ("wall_ms", Json::Num(r.wall_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "chain_scaling",
+                Json::Arr(
+                    self.chain_scaling
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("depth", Json::Int(r.depth as u64)),
+                                ("states", Json::Int(r.states as u64)),
+                                ("wall_ms", Json::Num(r.wall_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The scenario corpus: the six named approval-chain scenarios with
+/// their reasoned verdict pins (asserted — a drift fails the run), plus
+/// completability wall-times on clean approval chains up to depth 12.
+/// Not a paper experiment — the realistic-workload layer the differential
+/// fuzz harness drives; this section archives its perf trajectory.
+fn scenarios() -> ScenarioReport {
+    banner("Scenario corpus -- named approval chains + depth scaling");
+    let limits = ExploreLimits {
+        max_states: 120_000,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    };
+
+    println!(
+        "{:<20}{:>12}{:>12}{:>12}",
+        "scenario", "compl", "semisound", "time"
+    );
+    let mut named = Vec::new();
+    for n in idar_gen::named_scenarios() {
+        let s = &n.scenario;
+        let t = Instant::now();
+        let c = completability(&s.form, &CompletabilityOptions::with_limits(limits));
+        let ss = semisoundness(
+            &s.form,
+            &SemisoundnessOptions {
+                limits,
+                ..Default::default()
+            },
+        );
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            c.verdict,
+            verdict_of(n.expected.completable),
+            "{}: completability pin",
+            s.name
+        );
+        assert_eq!(
+            ss.verdict,
+            verdict_of(n.expected.semisound),
+            "{}: semi-soundness pin",
+            s.name
+        );
+        println!(
+            "{:<20}{:>12}{:>12}{:>12}",
+            s.name,
+            c.verdict.to_string(),
+            ss.verdict.to_string(),
+            format!("{wall_ms:.2}ms")
+        );
+        named.push(ScenarioRow {
+            name: s.name.clone(),
+            completable: n.expected.completable,
+            semisound: n.expected.semisound,
+            wall_ms,
+        });
+    }
+
+    println!(
+        "{:<26}{:>10}{:>12}{:>14}",
+        "workload", "depth", "states", "time"
+    );
+    let mut chain_scaling = Vec::new();
+    for depth in [4usize, 8, 10, 12] {
+        let w = workloads::approval_chain(depth, 2, 3);
+        let t = Instant::now();
+        let r = completability(&w.form, &CompletabilityOptions::with_limits(limits));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.verdict, Verdict::Holds, "{}", w.name);
+        // Minimal witness: one submission plus one signature per level.
+        assert_eq!(r.witness_run.as_ref().unwrap().len(), depth + 1);
+        println!(
+            "{:<26}{:>10}{:>12}{:>14}",
+            w.name,
+            depth,
+            r.stats.states,
+            format!("{wall_ms:.2}ms")
+        );
+        chain_scaling.push(ChainRow {
+            depth,
+            states: r.stats.states,
+            wall_ms,
+        });
+    }
+    println!("(pins asserted: the six named scenarios must keep their reasoned");
+    println!("verdicts; clean chains stay completable with a depth+1 witness)");
+
+    ScenarioReport {
+        named,
+        chain_scaling,
     }
 }
 

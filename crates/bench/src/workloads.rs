@@ -137,6 +137,25 @@ pub fn qsat_semisound(seed: u64, k: usize, n: usize) -> (Workload, Qbf) {
     )
 }
 
+/// Scenario corpus — an unconstrained `depth`-level approval chain
+/// (`F(A−, φ+, 1)`: rejection-free chains are deletion-free, so the
+/// completability cell is polynomial; the workload is the realistic
+/// shape, not a hardness family). Always completable: every level can
+/// be signed in order.
+pub fn approval_chain(depth: usize, approvers_per_level: usize, users: usize) -> Workload {
+    let spec = idar_gen::ScenarioSpec::unconstrained(idar_gen::ChainSpec::simple(
+        depth,
+        approvers_per_level,
+        users,
+    ));
+    let name = format!("approval_chain/d{depth}a{approvers_per_level}u{users}");
+    Workload {
+        form: spec.build(&name).form,
+        name,
+        expected: Some(true),
+    }
+}
+
 /// Undecidable cell — Thm 4.1 on a library machine, compiled through the
 /// shared [`idar_gen::builders::two_counter`] path.
 pub fn tcm(machine: &TwoCounterMachine, name: &str, halts: bool) -> Workload {
@@ -258,6 +277,17 @@ mod tests {
         assert_eq!(r.verdict, Verdict::Holds);
         // The only complete state is the full set, at depth n.
         assert_eq!(r.witness_run.unwrap().len(), 6);
+    }
+
+    #[test]
+    fn approval_chain_workload_is_consistent() {
+        for depth in [2usize, 6] {
+            let w = approval_chain(depth, 2, 3);
+            let r = completability(&w.form, &CompletabilityOptions::default());
+            assert_eq!(r.verdict, Verdict::Holds, "{}", w.name);
+            // Minimal witness: one submission plus one signature per level.
+            assert_eq!(r.witness_run.unwrap().len(), depth + 1, "{}", w.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! SoD/BoD duty constraints over approval chains, compiled into guards —
+//! with a trace-level checker and a hand-rolled reachability oracle kept
+//! **independent** of both the compiler and the solver stack, so the
+//! fuzz harness can run a compiled-guards vs trace-oracle differential.
+//!
+//! The constraint language is Crampton–Gutin's core: a duty relates two
+//! *steps* (here: chain levels) and either forbids (`Separation`) or
+//! forces (`Binding`) them to bind the same user.
+//!
+//! # Compilation contract
+//!
+//! A user binds a level by holding a **live** signature on it (rejection
+//! loops delete signatures, releasing the binding — this is the natural
+//! reading of duties under rework). The compiler conjoins, symmetrically
+//! onto both sides' signature add-guards:
+//!
+//! * `Separation(a, b)`: `s{a}_u{u}` additionally requires
+//!   `¬s{b}_u{u}` — `u` must not currently bind the other level
+//!   (and vice versa).
+//! * `Binding(a, b)`: `s{a}_u{u}` additionally requires
+//!   `¬s{b}_u{v}` for every eligible `v ≠ u` — whoever binds first
+//!   fixes the user for the pair.
+//!
+//! The trace checker ([`check_run`]) re-states exactly that invariant
+//! over raw update sequences without evaluating a single guard, and
+//! [`constrained_completable`] decides completability of a constrained
+//! chain by breadth-first search over the *unconstrained* form with the
+//! invariant enforced structurally. Agreement between the two paths is
+//! what the differential fuzz axis asserts.
+
+use crate::scenario::{ChainLayout, EdgeRole, ScenarioSpec, UserId};
+use idar_core::{AccessRules, Formula, GuardedForm, InstNodeId, Right, Schema, Update};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// The two duty kinds of the core constraint language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Duty {
+    /// The two levels must be signed by *different* users.
+    Separation,
+    /// The two levels must be signed by the *same* user.
+    Binding,
+}
+
+/// A duty over a pair of 1-based chain levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Separation or binding.
+    pub duty: Duty,
+    /// First level (1-based).
+    pub a: usize,
+    /// Second level (1-based, different from `a`).
+    pub b: usize,
+}
+
+impl Constraint {
+    /// `Separation(a, b)`.
+    pub fn separation(a: usize, b: usize) -> Constraint {
+        Constraint {
+            duty: Duty::Separation,
+            a,
+            b,
+        }
+    }
+
+    /// `Binding(a, b)`.
+    pub fn binding(a: usize, b: usize) -> Constraint {
+        Constraint {
+            duty: Duty::Binding,
+            a,
+            b,
+        }
+    }
+
+    /// If `level` is one side of this duty, the other side.
+    fn other(&self, level: usize) -> Option<usize> {
+        if level == self.a {
+            Some(self.b)
+        } else if level == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.duty {
+            Duty::Separation => "sod",
+            Duty::Binding => "bod",
+        };
+        write!(f, "{d}({},{})", self.a, self.b)
+    }
+}
+
+/// An ordered set of duties (order only affects guard-conjunct order,
+/// not semantics).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    items: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// No duties.
+    pub fn empty() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// A set from an iterator.
+    pub fn of(items: impl IntoIterator<Item = Constraint>) -> ConstraintSet {
+        ConstraintSet {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Append a duty.
+    pub fn push(&mut self, c: Constraint) {
+        self.items.push(c);
+    }
+
+    /// Drop the duty at `ix` (shrinker support).
+    pub fn remove(&mut self, ix: usize) -> Constraint {
+        self.items.remove(ix)
+    }
+
+    /// Number of duties.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate the duties in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.items.iter()
+    }
+
+    /// Both sides of every duty must be valid 1-based levels and differ.
+    pub fn validate(&self, levels: usize) -> Result<(), String> {
+        for c in &self.items {
+            if c.a == 0 || c.b == 0 || c.a > levels || c.b > levels {
+                return Err(format!("{c}: level out of range (1..={levels})"));
+            }
+            if c.a == c.b {
+                return Err(format!("{c}: a duty needs two distinct levels"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Conjoin the compiled duty terms onto the signature add-guards of
+/// `rules` (see the module docs for the contract).
+pub fn compile(
+    rules: &mut AccessRules,
+    schema: &Schema,
+    layout: &ChainLayout,
+    set: &ConstraintSet,
+) {
+    for c in set.iter() {
+        for (level, other) in [(c.a, c.b), (c.b, c.a)] {
+            for &(u, edge) in layout.sig_edges(level) {
+                let terms: Vec<Formula> = match c.duty {
+                    Duty::Separation => layout
+                        .sig_edge(other, u)
+                        .map(|e| Formula::label(schema.label(e)).not())
+                        .into_iter()
+                        .collect(),
+                    Duty::Binding => layout
+                        .sig_edges(other)
+                        .iter()
+                        .filter(|&&(v, _)| v != u)
+                        .map(|&(_, e)| Formula::label(schema.label(e)).not())
+                        .collect(),
+                };
+                if terms.is_empty() {
+                    continue;
+                }
+                let g = rules.get(Right::Add, edge).clone();
+                rules.set(Right::Add, edge, g.and(Formula::conj(terms)));
+            }
+        }
+    }
+}
+
+/// A duty violation found by the trace checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated duty.
+    pub constraint: Constraint,
+    /// 0-based index of the offending update in the run.
+    pub step: usize,
+    /// The level being signed at that step.
+    pub level: usize,
+    /// The user signing it.
+    pub user: UserId,
+    /// The user currently binding the duty's other level, if any.
+    pub bound: Option<UserId>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: u{} signs level {} violating {} (other side bound to {:?})",
+            self.step, self.user, self.level, self.constraint, self.bound
+        )
+    }
+}
+
+/// The duty invariant at a prospective signature `(level, user)` given
+/// the current live bindings — the single definition [`check_run`],
+/// [`constrained_completable`] and (via compilation) the guards share.
+fn duty_ok(
+    set: &ConstraintSet,
+    bindings: &[Option<UserId>],
+    level: usize,
+    user: UserId,
+) -> Result<(), (Constraint, Option<UserId>)> {
+    for c in set.iter() {
+        let Some(other) = c.other(level) else {
+            continue;
+        };
+        let bound = bindings[other - 1];
+        match c.duty {
+            Duty::Separation => {
+                if bound == Some(user) {
+                    return Err((*c, bound));
+                }
+            }
+            Duty::Binding => {
+                if bound.is_some_and(|v| v != user) {
+                    return Err((*c, bound));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Trace-level oracle: walk `updates` **structurally** (no guard or
+/// formula evaluation) over `form`'s instances, tracking which user's
+/// signature is live on each level, and report the first duty
+/// violation. Independent of [`compile`] by construction.
+pub fn check_run(
+    form: &GuardedForm,
+    layout: &ChainLayout,
+    set: &ConstraintSet,
+    updates: &[Update],
+) -> Result<(), Violation> {
+    let mut inst = form.initial().clone();
+    let mut bindings: Vec<Option<UserId>> = vec![None; layout.levels];
+    for (step, up) in updates.iter().enumerate() {
+        match up {
+            Update::Add { edge, .. } => {
+                if let EdgeRole::Sig { level, user } = layout.role(*edge) {
+                    if let Err((constraint, bound)) = duty_ok(set, &bindings, level, user) {
+                        return Err(Violation {
+                            constraint,
+                            step,
+                            level,
+                            user,
+                            bound,
+                        });
+                    }
+                    bindings[level - 1] = Some(user);
+                }
+            }
+            Update::Del { node } => {
+                if let EdgeRole::Sig { level, .. } = layout.role(inst.schema_node(*node)) {
+                    bindings[level - 1] = None;
+                }
+            }
+        }
+        form.apply_unchecked(&mut inst, up).expect("structural run");
+    }
+    Ok(())
+}
+
+/// Hand-rolled bounded reachability oracle for constrained chains,
+/// bypassing the entire solver stack: breadth-first search over the
+/// **unconstrained** form's update relation, pruning signature adds
+/// that violate the duty invariant read directly off the instance.
+///
+/// Returns `Some(verdict)` when the search closes or finds a complete
+/// instance within `max_states`, `None` when the cap is hit first. The
+/// differential axis compares this against the solver's verdict on the
+/// *compiled* form.
+pub fn constrained_completable(spec: &ScenarioSpec, max_states: usize) -> Option<bool> {
+    let base = ScenarioSpec::unconstrained(spec.chain.clone()).build("oracle-base");
+    let form = &base.form;
+    let layout = &base.layout;
+    let set = &spec.constraints;
+
+    let key = |inst: &idar_core::Instance| -> Vec<u32> {
+        let mut k: Vec<u32> = inst
+            .children(InstNodeId::ROOT)
+            .iter()
+            .map(|&c| inst.schema_node(c).index() as u32)
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    let bindings_of = |inst: &idar_core::Instance| -> Vec<Option<UserId>> {
+        let mut b = vec![None; layout.levels];
+        for &c in inst.children(InstNodeId::ROOT) {
+            if let EdgeRole::Sig { level, user } = layout.role(inst.schema_node(c)) {
+                b[level - 1] = Some(user);
+            }
+        }
+        b
+    };
+
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(key(form.initial()));
+    queue.push_back(form.initial().clone());
+    while let Some(inst) = queue.pop_front() {
+        if form.is_complete(&inst) {
+            return Some(true);
+        }
+        let bindings = bindings_of(&inst);
+        for up in form.allowed_updates(&inst) {
+            if let Update::Add { edge, .. } = up {
+                if let EdgeRole::Sig { level, user } = layout.role(edge) {
+                    if duty_ok(set, &bindings, level, user).is_err() {
+                        continue;
+                    }
+                }
+            }
+            let mut next = inst.clone();
+            form.apply(&mut next, &up).expect("allowed update");
+            if seen.insert(key(&next)) {
+                if seen.len() > max_states {
+                    return None;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    Some(false)
+}
+
+/// Enumerate *every* duty set over `levels` with at most `max` duties —
+/// the exhaustive half of the small-instance differential tests.
+pub fn all_constraint_sets(levels: usize, max: usize) -> Vec<ConstraintSet> {
+    let mut pairs = Vec::new();
+    for a in 1..=levels {
+        for b in (a + 1)..=levels {
+            pairs.push(Constraint::separation(a, b));
+            pairs.push(Constraint::binding(a, b));
+        }
+    }
+    let mut out = vec![ConstraintSet::empty()];
+    let mut frontier: Vec<Vec<Constraint>> = vec![Vec::new()];
+    for _ in 0..max {
+        let mut next = Vec::new();
+        for base in &frontier {
+            let start = base
+                .last()
+                .map(|l| pairs.iter().position(|p| p == l).unwrap() + 1)
+                .unwrap_or(0);
+            for p in &pairs[start..] {
+                let mut ext = base.clone();
+                ext.push(*p);
+                out.push(ConstraintSet::of(ext.clone()));
+                next.push(ext);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ChainSpec, LevelSpec};
+
+    fn two_level_shared_user() -> ChainSpec {
+        ChainSpec {
+            users: 2,
+            levels: vec![LevelSpec::approvers([0, 1]), LevelSpec::approvers([0, 1])],
+        }
+    }
+
+    #[test]
+    fn separation_blocks_reuse() {
+        let spec = ScenarioSpec {
+            chain: two_level_shared_user(),
+            constraints: ConstraintSet::of([Constraint::separation(1, 2)]),
+        };
+        let s = spec.build("t");
+        // sub, s1_u0, s2_u0 violates; the trace oracle agrees with the
+        // compiled guard refusing the third step.
+        let sub = s.form.schema().resolve("sub").unwrap();
+        let s1 = s.layout.sig_edge(1, 0).unwrap();
+        let s2 = s.layout.sig_edge(2, 0).unwrap();
+        let mk = |edge| Update::Add {
+            parent: InstNodeId::ROOT,
+            edge,
+        };
+        let run = [mk(sub), mk(s1), mk(s2)];
+        let v = check_run(&s.form, &s.layout, &spec.constraints, &run).unwrap_err();
+        assert_eq!(v.step, 2);
+        assert_eq!(v.constraint, Constraint::separation(1, 2));
+        // And the compiled form refuses the same step.
+        let run_ok = s.form.replay(&run[..2]).unwrap();
+        assert!(!s.form.is_allowed(run_ok.last(), &mk(s2)));
+        // A different user is fine both ways.
+        let s2b = s.layout.sig_edge(2, 1).unwrap();
+        let good = [mk(sub), mk(s1), mk(s2b)];
+        assert!(check_run(&s.form, &s.layout, &spec.constraints, &good).is_ok());
+        assert!(s.form.is_complete_run(&good));
+    }
+
+    #[test]
+    fn binding_forces_reuse() {
+        let spec = ScenarioSpec {
+            chain: two_level_shared_user(),
+            constraints: ConstraintSet::of([Constraint::binding(1, 2)]),
+        };
+        let s = spec.build("t");
+        let sub = s.form.schema().resolve("sub").unwrap();
+        let mk = |edge| Update::Add {
+            parent: InstNodeId::ROOT,
+            edge,
+        };
+        let bad = [
+            mk(sub),
+            mk(s.layout.sig_edge(1, 0).unwrap()),
+            mk(s.layout.sig_edge(2, 1).unwrap()),
+        ];
+        assert!(check_run(&s.form, &s.layout, &spec.constraints, &bad).is_err());
+        let good = [
+            mk(sub),
+            mk(s.layout.sig_edge(1, 0).unwrap()),
+            mk(s.layout.sig_edge(2, 0).unwrap()),
+        ];
+        assert!(check_run(&s.form, &s.layout, &spec.constraints, &good).is_ok());
+        assert!(s.form.is_complete_run(&good));
+    }
+
+    #[test]
+    fn oracle_decides_small_chains() {
+        // Feasible separated pair: two users available.
+        let ok = ScenarioSpec {
+            chain: two_level_shared_user(),
+            constraints: ConstraintSet::of([Constraint::separation(1, 2)]),
+        };
+        assert_eq!(constrained_completable(&ok, 10_000), Some(true));
+        // Infeasible: a single user cannot separate from themselves.
+        let bad = ScenarioSpec {
+            chain: ChainSpec {
+                users: 1,
+                levels: vec![LevelSpec::approvers([0]), LevelSpec::approvers([0])],
+            },
+            constraints: ConstraintSet::of([Constraint::separation(1, 2)]),
+        };
+        assert_eq!(constrained_completable(&bad, 10_000), Some(false));
+        // Cap of zero states reports indecision, not a verdict.
+        assert_eq!(constrained_completable(&ok, 0), None);
+    }
+
+    #[test]
+    fn constraint_set_enumeration_counts() {
+        // 2 levels → 1 pair → {sod, bod}: empty, 2 singletons, 1 pairset.
+        let sets = all_constraint_sets(2, 2);
+        assert_eq!(sets.len(), 4);
+        for s in &sets {
+            s.validate(2).unwrap();
+        }
+    }
+}

@@ -21,6 +21,12 @@
 //! * [`cnf`] — deterministic CNF families (implication chains,
 //!   pigeonhole, seeded random 3-CNF) for the SAT-engine benches and the
 //!   cdcl-vs-dpll differential oracle.
+//! * [`scenario`] / [`constraints`] — the realistic corpus: multi-level
+//!   approval chains (delegation, rejection loops) compiled to depth-1
+//!   guarded forms, Crampton–Gutin SoD/BoD duties compiled into guards
+//!   with an independent trace-level checker and a hand-rolled
+//!   reachability oracle, and WfCommons-style recipe sampling
+//!   ([`ScenarioRecipe`]) behind the fuzz axes ([`ScenarioAxis`]).
 //! * [`mod@shrink`] — greedy, size-monotone minimisation of a failing form
 //!   while an oracle keeps reporting the failure; the differential fuzz
 //!   harness uses it to emit minimal `.ron` repro cases
@@ -36,9 +42,16 @@
 pub mod builders;
 pub mod cnf;
 pub mod config;
+pub mod constraints;
 pub mod form;
+pub mod scenario;
 pub mod shrink;
 
 pub use config::{FragmentSpec, GenConfig, SizeEnvelope};
+pub use constraints::{Constraint, ConstraintSet, Duty};
 pub use form::{generate, generate_stream};
-pub use shrink::{form_size, shrink};
+pub use scenario::{
+    named_scenarios, scenario_stream, ChainSpec, LevelSpec, Scenario, ScenarioAxis, ScenarioRecipe,
+    ScenarioSpec,
+};
+pub use shrink::{form_size, scenario_size, shrink, shrink_scenario};

@@ -14,6 +14,7 @@
 //! 4. delete an initial-instance leaf,
 //! 5. shrink the completion formula the same way.
 
+use crate::scenario::ScenarioSpec;
 use idar_core::{
     AccessRules, Formula, GuardedForm, InstNodeId, Instance, PathExpr, Right, SchemaBuilder,
     SchemaNodeId,
@@ -205,6 +206,150 @@ fn remove_schema_subtree(cur: &GuardedForm, removed: SchemaNodeId) -> GuardedFor
     GuardedForm::new(new_schema, rules, init, cur.completion().clone())
 }
 
+/// The size measure scenario shrinking is monotone in: user-pool size +
+/// per-level structure (approvers, delegations, rejection loops) +
+/// duty count.
+pub fn scenario_size(spec: &ScenarioSpec) -> usize {
+    spec.chain.users
+        + spec
+            .chain
+            .levels
+            .iter()
+            .map(|l| {
+                1 + l.approvers.len() + l.delegations.len() + usize::from(l.rejection.is_some())
+            })
+            .sum::<usize>()
+        + spec.constraints.len()
+}
+
+/// Minimise a failing [`ScenarioSpec`] the way [`shrink`] minimises a
+/// form: greedily accept the first strictly smaller candidate the oracle
+/// still rejects, so fuzz failures on the scenario axes report minimal
+/// chains before the form-level shrinker takes over. Every candidate is
+/// a *valid* spec (`chain.validate()` and `constraints.validate()` both
+/// pass), so the repro always rebuilds.
+pub fn shrink_scenario(
+    spec: &ScenarioSpec,
+    mut still_failing: impl FnMut(&ScenarioSpec) -> bool,
+) -> ScenarioSpec {
+    let mut cur = spec.clone();
+    let mut cur_size = scenario_size(&cur);
+    loop {
+        let mut improved = false;
+        for cand in scenario_candidates(&cur) {
+            debug_assert!(cand.chain.validate().is_ok());
+            if scenario_size(&cand) < cur_size && still_failing(&cand) {
+                cur_size = scenario_size(&cand);
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// All valid single-step scenario shrink candidates, biggest bites first:
+/// drop the last level (with the duties touching it), drop a duty, drop
+/// a rejection loop, drop a delegation, drop an approver, trim the user
+/// pool to the ids actually referenced.
+fn scenario_candidates(cur: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let levels = cur.chain.levels.len();
+
+    // 1. Drop any one level: duties touching it disappear, duties and
+    // rejection targets beyond it are renumbered down.
+    if levels > 1 {
+        for n in (1..=levels).rev() {
+            let mut c = cur.clone();
+            c.chain.levels.remove(n - 1);
+            let shift = |s: usize| if s > n { s - 1 } else { s };
+            c.constraints = crate::constraints::ConstraintSet::of(
+                c.constraints
+                    .iter()
+                    .filter(|d| d.a != n && d.b != n)
+                    .map(|d| {
+                        let mut d = *d;
+                        d.a = shift(d.a);
+                        d.b = shift(d.b);
+                        d
+                    }),
+            );
+            for (ix, l) in c.chain.levels.iter_mut().enumerate() {
+                let m = ix + 1; // new 1-based number
+                if let Some(k) = l.rejection {
+                    let nk = if k > n {
+                        k - 1
+                    } else if k == n {
+                        n.saturating_sub(1).max(1)
+                    } else {
+                        k
+                    };
+                    l.rejection = if nk < m { Some(nk) } else { None };
+                }
+            }
+            if c.chain.validate().is_ok() {
+                out.push(c);
+            }
+        }
+    }
+
+    // 2. Drop one duty.
+    for ix in 0..cur.constraints.len() {
+        let mut c = cur.clone();
+        c.constraints.remove(ix);
+        out.push(c);
+    }
+
+    // 3./4./5. Per-level bites.
+    for ix in 0..levels {
+        if cur.chain.levels[ix].rejection.is_some() {
+            let mut c = cur.clone();
+            c.chain.levels[ix].rejection = None;
+            out.push(c);
+        }
+        for d in 0..cur.chain.levels[ix].delegations.len() {
+            let mut c = cur.clone();
+            c.chain.levels[ix].delegations.remove(d);
+            if c.chain.eligible(ix).is_empty() {
+                continue; // the level must stay signable
+            }
+            out.push(c);
+        }
+        for a in 0..cur.chain.levels[ix].approvers.len() {
+            let mut c = cur.clone();
+            c.chain.levels[ix].approvers.remove(a);
+            if c.chain.eligible(ix).is_empty() {
+                continue;
+            }
+            out.push(c);
+        }
+    }
+
+    // 6. Trim the user pool to what is referenced.
+    let referenced = cur
+        .chain
+        .levels
+        .iter()
+        .flat_map(|l| {
+            l.approvers
+                .iter()
+                .copied()
+                .chain(l.delegations.iter().flat_map(|&(f, t)| [f, t]))
+        })
+        .max()
+        .map_or(1, |m| m + 1);
+    if referenced < cur.chain.users {
+        let mut c = cur.clone();
+        c.chain.users = referenced;
+        out.push(c);
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +403,31 @@ mod tests {
             }
         }
         assert!(shrunk_any, "shrinker never made progress on any seed");
+    }
+
+    #[test]
+    fn scenario_shrink_reaches_minimal_failing_spec() {
+        use crate::constraints::{constrained_completable, Constraint, ConstraintSet};
+        use crate::scenario::{ChainSpec, ScenarioSpec};
+        // A big chain whose SoD pair over a single shared approver makes
+        // it incompletable; the minimal spec keeping that failure is the
+        // two constrained levels with one user each.
+        let mut chain = ChainSpec::simple(5, 1, 1);
+        chain.users = 3;
+        chain.levels[0].approvers = vec![0];
+        chain.levels[4].approvers = vec![0];
+        let spec = ScenarioSpec {
+            chain,
+            constraints: ConstraintSet::of([Constraint::separation(1, 5)]),
+        };
+        let failing = |s: &ScenarioSpec| constrained_completable(s, 50_000) == Some(false);
+        assert!(failing(&spec));
+        let small = shrink_scenario(&spec, failing);
+        assert!(failing(&small));
+        assert!(scenario_size(&small) < scenario_size(&spec));
+        assert_eq!(small.chain.levels.len(), 2);
+        assert_eq!(small.chain.users, 1);
+        assert_eq!(small.constraints.len(), 1);
     }
 
     #[test]

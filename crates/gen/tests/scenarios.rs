@@ -1,0 +1,212 @@
+//! Property tests for the scenario corpus (via the proptest shim):
+//!
+//! * approval-chain builders are **deterministic per seed**;
+//! * generated forms **stay inside their declared** [`FragmentSpec`]
+//!   (the fragment-boundary discipline the Table 1 pins rely on);
+//! * compiled SoD/BoD guards **agree with the trace-level oracle** — on
+//!   recipe-sampled chains and on exhaustively enumerated ≤3-level
+//!   chains with every duty set of size ≤ 2;
+//! * scenario shrinking is **monotone** and only emits valid specs.
+
+use idar_core::serialize;
+use idar_gen::constraints::{all_constraint_sets, check_run, constrained_completable};
+use idar_gen::scenario::{ChainSpec, LevelSpec};
+use idar_gen::{scenario_size, shrink_scenario, ConstraintSet, ScenarioAxis, ScenarioSpec};
+use idar_solver::{completability, CompletabilityOptions, ExploreLimits, Verdict};
+use idar_workflow::runs::{enumerate_complete_runs, EnumerateOptions};
+use proptest::prelude::*;
+
+fn axis_of(ix: usize) -> ScenarioAxis {
+    ScenarioAxis::ALL[ix % ScenarioAxis::ALL.len()]
+}
+
+fn scenario_opts() -> CompletabilityOptions {
+    CompletabilityOptions::with_limits(ExploreLimits {
+        max_states: 60_000,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    })
+}
+
+/// Solver-on-compiled-form vs hand-rolled BFS-with-trace-invariant;
+/// `None` when either side gave up within its budget.
+fn differential(spec: &ScenarioSpec) -> Option<(bool, bool)> {
+    let s = spec.build("diff");
+    let solver = completability(&s.form, &scenario_opts());
+    let solver = match solver.verdict {
+        Verdict::Holds => true,
+        Verdict::Fails => false,
+        Verdict::Unknown => return None,
+    };
+    let oracle = constrained_completable(spec, 200_000)?;
+    Some((solver, oracle))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builders_are_deterministic_per_seed(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let axis = axis_of(ix);
+        let a = axis.sample(seed);
+        let b = axis.sample(seed);
+        prop_assert_eq!(&a, &b);
+        let fa = a.build("a");
+        let fb = b.build("b");
+        prop_assert_eq!(
+            serialize::to_ron(&fa.form),
+            serialize::to_ron(&fb.form)
+        );
+    }
+
+    #[test]
+    fn forms_stay_inside_their_declared_fragment(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let axis = axis_of(ix);
+        let spec = axis.sample(seed);
+        let s = spec.build("frag");
+        prop_assert_eq!(s.fragment, spec.fragment());
+        prop_assert!(
+            s.fragment.admits(&s.form),
+            "{} seed {} escaped {}: {}",
+            axis, seed, s.fragment, spec.summary()
+        );
+        prop_assert!(s.form.schema().depth() <= 1);
+    }
+
+    #[test]
+    fn compiled_guards_agree_with_trace_oracle(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let spec = axis_of(ix).sample(seed);
+        if let Some((solver, oracle)) = differential(&spec) {
+            prop_assert_eq!(
+                solver, oracle,
+                "solver vs oracle split on {}", spec.summary()
+            );
+        }
+        // Every complete run of the compiled form satisfies the duties
+        // according to the trace checker.
+        let s = spec.build("runs");
+        // `max_len` stays near the minimal run length: rejection loops
+        // make the run graph cyclic and the simple-path DFS explodes
+        // when the bound admits several rework cycles.
+        let runs = enumerate_complete_runs(
+            &s.form,
+            &EnumerateOptions {
+                max_runs: 4,
+                max_len: spec.chain.levels.len() + 10,
+                limits: ExploreLimits {
+                    max_states: 20_000,
+                    ..scenario_opts().limits
+                },
+            },
+        );
+        for run in &runs.runs {
+            prop_assert!(
+                check_run(&s.form, &s.layout, &spec.constraints, run).is_ok(),
+                "compiled form admitted a duty-violating run on {}", spec.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_shrinking_is_monotone(ix in 0usize..4, seed in 0u64..1_000_000) {
+        let spec = axis_of(ix).sample(seed);
+        // Oracle: the chain still has at least one level — satisfied by
+        // every spec, so shrinking drives to the global minimum while
+        // every intermediate acceptance must strictly reduce the size.
+        let mut sizes = vec![scenario_size(&spec)];
+        let small = shrink_scenario(&spec, |s| {
+            sizes.push(scenario_size(s));
+            !s.chain.levels.is_empty()
+        });
+        for w in sizes.windows(2) {
+            prop_assert!(w[1] < w[0], "non-monotone shrink step {:?}", w);
+        }
+        prop_assert!(small.chain.validate().is_ok());
+        prop_assert!(small.constraints.validate(small.chain.levels.len()).is_ok());
+        prop_assert_eq!(small.chain.levels.len(), 1);
+        prop_assert!(small.constraints.is_empty());
+    }
+}
+
+/// Exhaustive half of the differential: every chain shape over ≤3
+/// levels × {1, 2} approvers drawn from a 2-user pool, against *every*
+/// duty set with ≤2 duties.
+#[test]
+fn exhaustive_small_chain_differential() {
+    let approver_choices: [&[usize]; 3] = [&[0], &[1], &[0, 1]];
+    let mut chains: Vec<ChainSpec> = Vec::new();
+    for depth in 1..=3usize {
+        let mut picks = vec![0usize; depth];
+        loop {
+            let levels: Vec<LevelSpec> = picks
+                .iter()
+                .map(|&p| LevelSpec::approvers(approver_choices[p].iter().copied()))
+                .collect();
+            chains.push(ChainSpec { users: 2, levels });
+            // Odometer over approver choices.
+            let mut i = 0;
+            loop {
+                if i == depth {
+                    break;
+                }
+                picks[i] += 1;
+                if picks[i] < approver_choices.len() {
+                    break;
+                }
+                picks[i] = 0;
+                i += 1;
+            }
+            if i == depth {
+                break;
+            }
+        }
+    }
+    let mut cases = 0usize;
+    for chain in &chains {
+        for set in all_constraint_sets(chain.levels.len(), 2) {
+            let spec = ScenarioSpec {
+                chain: chain.clone(),
+                constraints: set,
+            };
+            let (solver, oracle) = differential(&spec).expect("small chains decide within budget");
+            assert_eq!(solver, oracle, "split on {}", spec.summary());
+            cases += 1;
+        }
+    }
+    // 3 + 9×4 + 27×13 sets... just pin a healthy lower bound.
+    assert!(cases >= 300, "only {cases} exhaustive cases");
+}
+
+/// The named corpus carries reasoned verdict pins; re-derive the
+/// completability half with the independent oracle.
+#[test]
+fn named_scenarios_match_the_independent_oracle() {
+    for n in idar_gen::named_scenarios() {
+        let got =
+            constrained_completable(&n.scenario.spec, 500_000).expect("named scenarios decide");
+        assert_eq!(
+            got, n.expected.completable,
+            "{}: oracle disagrees with pin",
+            n.scenario.name
+        );
+    }
+}
+
+/// Rejection loops must not break determinism of the *builder* even
+/// though they make the state space cyclic: build twice, compare RON.
+#[test]
+fn rejection_loops_build_deterministically() {
+    let mut chain = ChainSpec::simple(4, 2, 3);
+    chain.levels[2].rejection = Some(1);
+    chain.levels[3].rejection = Some(2);
+    let spec = ScenarioSpec {
+        chain,
+        constraints: ConstraintSet::empty(),
+    };
+    let a = spec.build("x");
+    let b = spec.build("y");
+    assert_eq!(serialize::to_ron(&a.form), serialize::to_ron(&b.form));
+    assert_eq!(a.fragment, idar_gen::FragmentSpec::Depth1);
+    assert!(a.fragment.admits(&a.form));
+}

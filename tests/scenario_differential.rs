@@ -1,0 +1,189 @@
+//! Workspace-level differential suite for the scenario corpus: verdicts
+//! on scenario forms must be invariant under every engine configuration
+//! the pipeline exposes — sequential vs pooled exploration,
+//! `SymmetryMode::{Reduced, Plain}`, and cold vs cached
+//! `AnalysisRequest` paths — and the six named scenarios carry golden
+//! verdict pins re-checked on every run.
+
+use idar::gen::constraints::{check_run, constrained_completable};
+use idar::gen::scenario::named_scenarios;
+use idar::gen::ScenarioAxis;
+use idar::solver::{
+    analyze, analyze_with, AnalysisKind, AnalysisRequest, Budget, ExploreLimits, SymmetryMode,
+    Verdict, VerdictCache,
+};
+use idar::workflow::runs::{enumerate_complete_runs, EnumerateOptions};
+
+fn scenario_limits() -> ExploreLimits {
+    ExploreLimits {
+        max_states: 120_000,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    }
+}
+
+fn budget(symmetry: SymmetryMode) -> Budget {
+    Budget {
+        symmetry,
+        ..Budget::with_limits(scenario_limits())
+    }
+}
+
+/// Run `kind` on `form` across every engine configuration and assert
+/// all verdicts agree; returns the common verdict.
+fn verdict_invariant(form: &idar::core::GuardedForm, kind: AnalysisKind, name: &str) -> Verdict {
+    let mut verdicts = Vec::new();
+    for symmetry in [SymmetryMode::Reduced, SymmetryMode::Plain] {
+        for threads in [1usize, 4] {
+            let req = AnalysisRequest::new(form.clone(), kind)
+                .with_budget(budget(symmetry))
+                .with_threads(threads);
+            let cold = analyze(&req);
+            verdicts.push((format!("{symmetry:?}/t{threads}/cold"), cold.verdict));
+
+            let cache = VerdictCache::new();
+            let miss = analyze_with(&req, Some(&cache));
+            let hit = analyze_with(&req, Some(&cache));
+            assert_eq!(
+                miss.cache,
+                idar::solver::CacheProvenance::Miss,
+                "{name}: first cached run should miss"
+            );
+            assert_eq!(
+                hit.cache,
+                idar::solver::CacheProvenance::Hit,
+                "{name}: second cached run should hit"
+            );
+            verdicts.push((format!("{symmetry:?}/t{threads}/miss"), miss.verdict));
+            verdicts.push((format!("{symmetry:?}/t{threads}/hit"), hit.verdict));
+        }
+    }
+    let (ref first_cfg, first) = verdicts[0];
+    for (cfg, v) in &verdicts {
+        assert_eq!(
+            *v, first,
+            "{name}/{kind}: verdict split between {first_cfg} and {cfg}"
+        );
+    }
+    first
+}
+
+fn expect(b: bool) -> Verdict {
+    if b {
+        Verdict::Holds
+    } else {
+        Verdict::Fails
+    }
+}
+
+/// Golden pins: the named corpus analyses to exactly its reasoned
+/// verdicts, identically under every engine configuration.
+#[test]
+fn named_scenarios_pin_their_verdicts_across_all_engines() {
+    let named = named_scenarios();
+    assert_eq!(named.len(), 6);
+    let names: Vec<&str> = named.iter().map(|n| n.scenario.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "clean_chain",
+            "rejection_loop",
+            "sod_infeasible",
+            "bod_forced",
+            "delegation_cycle",
+            "mixed"
+        ]
+    );
+    for n in &named {
+        let s = &n.scenario;
+        let compl = verdict_invariant(&s.form, AnalysisKind::Completability, &s.name);
+        assert_eq!(
+            compl,
+            expect(n.expected.completable),
+            "{}: completability pin",
+            s.name
+        );
+        let semi = verdict_invariant(&s.form, AnalysisKind::Semisoundness, &s.name);
+        assert_eq!(
+            semi,
+            expect(n.expected.semisound),
+            "{}: semi-soundness pin",
+            s.name
+        );
+        // Satisfiability of the completion formula is a necessary
+        // condition for completability — it must hold for every chain
+        // (the completion only asks for some final-level signature).
+        let sat = verdict_invariant(&s.form, AnalysisKind::Satisfiability, &s.name);
+        assert_eq!(sat, Verdict::Holds, "{}: satisfiability pin", s.name);
+    }
+}
+
+/// Recipe-sampled scenarios keep verdicts engine-invariant too (the
+/// named corpus is hand-shaped; this covers sampled shapes).
+#[test]
+fn sampled_scenarios_are_engine_invariant() {
+    for axis in ScenarioAxis::ALL {
+        for seed in 0..4u64 {
+            let spec = axis.sample(seed);
+            let s = spec.build("sampled");
+            let name = format!("{axis}/{seed}");
+            verdict_invariant(&s.form, AnalysisKind::Completability, &name);
+            verdict_invariant(&s.form, AnalysisKind::Semisoundness, &name);
+        }
+    }
+}
+
+/// The compiled form's complete runs all satisfy the duty constraints
+/// according to the trace-level oracle, and the solver's completability
+/// verdict matches the hand-rolled constrained-reachability oracle.
+#[test]
+fn named_scenarios_agree_with_trace_and_reachability_oracles() {
+    for n in named_scenarios() {
+        let s = &n.scenario;
+        let oracle = constrained_completable(&s.spec, 500_000)
+            .unwrap_or_else(|| panic!("{}: oracle exhausted budget", s.name));
+        assert_eq!(oracle, n.expected.completable, "{}: oracle pin", s.name);
+
+        let runs = enumerate_complete_runs(
+            &s.form,
+            &EnumerateOptions {
+                max_runs: 8,
+                max_len: 60,
+                limits: scenario_limits(),
+            },
+        );
+        assert_eq!(
+            !runs.runs.is_empty(),
+            n.expected.completable,
+            "{}: run enumeration disagrees with pin",
+            s.name
+        );
+        for run in &runs.runs {
+            assert!(s.form.is_complete_run(run), "{}: broken run", s.name);
+            assert!(
+                check_run(&s.form, &s.layout, &s.spec.constraints, run).is_ok(),
+                "{}: compiled form admitted a duty-violating run",
+                s.name
+            );
+        }
+    }
+}
+
+/// Deep clean chains stay decidable and completable well past the
+/// BENCH scaling range — the depth-12 acceptance point of the corpus.
+#[test]
+fn deep_chains_complete_up_to_depth_twelve() {
+    use idar::gen::{ChainSpec, ScenarioSpec};
+    for depth in [4usize, 8, 12] {
+        let s = ScenarioSpec::unconstrained(ChainSpec::simple(depth, 2, 3)).build("deep");
+        let req = AnalysisRequest::completability(s.form.clone())
+            .with_budget(budget(SymmetryMode::Reduced));
+        let report = analyze(&req);
+        assert_eq!(report.verdict, Verdict::Holds, "depth {depth}");
+        let run = report.run.expect("witness run");
+        assert!(s.form.is_complete_run(&run));
+        // Witness length: one submission plus one signature per level.
+        assert_eq!(run.len(), depth + 1, "depth {depth}");
+    }
+}
