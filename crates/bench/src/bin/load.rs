@@ -1,0 +1,143 @@
+//! `idar-load` — drive an `idar-server` with a deterministic, seeded
+//! request mix and report throughput and latency percentiles.
+//!
+//! ```text
+//! load --addr 127.0.0.1:8080 [--seed N] [--tenants N] [--users N]
+//!      [--requests N] [--mix interactive|analysis] [--clients N]
+//! load --smoke [--seed N]
+//! ```
+//!
+//! `--smoke` is the CI entry point: it boots an in-process server with a
+//! deliberately tiny admission queue, runs the same seeded burst twice
+//! against *fresh* servers, and exits non-zero unless
+//!
+//! * every response across both runs was 2xx or 429 (nothing 5xx, no
+//!   transport errors),
+//! * the per-`(user, seq)` verdict vectors of the two runs are
+//!   **identical** (verdict determinism under concurrency + shedding),
+//! * both shutdowns drained cleanly (`accepted == completed`).
+
+use idar_bench::load::{run, LoadConfig, TrafficMix};
+use idar_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    if args.iter().any(|a| a == "--smoke") {
+        return smoke(seed);
+    }
+
+    let Some(addr) = get("--addr").and_then(|a| a.parse().ok()) else {
+        eprintln!("usage: load --addr HOST:PORT [--seed N] [--tenants N] [--users N] [--requests N] [--mix interactive|analysis] [--clients N]");
+        eprintln!("       load --smoke [--seed N]");
+        return ExitCode::from(2);
+    };
+    let mix = match get("--mix").as_deref() {
+        Some("analysis") => TrafficMix::Analysis,
+        _ => TrafficMix::Interactive,
+    };
+    let cfg = LoadConfig {
+        addr,
+        seed,
+        tenants: get("--tenants").and_then(|s| s.parse().ok()).unwrap_or(4),
+        users: get("--users").and_then(|s| s.parse().ok()).unwrap_or(16),
+        requests_per_user: get("--requests").and_then(|s| s.parse().ok()).unwrap_or(10),
+        mix,
+        zipf_s: 1.0,
+        clients: get("--clients").and_then(|s| s.parse().ok()).unwrap_or(4),
+        max_retries: 8,
+    };
+    let report = run(&cfg);
+    println!(
+        "mix={} sent={} ok={} retried_429={} errors={} throughput={:.1} rps p50={:.2} ms p99={:.2} ms",
+        cfg.mix.name(),
+        report.sent,
+        report.ok,
+        report.retried_429,
+        report.errors,
+        report.throughput_rps(),
+        report.percentile_ms(50.0),
+        report.percentile_ms(99.0),
+    );
+    if report.errors > 0 {
+        eprintln!("errors observed: statuses {:?}", report.bad_statuses);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One smoke iteration: fresh server (tiny queue so shedding actually
+/// happens), seeded burst, graceful shutdown. Returns the run report and
+/// the final server counters.
+fn smoke_once(seed: u64) -> (idar_bench::load::LoadReport, idar_server::MetricsSnapshot) {
+    let config = ServerConfig {
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", config).expect("server start");
+    let cfg = LoadConfig::smoke(handle.addr(), seed);
+    let report = run(&cfg);
+    let finals = handle.shutdown();
+    (report, finals)
+}
+
+fn smoke(seed: u64) -> ExitCode {
+    let mut failed = false;
+    let (a, fa) = smoke_once(seed);
+    let (b, fb) = smoke_once(seed);
+    for (name, report, finals) in [("run-a", &a, &fa), ("run-b", &b, &fb)] {
+        println!(
+            "{name}: sent={} ok={} retried_429={} errors={} accepted={} completed={} shed={}",
+            report.sent,
+            report.ok,
+            report.retried_429,
+            report.errors,
+            finals.accepted,
+            finals.completed,
+            finals.shed,
+        );
+        if report.errors > 0 {
+            eprintln!(
+                "{name}: non-2xx/429 statuses observed: {:?}",
+                report.bad_statuses
+            );
+            failed = true;
+        }
+        if finals.accepted != finals.completed {
+            eprintln!(
+                "{name}: drain violated — accepted {} but completed {}",
+                finals.accepted, finals.completed
+            );
+            failed = true;
+        }
+    }
+    if a.verdicts != b.verdicts {
+        let diffs: Vec<_> = a
+            .verdicts
+            .iter()
+            .zip(b.verdicts.iter())
+            .filter(|(x, y)| x != y)
+            .take(5)
+            .collect();
+        eprintln!("verdict vectors differ between identical runs: {diffs:?}");
+        failed = true;
+    } else {
+        println!(
+            "verdict determinism: {} (user, seq) verdicts identical across runs",
+            a.verdicts.len()
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("smoke ok");
+        ExitCode::SUCCESS
+    }
+}

@@ -2,25 +2,31 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_6.json`** (schema v6: per-section wall-times
+//! machine-readable **`BENCH_7.json`** (schema v7: per-section wall-times
 //! *and thread counts*, the parallel-frontier object — per-workload
 //! seq/par wall-times and speedups, or `"skipped_single_core": true`
 //! when the host cannot host a fair comparison — the SAT-engine
 //! cdcl-vs-dpll family timings, the `state_store` section: states
 //! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
-//! cached speedup, manager throughput — and the `scenarios` section:
+//! cached speedup, manager throughput — the `scenarios` section:
 //! the named approval-chain corpus with its pinned verdicts plus
-//! chain-depth scaling wall-times up to depth 12) so CI can archive the
-//! perf trajectory; pass `--json PATH` to redirect it.
+//! chain-depth scaling wall-times up to depth 12 — and the `service`
+//! section: idar-server throughput and p50/p99 latency under the seeded
+//! interactive and analysis load mixes, with the server's final
+//! admission counters) so CI can archive the perf trajectory; pass
+//! `--json PATH` to redirect it.
 //!
 //! Perf gates asserted inside the run: the pooled parallel engine must
 //! reach speedup ≥ 1.0 on `subset_lattice(16)` whenever the host
 //! reports ≥ 2 cores (a 1-core host skips the comparison instead of
-//! archiving a bogus < 1 "regression"), and CDCL must solve the
-//! 200k-clause chain in < 100 ms.
+//! archiving a bogus < 1 "regression"), CDCL must solve the
+//! 200k-clause chain in < 100 ms, and the service section must finish
+//! with zero request errors, a clean drain (`accepted == completed` —
+//! no request is ever admitted and then dropped) and p99 ≤ 250 ms on
+//! both mixes.
 //!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_6.json]
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_7.json]
 //! ```
 
 use idar_bench::json::Json;
@@ -35,7 +41,7 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One row of the engine-check table, recorded for `BENCH_6.json`.
+/// One row of the engine-check table, recorded for `BENCH_7.json`.
 struct ParRow {
     name: String,
     states: usize,
@@ -57,7 +63,7 @@ struct ParReport {
     gate_violation: Option<String>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_6.json`.
+/// One row of the SAT-engine table, recorded for `BENCH_7.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -75,8 +81,8 @@ fn main() {
             Some(i) => args
                 .get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_6.json".to_string()),
-            None => "BENCH_6.json".to_string(),
+                .unwrap_or_else(|| "BENCH_7.json".to_string()),
+            None => "BENCH_7.json".to_string(),
         }
     };
     let run_start = Instant::now();
@@ -153,9 +159,12 @@ fn main() {
     let mut scenario_report = None;
     timed("scenarios", dt, &mut || scenario_report = Some(scenarios()));
     let scenario_report = scenario_report.expect("scenarios section ran");
+    let mut service_report = None;
+    timed("service", dt, &mut || service_report = Some(service()));
+    let service_report = service_report.expect("service section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(6)),
+        ("schema_version", Json::Int(7)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         (
@@ -230,6 +239,7 @@ fn main() {
         ),
         ("state_store", store_report.to_json()),
         ("scenarios", scenario_report.to_json()),
+        ("service", service_report.to_json()),
         (
             "total_ms",
             Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
@@ -244,6 +254,10 @@ fn main() {
     // so the regression that tripped it is still archived and diffable.
     if let Some(violation) = par_report.gate_violation {
         eprintln!("\nPERF GATE VIOLATED: {violation}");
+        std::process::exit(1);
+    }
+    if let Some(violation) = service_report.gate_violation {
+        eprintln!("\nSERVICE GATE VIOLATED: {violation}");
         std::process::exit(1);
     }
 
@@ -755,7 +769,7 @@ fn parallel_frontier() -> ParReport {
                 let speedup = seq_ms / par_ms.max(1e-9);
                 if speedup < 1.0 {
                     // Deferred, not asserted here: the violation must not
-                    // abort the run before BENCH_6.json is written, or
+                    // abort the run before BENCH_7.json is written, or
                     // the regression that tripped the gate would be the
                     // one run with no archived report.
                     gate_violation = Some(format!(
@@ -937,7 +951,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_6.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_7.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,
@@ -1127,7 +1141,7 @@ struct ChainRow {
 }
 
 /// The `scenarios` report: named-corpus verdict pins and approval-chain
-/// depth scaling. Written to `BENCH_6.json`.
+/// depth scaling. Written to `BENCH_7.json`.
 struct ScenarioReport {
     named: Vec<ScenarioRow>,
     chain_scaling: Vec<ChainRow>,
@@ -1309,4 +1323,144 @@ fn transformations() {
         after3
     );
     assert_eq!(before, after3);
+}
+
+/// One traffic-mix row of the `service` section.
+struct ServiceRow {
+    mix: String,
+    sent: u64,
+    ok: u64,
+    retried_429: u64,
+    errors: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    accepted: u64,
+    completed: u64,
+    shed: u64,
+    cache_hit_rate: f64,
+}
+
+/// The `service` report: idar-server under the seeded load mixes.
+struct ServiceReport {
+    rows: Vec<ServiceRow>,
+    /// A violated service gate, reported *after* the JSON is written so
+    /// the regression that tripped it is still archived.
+    gate_violation: Option<String>,
+}
+
+impl ServiceReport {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "mixes",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mix", Json::Str(r.mix.clone())),
+                            ("sent", Json::Int(r.sent)),
+                            ("ok", Json::Int(r.ok)),
+                            ("retried_429", Json::Int(r.retried_429)),
+                            ("errors", Json::Int(r.errors)),
+                            ("throughput_rps", Json::Num(r.throughput_rps)),
+                            ("p50_ms", Json::Num(r.p50_ms)),
+                            ("p99_ms", Json::Num(r.p99_ms)),
+                            ("accepted", Json::Int(r.accepted)),
+                            ("completed", Json::Int(r.completed)),
+                            ("shed", Json::Int(r.shed)),
+                            ("cache_hit_rate", Json::Num(r.cache_hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// The analysis service under load: boot a fresh `idar-server` per mix,
+/// drive the seeded generator against it, and record throughput and
+/// latency percentiles alongside the server's own admission counters.
+///
+/// Three gates (deferred like the speedup gate): zero request errors
+/// (every response 2xx or an absorbed 429), a clean drain — `accepted ==
+/// completed`, i.e. no request is ever admitted and then dropped — and
+/// p99 ≤ 250 ms per mix.
+fn service() -> ServiceReport {
+    use idar_bench::load::{self, LoadConfig, TrafficMix};
+    use idar_server::{Server, ServerConfig};
+
+    banner("Analysis service -- idar-server under seeded multi-tenant load");
+    println!(
+        "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}",
+        "mix", "sent", "ok", "retried", "rps", "p50", "p99", "shed"
+    );
+    let mut rows = Vec::new();
+    let mut gate_violation = None;
+    for mix in [TrafficMix::Interactive, TrafficMix::Analysis] {
+        let handle = Server::start("127.0.0.1:0", ServerConfig::default()).expect("server start");
+        let cfg = LoadConfig {
+            addr: handle.addr(),
+            seed: 7,
+            tenants: 4,
+            users: 12,
+            requests_per_user: 10,
+            mix,
+            zipf_s: 1.0,
+            clients: 4,
+            max_retries: 8,
+        };
+        let report = load::run(&cfg);
+        let cache_hit_rate = handle.cache().stats().hit_rate();
+        let finals = handle.shutdown();
+        let row = ServiceRow {
+            mix: mix.name().to_string(),
+            sent: report.sent,
+            ok: report.ok,
+            retried_429: report.retried_429,
+            errors: report.errors,
+            throughput_rps: report.throughput_rps(),
+            p50_ms: report.percentile_ms(50.0),
+            p99_ms: report.percentile_ms(99.0),
+            accepted: finals.accepted,
+            completed: finals.completed,
+            shed: finals.shed,
+            cache_hit_rate,
+        };
+        println!(
+            "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}",
+            row.mix,
+            row.sent,
+            row.ok,
+            row.retried_429,
+            format!("{:.0}/s", row.throughput_rps),
+            format!("{:.1}ms", row.p50_ms),
+            format!("{:.1}ms", row.p99_ms),
+            row.shed
+        );
+        if row.errors > 0 && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{} mix: {} request(s) failed (non-2xx/429)",
+                row.mix, row.errors
+            ));
+        }
+        if row.accepted != row.completed && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{} mix: drain violated — accepted {} but completed {}",
+                row.mix, row.accepted, row.completed
+            ));
+        }
+        if row.p99_ms > 250.0 && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{} mix: p99 {:.1} ms exceeds the 250 ms bound",
+                row.mix, row.p99_ms
+            ));
+        }
+        rows.push(row);
+    }
+    println!("(gates: zero errors, accepted == completed, p99 <= 250 ms per mix)");
+    ServiceReport {
+        rows,
+        gate_violation,
+    }
 }

@@ -13,6 +13,7 @@
 //! plus the `reproduce` binary measure.
 
 pub mod json;
+pub mod load;
 pub mod workloads;
 
 use idar_core::GuardedForm;

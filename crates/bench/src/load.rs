@@ -1,0 +1,553 @@
+//! `idar-load`: a deterministic, seeded load generator for the
+//! `idar-server` service.
+//!
+//! The generator compiles a *schedule* — which users exist, which tenant
+//! each belongs to (zipf-skewed so a few tenants dominate, as real
+//! multi-tenant traffic does), which forms each tenant runs, and the
+//! per-user operation sequence — as a pure function of
+//! [`LoadConfig::seed`]. Execution then drives the schedule over plain
+//! `TcpStream`s from a small pool of client threads.
+//!
+//! Two properties make runs comparable:
+//!
+//! * **verdict determinism** — each user's operations hit only its own
+//!   session (or the stateless analyze route), so the verdict sequence
+//!   per `(user, seq)` is independent of interleaving. Two runs with the
+//!   same config against fresh servers must produce identical
+//!   [`LoadReport::verdicts`]; the smoke mode asserts exactly that.
+//!   Cache provenance (`X-Cache`) is *excluded* — it genuinely depends
+//!   on arrival order.
+//! * **shed transparency** — a 429 is retried (bounded, honouring a
+//!   capped `Retry-After`) without advancing the logical sequence, so
+//!   shedding affects latency, never the verdict vector.
+
+use idar_core::serialize::to_ron;
+use idar_gen::scenario::ScenarioRecipe;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The operation mix a run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficMix {
+    /// Form-filling sessions: open → (safe-updates → vet/submit)* → close.
+    /// Exercises per-tenant sessions and the manager's incremental
+    /// vetting path.
+    Interactive,
+    /// Stateless `POST /v1/analyze` calls over a small form pool.
+    /// Exercises the shared verdict cache across tenants.
+    Analysis,
+}
+
+impl TrafficMix {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficMix::Interactive => "interactive",
+            TrafficMix::Analysis => "analysis",
+        }
+    }
+}
+
+/// A load run specification. Everything observable about the run (except
+/// timing and cache provenance) is a pure function of this struct.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Master seed; schedules are a pure function of it.
+    pub seed: u64,
+    /// Tenant count; tenant `i` is named `t<i>`.
+    pub tenants: usize,
+    /// Total simulated users (each runs one session / request stream).
+    pub users: usize,
+    /// Operations per user (the logical sequence length).
+    pub requests_per_user: usize,
+    /// Which operation mix to drive.
+    pub mix: TrafficMix,
+    /// Zipf skew exponent for user→tenant assignment (0 = uniform).
+    pub zipf_s: f64,
+    /// Client driver threads.
+    pub clients: usize,
+    /// 429 retry budget per logical request.
+    pub max_retries: u32,
+}
+
+impl LoadConfig {
+    /// A small config suitable for smoke tests against `addr`.
+    pub fn smoke(addr: SocketAddr, seed: u64) -> LoadConfig {
+        LoadConfig {
+            addr,
+            seed,
+            tenants: 2,
+            users: 6,
+            requests_per_user: 8,
+            mix: TrafficMix::Interactive,
+            zipf_s: 1.0,
+            clients: 3,
+            max_retries: 8,
+        }
+    }
+}
+
+/// One observed response.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// User index.
+    pub user: usize,
+    /// Logical sequence number within the user's stream.
+    pub seq: usize,
+    /// Final HTTP status (after retries).
+    pub status: u16,
+    /// The `X-Verdict` header, or `-` when absent.
+    pub verdict: String,
+    /// Wall latency of the final (non-429) attempt.
+    pub latency: Duration,
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Logical requests completed (one per schedule slot).
+    pub sent: u64,
+    /// Requests whose final status was 2xx.
+    pub ok: u64,
+    /// 429 responses absorbed by retries (not logical failures).
+    pub retried_429: u64,
+    /// Requests that ended in a transport error or a non-2xx/429 status.
+    pub errors: u64,
+    /// Statuses outside {2xx, 429} that were observed, with counts.
+    pub bad_statuses: Vec<(u16, u64)>,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Sorted final-attempt latencies.
+    pub latencies: Vec<Duration>,
+    /// `(user, seq, verdict)` for every logical request, sorted — the
+    /// cross-run determinism vector.
+    pub verdicts: Vec<(usize, usize, String)>,
+}
+
+impl LoadReport {
+    /// Logical requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        self.sent as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency percentile in milliseconds (`p` in 0..=100).
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)].as_secs_f64() * 1e3
+    }
+}
+
+/// splitmix64 — the same generator the scenario samplers use; good
+/// enough to decorrelate per-user streams from one master seed.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf-assign each of `users` to one of `tenants` ranks with exponent
+/// `s` (rank 0 heaviest). Pure function of the rng state.
+fn zipf_assign(rng: &mut Rng, users: usize, tenants: usize, s: f64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..tenants.max(1))
+        .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    (0..users)
+        .map(|_| {
+            let mut x = rng.unit() * total;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            weights.len() - 1
+        })
+        .collect()
+}
+
+/// The form pool every run draws from: two lightweight chains. Tenants
+/// share pool entries (`tenant % pool`), so tenants with the same rules
+/// exercise the cross-tenant cache-sharing path by construction.
+pub fn form_pool(seed: u64) -> Vec<String> {
+    let recipe = ScenarioRecipe::lightweight();
+    [seed ^ 0x11, seed ^ 0x22]
+        .iter()
+        .map(|s| to_ron(&recipe.sample(*s).build("load").form))
+        .collect()
+}
+
+/// A minimal HTTP/1.1 client exchange: one request, read to EOF
+/// (the server always closes), return `(status, x-verdict, retry-after,
+/// body)`.
+fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    tenant: Option<&str>,
+    body: &str,
+) -> std::io::Result<(u16, String, Option<u64>, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let tenant_header = match tenant {
+        Some(t) => format!("X-Tenant: {t}\r\n"),
+        None => String::new(),
+    };
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: idar\r\n{tenant_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    // A refusing server (429 at admission) may close its read side while
+    // we are still writing; the refusal is nevertheless on the wire, so a
+    // write error must not abort the exchange — read whatever came back.
+    let _ = stream.write_all(request.as_bytes());
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut head_and_body = text.splitn(2, "\r\n\r\n");
+    let head = head_and_body.next().unwrap_or("");
+    let resp_body = head_and_body.next().unwrap_or("").to_string();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    let mut verdict = String::from("-");
+    let mut retry_after = None;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            match k.trim().to_ascii_lowercase().as_str() {
+                "x-verdict" => verdict = v.trim().to_string(),
+                "retry-after" => retry_after = v.trim().parse().ok(),
+                _ => {}
+            }
+        }
+    }
+    Ok((status, verdict, retry_after, resp_body))
+}
+
+/// Pull the quoted strings out of a `{"safe":[...]}` body — the update
+/// tokens the server hands out, treated as opaque by the client.
+fn parse_safe_tokens(body: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut rest = body;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        tokens.push(rest[..end].to_string());
+        rest = &rest[end + 1..];
+    }
+    tokens.retain(|t| t.starts_with("add ") || t.starts_with("del "));
+    tokens
+}
+
+/// Outcome of one logical request after retries.
+struct Attempted {
+    status: u16,
+    verdict: String,
+    body: String,
+    retried: u64,
+    failed_io: bool,
+    latency: Duration,
+}
+
+/// Issue one logical request: retry 429s (capped backoff, preserving the
+/// logical sequence) until `max_retries` is spent.
+fn attempt(
+    cfg: &LoadConfig,
+    method: &str,
+    path: &str,
+    tenant: Option<&str>,
+    body: &str,
+) -> Attempted {
+    let mut retried = 0;
+    loop {
+        let t0 = Instant::now();
+        match exchange(cfg.addr, method, path, tenant, body) {
+            Ok((429, _, retry_after, _)) if retried < cfg.max_retries as u64 => {
+                retried += 1;
+                // Honour Retry-After but cap it: smoke runs must not
+                // stall for the production-sized hint.
+                let hint = Duration::from_secs(retry_after.unwrap_or(0));
+                std::thread::sleep(hint.min(Duration::from_millis(25)));
+            }
+            Ok((status, verdict, _, resp_body)) => {
+                return Attempted {
+                    status,
+                    verdict,
+                    body: resp_body,
+                    retried,
+                    failed_io: false,
+                    latency: t0.elapsed(),
+                }
+            }
+            Err(_) => {
+                return Attempted {
+                    status: 0,
+                    verdict: "io-error".into(),
+                    body: String::new(),
+                    retried,
+                    failed_io: true,
+                    latency: t0.elapsed(),
+                }
+            }
+        }
+    }
+}
+
+/// Per-user state threaded through the schedule.
+struct UserState {
+    tenant: String,
+    form_ron: String,
+    rng: Rng,
+    session: Option<u64>,
+}
+
+/// Drive one user's logical request `seq`, returning the sample and the
+/// number of 429s absorbed along the way.
+fn drive_op(cfg: &LoadConfig, user: usize, seq: usize, st: &mut UserState) -> (Sample, u64) {
+    let last = cfg.requests_per_user - 1;
+    let a = match (cfg.mix, seq) {
+        (TrafficMix::Analysis, _) => {
+            let kind = if st.rng.below(4) == 0 {
+                "semisoundness"
+            } else {
+                "completability"
+            };
+            attempt(
+                cfg,
+                "POST",
+                &format!("/v1/analyze?kind={kind}"),
+                None,
+                &st.form_ron.clone(),
+            )
+        }
+        (TrafficMix::Interactive, 0) => {
+            let a = attempt(
+                cfg,
+                "POST",
+                "/v1/session",
+                Some(&st.tenant),
+                &st.form_ron.clone(),
+            );
+            if a.status == 200 {
+                st.session = extract_session_id(&a.body);
+            }
+            a
+        }
+        (TrafficMix::Interactive, s) if s == last => {
+            let id = st.session.unwrap_or(0);
+            attempt(
+                cfg,
+                "POST",
+                &format!("/v1/session/{id}/close"),
+                Some(&st.tenant),
+                "",
+            )
+        }
+        (TrafficMix::Interactive, _) => {
+            let id = st.session.unwrap_or(0);
+            // Ask what is safe, then vet-or-submit a deterministic pick.
+            let safe = attempt(
+                cfg,
+                "GET",
+                &format!("/v1/session/{id}/safe_updates"),
+                Some(&st.tenant),
+                "",
+            );
+            let tokens = parse_safe_tokens(&safe.body);
+            if safe.status != 200 || tokens.is_empty() {
+                safe
+            } else {
+                let pick = tokens[st.rng.below(tokens.len())].clone();
+                let verb = if st.rng.below(3) == 0 {
+                    "vet"
+                } else {
+                    "submit"
+                };
+                attempt(
+                    cfg,
+                    "POST",
+                    &format!("/v1/session/{id}/{verb}"),
+                    Some(&st.tenant),
+                    &pick,
+                )
+            }
+        }
+    };
+    (
+        Sample {
+            user,
+            seq,
+            status: a.status,
+            verdict: if a.failed_io {
+                "io-error".into()
+            } else {
+                a.verdict.clone()
+            },
+            latency: a.latency,
+        },
+        a.retried,
+    )
+}
+
+/// `{"session":N}` → N.
+fn extract_session_id(body: &str) -> Option<u64> {
+    let digits: String = body
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Execute the run: build the deterministic schedule, drive it from
+/// `cfg.clients` threads (users are partitioned round-robin across
+/// clients; each user's stream stays in order), and aggregate.
+pub fn run(cfg: &LoadConfig) -> LoadReport {
+    let mut master = Rng::new(cfg.seed);
+    let assignment = zipf_assign(&mut master, cfg.users, cfg.tenants, cfg.zipf_s);
+    let pool = form_pool(cfg.seed);
+    let users: Vec<UserState> = (0..cfg.users)
+        .map(|u| {
+            let tenant_idx = assignment[u];
+            UserState {
+                tenant: format!("t{tenant_idx}"),
+                form_ron: pool[tenant_idx % pool.len()].clone(),
+                rng: Rng::new(cfg.seed ^ ((u as u64 + 1) * 0x9E37_79B9)),
+                session: None,
+            }
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let clients = cfg.clients.max(1);
+    let mut per_client: Vec<Vec<(usize, UserState)>> = (0..clients).map(|_| Vec::new()).collect();
+    for (u, st) in users.into_iter().enumerate() {
+        per_client[u % clients].push((u, st));
+    }
+    let mut all_samples: Vec<Sample> = Vec::new();
+    let mut retried_total = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_client
+            .into_iter()
+            .map(|mut batch| {
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut retried = 0u64;
+                    for (u, st) in batch.iter_mut() {
+                        for seq in 0..cfg.requests_per_user {
+                            let (s, r) = drive_op(cfg, *u, seq, st);
+                            retried += r;
+                            samples.push(s);
+                        }
+                    }
+                    (samples, retried)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (samples, retried) = h.join().expect("client thread panicked");
+            all_samples.extend(samples);
+            retried_total += retried;
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<Duration> = all_samples.iter().map(|s| s.latency).collect();
+    latencies.sort();
+    let mut verdicts: Vec<(usize, usize, String)> = all_samples
+        .iter()
+        .map(|s| (s.user, s.seq, s.verdict.clone()))
+        .collect();
+    verdicts.sort();
+    let mut bad: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for s in &all_samples {
+        if (200..300).contains(&s.status) {
+            ok += 1;
+        } else if s.status != 429 {
+            errors += 1;
+            *bad.entry(s.status).or_insert(0) += 1;
+        }
+    }
+    LoadReport {
+        sent: all_samples.len() as u64,
+        ok,
+        retried_429: retried_total,
+        errors,
+        bad_statuses: bad.into_iter().collect(),
+        wall,
+        latencies,
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_toward_rank_zero() {
+        let mut rng = Rng::new(7);
+        let assign = zipf_assign(&mut rng, 1000, 4, 1.2);
+        let count0 = assign.iter().filter(|&&t| t == 0).count();
+        let count3 = assign.iter().filter(|&&t| t == 3).count();
+        assert!(
+            count0 > count3 * 2,
+            "rank 0 got {count0}, rank 3 got {count3}"
+        );
+    }
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        assert_eq!(
+            zipf_assign(&mut a, 50, 3, 1.0),
+            zipf_assign(&mut b, 50, 3, 1.0)
+        );
+        assert_eq!(form_pool(42), form_pool(42));
+        assert_ne!(form_pool(42)[0], form_pool(42)[1]);
+    }
+
+    #[test]
+    fn safe_token_parser_ignores_non_update_strings() {
+        let tokens = parse_safe_tokens("{\"safe\":[\"add 0 chain/sig\",\"del 3\"]}");
+        assert_eq!(tokens, vec!["add 0 chain/sig", "del 3"]);
+        assert!(parse_safe_tokens("{\"error\":\"nope\"}").is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! A minimal HTTP/1.1 codec — just enough protocol for the analysis
+//! service and its load generator, with zero dependencies (the same
+//! offline-environment precedent as the proptest/criterion shims).
+//!
+//! Supported surface: request line + headers + `Content-Length` bodies,
+//! one request per connection (every response carries
+//! `Connection: close`). Chunked transfer encoding, continuation lines
+//! and percent-decoding are deliberately out of scope; the parser is
+//! strict about what it does accept and bounds both head and body sizes
+//! before buffering them.
+
+use std::io::{self, Read, Write};
+
+/// Size bounds applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` above this is rejected
+    /// before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection before sending a complete request
+    /// (clean EOF at byte 0 included). No response should be written.
+    Closed,
+    /// A transport error (timeouts included).
+    Io(io::Error),
+    /// The bytes were not a well-formed HTTP/1.1 request (reply 400).
+    Malformed(String),
+    /// Head or declared body size exceeded [`HttpLimits`] (reply 413).
+    TooLarge,
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> RecvError {
+        RecvError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `k=v` query pairs in target order (no percent-decoding).
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body (UTF-8; invalid sequences are rejected as malformed).
+    pub body: String,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query value with the given name.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from the stream, enforcing `limits`.
+pub fn read_request(stream: &mut impl Read, limits: &HttpLimits) -> Result<Request, RecvError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(RecvError::TooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RecvError::Closed);
+            }
+            return Err(RecvError::Malformed("eof inside request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RecvError::Malformed("head is not utf-8".into()))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RecvError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RecvError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (
+            p.to_string(),
+            q.split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (kv.to_string(), String::new()),
+                })
+                .collect(),
+        ),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RecvError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| RecvError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(RecvError::TooLarge);
+    }
+
+    // The body may be partially buffered already; read the remainder.
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RecvError::Malformed("eof inside body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body =
+        String::from_utf8(body).map_err(|_| RecvError::Malformed("body is not utf-8".into()))?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Byte offset of the first `\r\n\r\n`, if complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `Content-Length` and
+    /// `Connection: close` are emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Attach a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialize to the wire.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RecvError> {
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor, &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = parse(
+            b"POST /v1/analyze?kind=completability HTTP/1.1\r\n\
+              Host: x\r\nX-Tenant: acme\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/analyze");
+        assert_eq!(req.query("kind"), Some("completability"));
+        assert_eq!(req.header("x-tenant"), Some("acme"));
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(b""), Err(RecvError::Closed)));
+    }
+
+    #[test]
+    fn truncated_head_is_malformed() {
+        assert!(matches!(
+            parse(b"GET /healthz HTTP/1.1\r\nHos"),
+            Err(RecvError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_read() {
+        let text = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 100 << 20);
+        assert!(matches!(parse(text.as_bytes()), Err(RecvError::TooLarge)));
+    }
+
+    #[test]
+    fn response_wire_format_round_trips_lengths() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"overloaded\"}")
+            .header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"overloaded\"}"));
+    }
+
+    #[test]
+    fn json_escape_covers_the_control_plane() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

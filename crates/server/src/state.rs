@@ -1,0 +1,186 @@
+//! Process-wide server state: tenants, sessions, metrics, and the
+//! load-shedding test gate.
+//!
+//! Locking discipline (finest to coarsest holding time):
+//!
+//! * the tenant *map* lock is held only to clone a `Arc<Tenant>` out;
+//! * a tenant's *session map* lock is held only to clone a session
+//!   `Arc<Mutex<FormManager>>` out (or insert/remove one);
+//! * a *session* lock is held for the duration of one operation on that
+//!   session — two requests to the same session serialize (a form
+//!   session is a linearizable object: vet-then-apply must not
+//!   interleave), while requests to different sessions or tenants run
+//!   concurrently on different workers.
+//!
+//! No analysis ever runs under the map locks.
+
+use idar_solver::cache::CacheStats;
+use idar_solver::VerdictCache;
+use idar_workflow::manager::FormManager;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One tenant: an id-keyed map of live form sessions.
+pub(crate) struct Tenant {
+    /// Live sessions; the per-session mutex serializes operations on one
+    /// session without blocking the rest of the tenant.
+    pub sessions: Mutex<HashMap<u64, Arc<Mutex<FormManager>>>>,
+    /// Next session id.
+    pub next_session: AtomicU64,
+}
+
+impl Tenant {
+    pub fn new() -> Tenant {
+        Tenant {
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+}
+
+/// The tenant registry plus the process-wide verdict cache.
+pub(crate) struct Tenants {
+    map: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl Tenants {
+    pub fn new() -> Tenants {
+        Tenants {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Get or create a tenant by name.
+    pub fn get_or_create(&self, name: &str) -> Arc<Tenant> {
+        let mut map = self.map.lock().expect("tenant map poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Tenant::new()))
+            .clone()
+    }
+
+    /// Get an existing tenant.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.map
+            .lock()
+            .expect("tenant map poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// (tenant count, live session count) for the metrics endpoint.
+    pub fn counts(&self) -> (usize, usize) {
+        let map = self.map.lock().expect("tenant map poisoned");
+        let sessions = map
+            .values()
+            .map(|t| t.sessions.lock().expect("session map poisoned").len())
+            .sum();
+        (map.len(), sessions)
+    }
+}
+
+/// Monotonic service counters. `accepted` counts connections admitted
+/// past the bounded queue; `shed` counts 429 rejections; `completed`
+/// counts admitted connections fully handled (response written or peer
+/// gone). After a graceful shutdown `accepted == completed` — the drain
+/// invariant the tests and the smoke job assert.
+#[derive(Default)]
+pub struct Metrics {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+    pub(crate) sessions_opened: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`], plus cache and registry gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connections admitted to the worker queue.
+    pub accepted: u64,
+    /// Connections rejected with 429 at admission.
+    pub shed: u64,
+    /// Admitted connections fully handled.
+    pub completed: u64,
+    /// Requests answered 4xx for protocol reasons (not shedding).
+    pub bad_requests: u64,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Live tenants.
+    pub tenants: usize,
+    /// Live sessions across all tenants.
+    pub sessions: usize,
+}
+
+impl Metrics {
+    pub(crate) fn snapshot(&self, tenants: &Tenants) -> MetricsSnapshot {
+        let (tenant_count, session_count) = tenants.counts();
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            bad_requests: self.bad_requests.load(Ordering::SeqCst),
+            sessions_opened: self.sessions_opened.load(Ordering::SeqCst),
+            tenants: tenant_count,
+            sessions: session_count,
+        }
+    }
+}
+
+/// Shared verdict-cache statistics, re-exported for the `/metrics`
+/// endpoint and the bench harness.
+pub fn cache_stats(cache: &VerdictCache) -> CacheStats {
+    cache.stats()
+}
+
+/// A deterministic load-shedding **test instrument**: while held, every
+/// worker blocks at the head of request handling (after the request is
+/// parsed, before it is dispatched), so a test can saturate the worker
+/// pool and the admission queue without timing races. `waiting()` tells
+/// the test how many workers are parked.
+///
+/// Production configs leave this unset; it costs one branch per request.
+#[derive(Default)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    held: bool,
+    waiting: usize,
+}
+
+impl Gate {
+    /// A released gate.
+    pub fn new() -> Arc<Gate> {
+        Arc::new(Gate::default())
+    }
+
+    /// Engage the gate: subsequent requests park in `Gate::pass`.
+    pub fn hold(&self) {
+        self.state.lock().expect("gate poisoned").held = true;
+    }
+
+    /// Release the gate and wake every parked worker.
+    pub fn release(&self) {
+        self.state.lock().expect("gate poisoned").held = false;
+        self.cv.notify_all();
+    }
+
+    /// How many workers are currently parked at the gate.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().expect("gate poisoned").waiting
+    }
+
+    /// Block while the gate is held.
+    pub(crate) fn pass(&self) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        while st.held {
+            st.waiting += 1;
+            st = self.cv.wait(st).expect("gate poisoned");
+            st.waiting -= 1;
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared helpers for the server integration tests: a blocking HTTP
+//! client and the canonical two-sibling test form.
+//!
+//! Each integration-test binary compiles its own copy, so helpers a
+//! given binary does not use would trip `dead_code`.
+#![allow(dead_code)]
+
+use idar_core::serialize::to_ron;
+use idar_core::{AccessRules, Formula, GuardedForm, Instance, Right, Schema};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One HTTP exchange; returns `(status, headers, body)`. Headers are
+/// lowercased. Write errors are tolerated (a shedding server closes its
+/// read side early); the response is what counts.
+pub fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    tenant: Option<&str>,
+    body: &str,
+) -> (u16, HashMap<String, String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let tenant_header = match tenant {
+        Some(t) => format!("X-Tenant: {t}\r\n"),
+        None => String::new(),
+    };
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\n{tenant_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(request.as_bytes());
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, resp_body) = text.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, resp_body.to_string())
+}
+
+/// The two-sibling form from the manager's cache test: schema `p(b)`,
+/// everything addable, init `p, p`, completion `p[b]`. Its safe-update
+/// sweep makes exactly 2 oracle runs and 1 cache hit cold, all hits
+/// warm — the 2/3 hit-rate pin.
+pub fn two_sibling_form() -> GuardedForm {
+    let schema = Arc::new(Schema::parse("p(b)").unwrap());
+    let mut rules = AccessRules::new(&schema);
+    rules.set(
+        Right::Add,
+        schema.resolve("p").unwrap(),
+        Formula::parse("true").unwrap(),
+    );
+    rules.set(
+        Right::Add,
+        schema.resolve("p/b").unwrap(),
+        Formula::parse("true").unwrap(),
+    );
+    let init = Instance::parse(schema.clone(), "p, p").unwrap();
+    GuardedForm::new(schema, rules, init, Formula::parse("p[b]").unwrap())
+}
+
+/// The form as a request body.
+pub fn two_sibling_ron() -> String {
+    to_ron(&two_sibling_form())
+}
+
+/// Pull the quoted update tokens out of a `{"safe":[...]}` body.
+pub fn safe_tokens(body: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut rest = body;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        tokens.push(rest[..end].to_string());
+        rest = &rest[end + 1..];
+    }
+    tokens.retain(|t| t.starts_with("add ") || t.starts_with("del "));
+    tokens
+}
+
+/// `{"session":N}` → N.
+pub fn session_id(body: &str) -> u64 {
+    body.chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("session id in body")
+}

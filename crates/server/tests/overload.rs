@@ -1,0 +1,181 @@
+//! Overload shedding and graceful-drain behaviour, made deterministic
+//! with the [`Gate`] test instrument: holding the gate parks every
+//! worker after request parse, so the tests control exactly when the
+//! pool saturates — no sleeps standing in for synchronization.
+
+mod common;
+
+use common::{exchange, session_id, two_sibling_ron};
+use idar_server::{Gate, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    // Generous: under `cargo test --workspace` many test binaries share
+    // the CPU, and a parked-worker handoff can take a while to schedule.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Saturate the pool and the queue, then watch an excess request get
+/// shed — and verify the shed submit never touched the session it was
+/// aimed at.
+#[test]
+fn shed_requests_never_partially_mutate_a_session() {
+    let gate = Gate::new();
+    let config = ServerConfig {
+        threads: 2,
+        concurrency: 2,
+        queue_capacity: 1,
+        gate: Some(gate.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", config).expect("server start");
+    let addr = handle.addr();
+
+    // A live session whose state the shed request must not touch.
+    let (status, _, body) = exchange(
+        addr,
+        "POST",
+        "/v1/session",
+        Some("acme"),
+        &two_sibling_ron(),
+    );
+    assert_eq!(status, 200);
+    let sid = session_id(&body);
+
+    // Park both workers — one at a time, so the 1-slot queue never holds
+    // two simultaneous connects (that would shed a parker) — then queue
+    // one filler: the queue is now at capacity and every further
+    // connection is shed.
+    gate.hold();
+    let mut parkers = Vec::new();
+    for i in 0..2 {
+        parkers.push(std::thread::spawn(move || {
+            exchange(addr, "GET", "/healthz", None, "")
+        }));
+        wait_until("worker parked", || gate.waiting() == i + 1);
+    }
+    let filler = std::thread::spawn(move || exchange(addr, "GET", "/healthz", None, ""));
+    wait_until("filler queued", || handle.metrics().accepted >= 4);
+
+    // The excess submit — a request that *would* mutate the session —
+    // is refused at admission with 429 + Retry-After.
+    let (status, headers, _) = exchange(
+        addr,
+        "POST",
+        &format!("/v1/session/{sid}/submit"),
+        Some("acme"),
+        "add 1 p/b",
+    );
+    assert_eq!(status, 429, "excess request must be shed");
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("1"));
+    assert!(handle.metrics().shed >= 1);
+
+    gate.release();
+    for p in parkers {
+        assert_eq!(p.join().unwrap().0, 200);
+    }
+    assert_eq!(filler.join().unwrap().0, 200);
+
+    // The session is exactly as it was: zero history, still open.
+    let (status, _, body) = exchange(addr, "GET", &format!("/v1/session/{sid}"), Some("acme"), "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"history\":0"),
+        "shed submit mutated the session: {body}"
+    );
+
+    let finals = handle.shutdown();
+    assert_eq!(finals.accepted, finals.completed, "drain invariant");
+}
+
+/// Requests in flight — parked mid-handling and queued-but-unclaimed —
+/// when shutdown begins still complete with real responses.
+#[test]
+fn inflight_and_queued_requests_complete_on_shutdown() {
+    let gate = Gate::new();
+    let config = ServerConfig {
+        threads: 2,
+        concurrency: 2,
+        queue_capacity: 8,
+        gate: Some(gate.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", config).expect("server start");
+    let addr = handle.addr();
+
+    // Two in-flight (parked in their workers) + one queued behind them.
+    gate.hold();
+    let form = two_sibling_ron();
+    let inflight: Vec<_> = (0..2)
+        .map(|_| {
+            let form = form.clone();
+            std::thread::spawn(move || {
+                exchange(addr, "POST", "/v1/analyze?kind=completability", None, &form)
+            })
+        })
+        .collect();
+    wait_until("both workers parked", || gate.waiting() == 2);
+    let queued = {
+        let form = form.clone();
+        std::thread::spawn(move || {
+            exchange(addr, "POST", "/v1/analyze?kind=completability", None, &form)
+        })
+    };
+    wait_until("third request queued", || handle.metrics().accepted >= 3);
+
+    // Begin shutdown while all three are unfinished, then let them run.
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(30)); // let the flag land
+    assert_eq!(gate.waiting(), 2, "shutdown must not abort parked work");
+    gate.release();
+
+    for t in inflight {
+        let (status, headers, _) = t.join().unwrap();
+        assert_eq!(status, 200, "in-flight analysis must complete");
+        assert_eq!(headers.get("x-verdict").map(String::as_str), Some("holds"));
+    }
+    let (status, _, _) = queued.join().unwrap();
+    assert_eq!(status, 200, "queued request must still be served");
+
+    let finals = shutdown.join().unwrap();
+    assert_eq!(finals.accepted, finals.completed, "drain invariant");
+    assert!(finals.accepted >= 3);
+}
+
+/// A burst far beyond the queue sheds cleanly: every response is 200 or
+/// 429, and after the drain `accepted == completed` exactly.
+#[test]
+fn burst_sheds_cleanly_and_drains() {
+    let config = ServerConfig {
+        threads: 2,
+        concurrency: 2,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start("127.0.0.1:0", config).expect("server start");
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..40)
+        .map(|_| std::thread::spawn(move || exchange(addr, "GET", "/healthz", None, "").0))
+        .collect();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for c in clients {
+        match c.join().unwrap() {
+            200 => ok += 1,
+            429 => shed += 1,
+            other => panic!("unexpected status {other} under overload"),
+        }
+    }
+    assert_eq!(ok + shed, 40);
+    assert!(ok >= 1, "some requests must get through");
+
+    let finals = handle.shutdown();
+    assert_eq!(finals.accepted, finals.completed, "drain invariant");
+    assert_eq!(finals.accepted, ok, "every admitted request completed");
+    assert_eq!(finals.shed, shed, "shed counter matches observed 429s");
+}

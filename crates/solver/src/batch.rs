@@ -291,7 +291,12 @@ impl BatchAnalyzer {
 /// idle pool members), and both at least 1. A saturated pool implies
 /// single-threaded inner searches; a lone job gets the whole budget
 /// within-form.
-fn split_threads(threads: usize, jobs: usize) -> (usize, usize) {
+///
+/// Exported because every layered consumer of the pipeline has the same
+/// oversubscription problem the batch analyzer had: `idar-server` splits
+/// its budget between HTTP workers and per-request explorer threads with
+/// this exact function.
+pub fn split_threads(threads: usize, jobs: usize) -> (usize, usize) {
     let threads = threads.max(1);
     let pool = threads.min(jobs).max(1);
     let inner = (threads / pool).max(1);

@@ -44,7 +44,7 @@ pub use analysis::{
     analyze, analyze_keyed, analyze_with, AnalysisKind, AnalysisReport, AnalysisRequest, Budget,
     CacheProvenance,
 };
-pub use batch::{AnalysisSelection, BatchAnalyzer, BatchItem, FormReport};
+pub use batch::{split_threads, AnalysisSelection, BatchAnalyzer, BatchItem, FormReport};
 pub use cache::{
     rules_signature_of, CacheKey, CacheStats, CachedVerdict, RulesSignature, VerdictCache,
 };

@@ -79,6 +79,11 @@ pub struct FormManager {
     /// The memoised rule signature shared by every vet of this session
     /// (the rules never change; only the initial instance does).
     rules_sig: RulesSignature,
+    /// Explorer threads granted to each oracle run (`None`: the explorer
+    /// default). Layered hosts (e.g. `idar-server`, whose HTTP workers
+    /// each drive a manager) pin this to their `split_threads` share so
+    /// sessions never oversubscribe the host's budget.
+    threads: Option<usize>,
 }
 
 impl FormManager {
@@ -95,6 +100,7 @@ impl FormManager {
             history: Vec::new(),
             cache: Arc::new(VerdictCache::new()),
             rules_sig,
+            threads: None,
         }
     }
 
@@ -102,6 +108,13 @@ impl FormManager {
     /// same deployed form behind one server).
     pub fn with_cache(mut self, cache: Arc<VerdictCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Pin the explorer-thread grant of every oracle run this session
+    /// makes (thread counts are accounting, never verdict-affecting).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -113,6 +126,12 @@ impl FormManager {
     /// Hit/miss counters of the manager's oracle cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The form this session runs (rules and schema never change; only
+    /// the live instance does).
+    pub fn form(&self) -> &GuardedForm {
+        &self.form
     }
 
     /// The live instance.
@@ -148,7 +167,10 @@ impl FormManager {
             AnalysisKind::Completability,
             &self.oracle,
         );
-        let request = AnalysisRequest::completability(sub).with_budget(self.oracle.clone());
+        let mut request = AnalysisRequest::completability(sub).with_budget(self.oracle.clone());
+        if let Some(t) = self.threads {
+            request = request.with_threads(t);
+        }
         match analyze_keyed(&request, &self.cache, &key).verdict {
             Verdict::Holds => Ok(()),
             Verdict::Fails => Err(Rejection::WouldStrand),

@@ -20,6 +20,9 @@
 //! * [`gen`] — seed-driven scenario generation: fragment-parameterised
 //!   guarded-form generators, the deterministic builders the benches
 //!   share, and verdict-preserving shrinking for fuzz repros.
+//! * [`server`] — the multi-tenant analysis service: a std-only HTTP
+//!   front end over the pipeline with per-tenant form sessions, a
+//!   process-wide verdict cache, and budgeted admission control.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +44,6 @@ pub use idar_gen as gen;
 pub use idar_logic as logic;
 pub use idar_machines as machines;
 pub use idar_reductions as reductions;
+pub use idar_server as server;
 pub use idar_solver as solver;
 pub use idar_workflow as workflow;
