@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! load --addr 127.0.0.1:8080 [--seed N] [--tenants N] [--users N]
-//!      [--requests N] [--mix interactive|analysis] [--clients N]
+//!      [--requests N] [--mix interactive|analysis|edit-burst] [--clients N]
 //! load --smoke [--seed N]
 //! ```
 //!
@@ -35,12 +35,13 @@ fn main() -> ExitCode {
     }
 
     let Some(addr) = get("--addr").and_then(|a| a.parse().ok()) else {
-        eprintln!("usage: load --addr HOST:PORT [--seed N] [--tenants N] [--users N] [--requests N] [--mix interactive|analysis] [--clients N]");
+        eprintln!("usage: load --addr HOST:PORT [--seed N] [--tenants N] [--users N] [--requests N] [--mix interactive|analysis|edit-burst] [--clients N]");
         eprintln!("       load --smoke [--seed N]");
         return ExitCode::from(2);
     };
     let mix = match get("--mix").as_deref() {
         Some("analysis") => TrafficMix::Analysis,
+        Some("edit-burst") => TrafficMix::EditBurst,
         _ => TrafficMix::Interactive,
     };
     let cfg = LoadConfig {

@@ -2,7 +2,7 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_7.json`** (schema v7: per-section wall-times
+//! machine-readable **`BENCH_8.json`** (schema v8: per-section wall-times
 //! *and thread counts*, the parallel-frontier object — per-workload
 //! seq/par wall-times and speedups, or `"skipped_single_core": true`
 //! when the host cannot host a fair comparison — the SAT-engine
@@ -10,23 +10,28 @@
 //! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
 //! cached speedup, manager throughput — the `scenarios` section:
 //! the named approval-chain corpus with its pinned verdicts plus
-//! chain-depth scaling wall-times up to depth 12 — and the `service`
-//! section: idar-server throughput and p50/p99 latency under the seeded
-//! interactive and analysis load mixes, with the server's final
-//! admission counters) so CI can archive the perf trajectory; pass
-//! `--json PATH` to redirect it.
+//! chain-depth scaling wall-times up to depth 12 — the `incremental`
+//! section: post-edit `safe_updates` latency answered by a retained
+//! session graph vs an always-cold re-solve, with per-workload speedup
+//! and graph-hit rate — and the `service` section: idar-server
+//! throughput and p50/p99 latency under the seeded interactive,
+//! analysis, and edit-burst load mixes, with the server's final
+//! admission counters and session graph-hit rate) so CI can archive
+//! the perf trajectory; pass `--json PATH` to redirect it.
 //!
 //! Perf gates asserted inside the run: the pooled parallel engine must
 //! reach speedup ≥ 1.0 on `subset_lattice(16)` whenever the host
 //! reports ≥ 2 cores (a 1-core host skips the comparison instead of
 //! archiving a bogus < 1 "regression"), CDCL must solve the
-//! 200k-clause chain in < 100 ms, and the service section must finish
-//! with zero request errors, a clean drain (`accepted == completed` —
-//! no request is ever admitted and then dropped) and p99 ≤ 250 ms on
-//! both mixes.
+//! 200k-clause chain in < 100 ms, the incremental section must answer
+//! post-edit `safe_updates` ≥ 10× faster warm than cold on both of its
+//! workloads, and the service section must finish with zero request
+//! errors, a clean drain (`accepted == completed` — no request is ever
+//! admitted and then dropped), p99 ≤ 250 ms on every mix, and a
+//! retained-graph path that actually engages under the edit-burst mix.
 //!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_7.json]
+//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_8.json]
 //! ```
 
 use idar_bench::json::Json;
@@ -41,7 +46,7 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One row of the engine-check table, recorded for `BENCH_7.json`.
+/// One row of the engine-check table, recorded for `BENCH_8.json`.
 struct ParRow {
     name: String,
     states: usize,
@@ -63,7 +68,7 @@ struct ParReport {
     gate_violation: Option<String>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_7.json`.
+/// One row of the SAT-engine table, recorded for `BENCH_8.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -81,8 +86,8 @@ fn main() {
             Some(i) => args
                 .get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_7.json".to_string()),
-            None => "BENCH_7.json".to_string(),
+                .unwrap_or_else(|| "BENCH_8.json".to_string()),
+            None => "BENCH_8.json".to_string(),
         }
     };
     let run_start = Instant::now();
@@ -159,12 +164,17 @@ fn main() {
     let mut scenario_report = None;
     timed("scenarios", dt, &mut || scenario_report = Some(scenarios()));
     let scenario_report = scenario_report.expect("scenarios section ran");
+    let mut incremental_report = None;
+    timed("incremental", dt, &mut || {
+        incremental_report = Some(incremental())
+    });
+    let incremental_report = incremental_report.expect("incremental section ran");
     let mut service_report = None;
     timed("service", dt, &mut || service_report = Some(service()));
     let service_report = service_report.expect("service section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(7)),
+        ("schema_version", Json::Int(8)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         (
@@ -239,6 +249,7 @@ fn main() {
         ),
         ("state_store", store_report.to_json()),
         ("scenarios", scenario_report.to_json()),
+        ("incremental", incremental_report.to_json()),
         ("service", service_report.to_json()),
         (
             "total_ms",
@@ -254,6 +265,10 @@ fn main() {
     // so the regression that tripped it is still archived and diffable.
     if let Some(violation) = par_report.gate_violation {
         eprintln!("\nPERF GATE VIOLATED: {violation}");
+        std::process::exit(1);
+    }
+    if let Some(violation) = incremental_report.gate_violation {
+        eprintln!("\nINCREMENTAL GATE VIOLATED: {violation}");
         std::process::exit(1);
     }
     if let Some(violation) = service_report.gate_violation {
@@ -769,7 +784,7 @@ fn parallel_frontier() -> ParReport {
                 let speedup = seq_ms / par_ms.max(1e-9);
                 if speedup < 1.0 {
                     // Deferred, not asserted here: the violation must not
-                    // abort the run before BENCH_7.json is written, or
+                    // abort the run before BENCH_8.json is written, or
                     // the regression that tripped the gate would be the
                     // one run with no archived report.
                     gate_violation = Some(format!(
@@ -951,7 +966,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_7.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_8.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,
@@ -1098,15 +1113,24 @@ fn state_store() -> StoreReport {
     let manager_warm_ms = t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(safe_cold, safe_warm);
     let stats = mgr.cache_stats();
-    assert!(stats.hits > 0, "warm safe_updates must hit the cache");
+    let recompute = mgr.recompute_stats();
+    // With a retained session graph the warm sweep is answered by graph
+    // lookups or resumed frontier extensions and never probes the shared
+    // cache; without one (method or memory budget disabled it) the warm
+    // sweep must hit the cache.
+    assert!(
+        stats.hits > 0 || recompute.graph_hits + recompute.frontier_extends > 0,
+        "warm safe_updates must be answered from the cache or the session graph"
+    );
     println!(
         "manager safe_updates ({} candidates): cold {:.2} ms, warm {:.3} ms \
-         -> {:.0}x, hit rate {:.2}",
+         -> {:.0}x, cache hit rate {:.2}, warm graph answers {}",
         safe_cold.len(),
         manager_cold_ms,
         manager_warm_ms,
         manager_cold_ms / manager_warm_ms.max(1e-9),
         stats.hit_rate(),
+        recompute.graph_hits + recompute.frontier_extends,
     );
     println!("(the >= 10x cached-re-analysis bound is asserted above; the plain");
     println!("column counts ordered trees -- what exploration would visit without");
@@ -1141,7 +1165,7 @@ struct ChainRow {
 }
 
 /// The `scenarios` report: named-corpus verdict pins and approval-chain
-/// depth scaling. Written to `BENCH_7.json`.
+/// depth scaling. Written to `BENCH_8.json`.
 struct ScenarioReport {
     named: Vec<ScenarioRow>,
     chain_scaling: Vec<ChainRow>,
@@ -1325,6 +1349,165 @@ fn transformations() {
     assert_eq!(before, after3);
 }
 
+/// One workload row of the `incremental` section.
+struct IncrementalRow {
+    workload: String,
+    retained_states: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    graph_hit_rate: f64,
+}
+
+/// The `incremental` report: post-edit `safe_updates` answered by a
+/// retained session graph vs an always-cold re-solve.
+struct IncrementalReport {
+    rows: Vec<IncrementalRow>,
+    /// A violated warm-vs-cold gate, reported *after* the JSON is
+    /// written so the regression that tripped it is still archived.
+    gate_violation: Option<String>,
+}
+
+impl IncrementalReport {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "workloads",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::Str(r.workload.clone())),
+                            ("retained_states", Json::Int(r.retained_states as u64)),
+                            ("cold_ms", Json::Num(r.cold_ms)),
+                            ("warm_ms", Json::Num(r.warm_ms)),
+                            ("speedup", Json::Num(r.cold_ms / r.warm_ms.max(1e-9))),
+                            ("graph_hit_rate", Json::Num(r.graph_hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// Incremental re-analysis: after one edit to a live form session, how
+/// fast is the next `safe_updates` sweep when the manager kept its
+/// explored state graph vs when every candidate is re-solved cold?
+///
+/// Both managers run the same budget (bounded exploration forced so the
+/// deletion-free approval chain exercises the session path rather than
+/// positive saturation) and fresh, unshared verdict caches — the cold
+/// manager's graph is disabled via a zero memory budget, so its sweep is
+/// the pre-session cost a stateless deployment pays on every edit. The
+/// ≥ 10× warm-vs-cold bound is the section's deferred perf gate.
+fn incremental() -> IncrementalReport {
+    use idar_solver::{Budget, Method, VerdictCache};
+    use idar_workflow::manager::{FormManager, UnknownPolicy};
+
+    banner("Incremental re-analysis -- retained session graph vs cold re-solve");
+    println!(
+        "{:<26}{:>10}{:>12}{:>12}{:>10}{:>10}",
+        "workload", "states", "cold", "warm", "speedup", "gh-rate"
+    );
+
+    let limits = ExploreLimits {
+        max_states: 1 << 20,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    };
+    let mut budget = Budget::with_limits(limits);
+    budget.force_method = Some(Method::BoundedExploration);
+
+    let mut rows = Vec::new();
+    let mut gate_violation = None;
+    for w in [
+        workloads::approval_chain(8, 2, 3),
+        workloads::subset_lattice(12),
+    ] {
+        // Warm: one manager that retains its session graph across the
+        // edit. The first sweep (untimed) builds the graph and picks the
+        // edit; the timed sweeps after `submit` are pure graph queries.
+        let mut warm = FormManager::new(w.form.clone(), budget.clone(), UnknownPolicy::Reject)
+            .with_cache(Arc::new(VerdictCache::new()));
+        let edit = *warm
+            .safe_updates()
+            .first()
+            .expect("workload has a safe first edit");
+        warm.submit(edit).expect("safe edit accepted");
+        let warm_safe = warm.safe_updates();
+        let reps = 50;
+        let t = Instant::now();
+        for _ in 0..reps {
+            assert_eq!(
+                warm.safe_updates(),
+                warm_safe,
+                "{}: warm sweep unstable",
+                w.name
+            );
+        }
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let stats = warm.recompute_stats();
+        assert!(
+            stats.graph_hits > 0,
+            "{}: the warm sweep must be answered from the retained graph",
+            w.name
+        );
+        let retained = warm.retained_states().expect("session graph retained");
+
+        // Cold: fresh manager, fresh cache, graph disabled — take the
+        // best of several runs so the gate compares against the cold
+        // path's *fastest* showing.
+        let mut cold_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let mut cold = FormManager::new(w.form.clone(), budget.clone(), UnknownPolicy::Reject)
+                .with_cache(Arc::new(VerdictCache::new()))
+                .with_max_retained_states(0);
+            cold.submit(edit).expect("safe edit accepted");
+            let t = Instant::now();
+            let cold_safe = cold.safe_updates();
+            cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                cold_safe, warm_safe,
+                "{}: warm and cold sweeps diverge",
+                w.name
+            );
+        }
+
+        let row = IncrementalRow {
+            workload: w.name.clone(),
+            retained_states: retained,
+            cold_ms,
+            warm_ms,
+            graph_hit_rate: stats.graph_hit_rate(),
+        };
+        println!(
+            "{:<26}{:>10}{:>12}{:>12}{:>10}{:>10}",
+            row.workload,
+            row.retained_states,
+            format!("{:.3}ms", row.cold_ms),
+            format!("{:.4}ms", row.warm_ms),
+            format!("{:.0}x", row.cold_ms / row.warm_ms.max(1e-9)),
+            format!("{:.2}", row.graph_hit_rate),
+        );
+        if row.cold_ms < 10.0 * row.warm_ms && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{}: warm post-edit safe_updates must be >= 10x faster than cold \
+                 (cold {:.3} ms vs warm {:.4} ms)",
+                row.workload, row.cold_ms, row.warm_ms
+            ));
+        }
+        rows.push(row);
+    }
+    println!("(gate: warm >= 10x cold on both workloads; warm sweeps are graph");
+    println!("lookups on the session retained across the edit, cold sweeps re-solve");
+    println!("every candidate from scratch)");
+    IncrementalReport {
+        rows,
+        gate_violation,
+    }
+}
+
 /// One traffic-mix row of the `service` section.
 struct ServiceRow {
     mix: String,
@@ -1339,6 +1522,7 @@ struct ServiceRow {
     completed: u64,
     shed: u64,
     cache_hit_rate: f64,
+    graph_hit_rate: f64,
 }
 
 /// The `service` report: idar-server under the seeded load mixes.
@@ -1370,6 +1554,7 @@ impl ServiceReport {
                             ("completed", Json::Int(r.completed)),
                             ("shed", Json::Int(r.shed)),
                             ("cache_hit_rate", Json::Num(r.cache_hit_rate)),
+                            ("graph_hit_rate", Json::Num(r.graph_hit_rate)),
                         ])
                     })
                     .collect(),
@@ -1380,31 +1565,46 @@ impl ServiceReport {
 
 /// The analysis service under load: boot a fresh `idar-server` per mix,
 /// drive the seeded generator against it, and record throughput and
-/// latency percentiles alongside the server's own admission counters.
+/// latency percentiles alongside the server's own admission counters
+/// and session re-analysis provenance.
 ///
-/// Three gates (deferred like the speedup gate): zero request errors
+/// The edit-burst mix runs longer sessions with fewer users, so most of
+/// its operations are post-edit queries against an already-built session
+/// graph — the traffic shape the incremental layer retains graphs for.
+///
+/// Four gates (deferred like the speedup gate): zero request errors
 /// (every response 2xx or an absorbed 429), a clean drain — `accepted ==
-/// completed`, i.e. no request is ever admitted and then dropped — and
-/// p99 ≤ 250 ms per mix.
+/// completed`, i.e. no request is ever admitted and then dropped —
+/// p99 ≤ 250 ms per mix, and warm engagement under edit-burst: at least
+/// one session oracle call answered from the retained graph.
 fn service() -> ServiceReport {
     use idar_bench::load::{self, LoadConfig, TrafficMix};
     use idar_server::{Server, ServerConfig};
 
     banner("Analysis service -- idar-server under seeded multi-tenant load");
     println!(
-        "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}",
-        "mix", "sent", "ok", "retried", "rps", "p50", "p99", "shed"
+        "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}{:>9}",
+        "mix", "sent", "ok", "retried", "rps", "p50", "p99", "shed", "gh-rate"
     );
     let mut rows = Vec::new();
     let mut gate_violation = None;
-    for mix in [TrafficMix::Interactive, TrafficMix::Analysis] {
+    for mix in [
+        TrafficMix::Interactive,
+        TrafficMix::Analysis,
+        TrafficMix::EditBurst,
+    ] {
         let handle = Server::start("127.0.0.1:0", ServerConfig::default()).expect("server start");
+        let (users, requests_per_user) = if mix == TrafficMix::EditBurst {
+            (6, 20)
+        } else {
+            (12, 10)
+        };
         let cfg = LoadConfig {
             addr: handle.addr(),
             seed: 7,
             tenants: 4,
-            users: 12,
-            requests_per_user: 10,
+            users,
+            requests_per_user,
             mix,
             zipf_s: 1.0,
             clients: 4,
@@ -1426,9 +1626,10 @@ fn service() -> ServiceReport {
             completed: finals.completed,
             shed: finals.shed,
             cache_hit_rate,
+            graph_hit_rate: finals.graph_hit_rate(),
         };
         println!(
-            "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}",
+            "{:<14}{:>8}{:>8}{:>10}{:>12}{:>10}{:>10}{:>8}{:>9}",
             row.mix,
             row.sent,
             row.ok,
@@ -1436,7 +1637,8 @@ fn service() -> ServiceReport {
             format!("{:.0}/s", row.throughput_rps),
             format!("{:.1}ms", row.p50_ms),
             format!("{:.1}ms", row.p99_ms),
-            row.shed
+            row.shed,
+            format!("{:.2}", row.graph_hit_rate),
         );
         if row.errors > 0 && gate_violation.is_none() {
             gate_violation = Some(format!(
@@ -1456,9 +1658,20 @@ fn service() -> ServiceReport {
                 row.mix, row.p99_ms
             ));
         }
+        if mix == TrafficMix::EditBurst
+            && finals.graph_hits + finals.frontier_extends == 0
+            && gate_violation.is_none()
+        {
+            gate_violation = Some(format!(
+                "{} mix: sessions never engaged the retained graph \
+                 ({} oracle calls, all cold)",
+                row.mix, finals.cold_solves
+            ));
+        }
         rows.push(row);
     }
-    println!("(gates: zero errors, accepted == completed, p99 <= 250 ms per mix)");
+    println!("(gates: zero errors, accepted == completed, p99 <= 250 ms per mix,");
+    println!("and >= 1 warm-path session answer under edit-burst)");
     ServiceReport {
         rows,
         gate_violation,

@@ -37,6 +37,13 @@ pub enum TrafficMix {
     /// Stateless `POST /v1/analyze` calls over a small form pool.
     /// Exercises the shared verdict cache across tenants.
     Analysis,
+    /// Long-lived sessions under a burst of sequential edits: open →
+    /// (safe-updates → submit)* → close, with every middle operation an
+    /// actual state change. Exercises the retained session graph — on a
+    /// server whose budget keeps sessions enabled, most of these
+    /// operations should be answered warm (graph hits or frontier
+    /// extensions rather than cold solves).
+    EditBurst,
 }
 
 impl TrafficMix {
@@ -45,6 +52,7 @@ impl TrafficMix {
         match self {
             TrafficMix::Interactive => "interactive",
             TrafficMix::Analysis => "analysis",
+            TrafficMix::EditBurst => "edit-burst",
         }
     }
 }
@@ -354,7 +362,7 @@ fn drive_op(cfg: &LoadConfig, user: usize, seq: usize, st: &mut UserState) -> (S
                 &st.form_ron.clone(),
             )
         }
-        (TrafficMix::Interactive, 0) => {
+        (TrafficMix::Interactive | TrafficMix::EditBurst, 0) => {
             let a = attempt(
                 cfg,
                 "POST",
@@ -367,7 +375,7 @@ fn drive_op(cfg: &LoadConfig, user: usize, seq: usize, st: &mut UserState) -> (S
             }
             a
         }
-        (TrafficMix::Interactive, s) if s == last => {
+        (TrafficMix::Interactive | TrafficMix::EditBurst, s) if s == last => {
             let id = st.session.unwrap_or(0);
             attempt(
                 cfg,
@@ -377,9 +385,12 @@ fn drive_op(cfg: &LoadConfig, user: usize, seq: usize, st: &mut UserState) -> (S
                 "",
             )
         }
-        (TrafficMix::Interactive, _) => {
+        (TrafficMix::Interactive | TrafficMix::EditBurst, _) => {
             let id = st.session.unwrap_or(0);
-            // Ask what is safe, then vet-or-submit a deterministic pick.
+            // Ask what is safe, then act on a deterministic pick:
+            // interactive traffic vets about a third of the time,
+            // edit-burst always submits so the session state advances on
+            // every middle operation.
             let safe = attempt(
                 cfg,
                 "GET",
@@ -392,7 +403,7 @@ fn drive_op(cfg: &LoadConfig, user: usize, seq: usize, st: &mut UserState) -> (S
                 safe
             } else {
                 let pick = tokens[st.rng.below(tokens.len())].clone();
-                let verb = if st.rng.below(3) == 0 {
+                let verb = if cfg.mix == TrafficMix::Interactive && st.rng.below(3) == 0 {
                     "vet"
                 } else {
                     "submit"

@@ -19,16 +19,20 @@
 //!
 //! Every analysis-bearing response carries `X-Verdict` (the
 //! deterministic outcome — the load generator's cross-run determinism
-//! check compares these) and `X-Cache` (`hit`/`miss`/`uncached` — cache
-//! provenance is *not* deterministic under concurrency and is excluded
-//! from that check).
+//! check compares these) and `X-Cache` (provenance — *not* deterministic
+//! under concurrency and excluded from that check). On `/v1/analyze` the
+//! provenance is `hit`/`miss`/`uncached` (the shared verdict cache); on
+//! session routes it is the dominant re-analysis path of the operation's
+//! oracle calls — `graph-hit` (answered from the session's retained
+//! state graph), `frontier-extend` (resumed exploration from a retained
+//! state), `cold` (full re-analysis), or `none` (no oracle ran).
 
 use crate::http::{json_escape, Request, Response};
 use crate::server::Shared;
 use idar_core::serialize::from_ron;
 use idar_core::{GuardedForm, InstNodeId, Update};
 use idar_solver::{analyze_with, AnalysisKind, AnalysisRequest, Verdict};
-use idar_workflow::manager::{FormManager, Rejection};
+use idar_workflow::manager::{FormManager, RecomputeStats, Rejection};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
@@ -64,6 +68,8 @@ fn metrics(shared: &Shared) -> Response {
         format!(
             "{{\"accepted\":{},\"shed\":{},\"completed\":{},\"bad_requests\":{},\
              \"sessions_opened\":{},\"tenants\":{},\"sessions\":{},\
+             \"graph_hits\":{},\"frontier_extends\":{},\"cold_solves\":{},\
+             \"graph_hit_rate\":{:.4},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}",
             m.accepted,
             m.shed,
@@ -72,6 +78,10 @@ fn metrics(shared: &Shared) -> Response {
             m.sessions_opened,
             m.tenants,
             m.sessions,
+            m.graph_hits,
+            m.frontier_extends,
+            m.cold_solves,
+            m.graph_hit_rate(),
             c.hits,
             c.misses,
             c.hit_rate(),
@@ -161,7 +171,8 @@ fn open_session(shared: &Shared, req: &Request) -> Response {
     // analyzer established (shared verdicts, no oversubscription).
     let manager = FormManager::new(form, shared.config.budget.clone(), shared.config.policy)
         .with_cache(Arc::clone(&shared.cache))
-        .with_threads(shared.inner_threads);
+        .with_threads(shared.inner_threads)
+        .with_max_retained_states(shared.config.max_retained_states);
     let tenant = shared.tenants.get_or_create(tenant_name);
     let id = tenant.next_session.fetch_add(1, Ordering::SeqCst);
     tenant
@@ -204,9 +215,30 @@ fn with_session(
     match session {
         Some(s) => {
             let mut mgr = s.lock().expect("session poisoned");
-            f(&mut mgr, req)
+            // Snapshot the session's re-analysis provenance around the
+            // operation so the delta can be folded into the process-wide
+            // counters and surfaced as this response's X-Cache header.
+            let before = mgr.recompute_stats();
+            let response = f(&mut mgr, req);
+            let delta = mgr.recompute_stats().minus(&before);
+            shared.metrics.record_recompute(&delta);
+            response.header("X-Cache", recompute_tag(&delta))
         }
         None => Response::json(404, "{\"error\":\"no such session\"}"),
+    }
+}
+
+/// The dominant re-analysis path among one session operation's oracle
+/// calls (ties resolve toward the cheaper path).
+fn recompute_tag(delta: &RecomputeStats) -> &'static str {
+    if delta.total() == 0 {
+        "none"
+    } else if delta.graph_hits >= delta.frontier_extends && delta.graph_hits >= delta.cold_solves {
+        "graph-hit"
+    } else if delta.frontier_extends >= delta.cold_solves {
+        "frontier-extend"
+    } else {
+        "cold"
     }
 }
 

@@ -63,6 +63,12 @@ pub struct ServerConfig {
     pub budget: Budget,
     /// What session vetting does with `Unknown` oracle verdicts.
     pub policy: UnknownPolicy,
+    /// Per-session memory budget for incremental re-analysis: a session
+    /// whose retained state graph grows beyond this many states evicts
+    /// it (retracting the entries it published to the shared cache) and
+    /// falls back to cold solves, so many long-lived sessions cannot pin
+    /// unbounded RAM.
+    pub max_retained_states: usize,
     /// Value of the `Retry-After` header (seconds) on 429 responses.
     pub retry_after_secs: u32,
     /// Per-connection read/write timeout.
@@ -87,6 +93,7 @@ impl Default for ServerConfig {
                 ..ExploreLimits::small()
             }),
             policy: UnknownPolicy::Reject,
+            max_retained_states: 65_536,
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
             http_limits: HttpLimits::default(),

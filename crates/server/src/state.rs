@@ -91,6 +91,9 @@ pub struct Metrics {
     pub(crate) completed: AtomicU64,
     pub(crate) bad_requests: AtomicU64,
     pub(crate) sessions_opened: AtomicU64,
+    pub(crate) graph_hits: AtomicU64,
+    pub(crate) frontier_extends: AtomicU64,
+    pub(crate) cold_solves: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`], plus cache and registry gauges.
@@ -106,10 +109,32 @@ pub struct MetricsSnapshot {
     pub bad_requests: u64,
     /// Sessions opened over the server's lifetime.
     pub sessions_opened: u64,
+    /// Oracle calls answered from a session's retained state graph
+    /// (annotated-verdict lookup — no exploration at all).
+    pub graph_hits: u64,
+    /// Oracle calls answered by resuming exploration from a retained
+    /// state (bounded frontier extension).
+    pub frontier_extends: u64,
+    /// Oracle calls that fell back to a full cold analysis.
+    pub cold_solves: u64,
     /// Live tenants.
     pub tenants: usize,
     /// Live sessions across all tenants.
     pub sessions: usize,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of session oracle calls answered without any exploration
+    /// (`graph_hits / (graph_hits + frontier_extends + cold_solves)`);
+    /// 0.0 when no oracle calls have been recorded.
+    pub fn graph_hit_rate(&self) -> f64 {
+        let total = self.graph_hits + self.frontier_extends + self.cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.graph_hits as f64 / total as f64
+        }
+    }
 }
 
 impl Metrics {
@@ -121,9 +146,23 @@ impl Metrics {
             completed: self.completed.load(Ordering::SeqCst),
             bad_requests: self.bad_requests.load(Ordering::SeqCst),
             sessions_opened: self.sessions_opened.load(Ordering::SeqCst),
+            graph_hits: self.graph_hits.load(Ordering::SeqCst),
+            frontier_extends: self.frontier_extends.load(Ordering::SeqCst),
+            cold_solves: self.cold_solves.load(Ordering::SeqCst),
             tenants: tenant_count,
             sessions: session_count,
         }
+    }
+
+    /// Fold one session operation's re-analysis provenance delta into the
+    /// process-wide counters.
+    pub(crate) fn record_recompute(&self, delta: &idar_workflow::manager::RecomputeStats) {
+        self.graph_hits
+            .fetch_add(delta.graph_hits, Ordering::SeqCst);
+        self.frontier_extends
+            .fetch_add(delta.frontier_extends, Ordering::SeqCst);
+        self.cold_solves
+            .fetch_add(delta.cold_solves, Ordering::SeqCst);
     }
 }
 

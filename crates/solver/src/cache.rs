@@ -273,11 +273,93 @@ impl VerdictCache {
         }
     }
 
+    /// Remove the entry stored under `key`, if present. The retraction
+    /// primitive behind [`SessionDelta`]: published session verdicts can
+    /// be withdrawn without clearing the whole cache.
+    pub fn remove_keyed(&self, key: &CacheKey) -> bool {
+        let shard = &self.shards[Self::shard_of(&key.key)];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .remove(&key.key)
+            .is_some()
+    }
+
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
         for s in &self.shards {
             s.lock().expect("cache shard poisoned").clear();
         }
+    }
+}
+
+/// The verdict-delta layer of incremental re-analysis: the set of cache
+/// entries one retained session graph has published on its own behalf.
+///
+/// A session that answers vets from its retained graph still shares
+/// those verdicts with the process-wide cache — but unlike a cold
+/// analysis, the published entries are *tied to the graph's lifetime*:
+/// if the graph is evicted (memory budget) the delta retracts exactly
+/// the entries whose keyed initial state left the retained subgraph,
+/// leaving every entry other sessions or cold analyses produced intact.
+///
+/// Publication deduplicates per canonical initial fingerprint, so a
+/// state's verdict enters the cache once no matter how many vets hit it.
+#[derive(Debug, Clone, Default)]
+pub struct SessionDelta {
+    /// `initial_fp → key` of every entry this session published.
+    published: HashMap<u64, CacheKey>,
+}
+
+impl SessionDelta {
+    /// An empty delta.
+    pub fn new() -> SessionDelta {
+        SessionDelta::default()
+    }
+
+    /// Publish a session-derived verdict to `cache` under `key`, unless
+    /// this session already published an entry for the same canonical
+    /// initial state.
+    pub fn publish(&mut self, cache: &VerdictCache, key: CacheKey, v: CachedVerdict) {
+        if let std::collections::hash_map::Entry::Vacant(e) =
+            self.published.entry(key.key.initial_fp)
+        {
+            cache.put_keyed(&key, v);
+            e.insert(key);
+        }
+    }
+
+    /// Retract every published entry whose keyed initial state is no
+    /// longer retained (per `retained`, judged on the canonical initial
+    /// fingerprint). Full eviction passes `|_| false`. Returns how many
+    /// entries were removed from the cache.
+    pub fn retract_departed(
+        &mut self,
+        cache: &VerdictCache,
+        retained: impl Fn(u64) -> bool,
+    ) -> usize {
+        let mut removed = 0;
+        self.published.retain(|&fp, key| {
+            if retained(fp) {
+                true
+            } else {
+                if cache.remove_keyed(key) {
+                    removed += 1;
+                }
+                false
+            }
+        });
+        removed
+    }
+
+    /// Number of live published entries.
+    pub fn len(&self) -> usize {
+        self.published.len()
+    }
+
+    /// Is the delta empty?
+    pub fn is_empty(&self) -> bool {
+        self.published.is_empty()
     }
 }
 
@@ -462,6 +544,44 @@ mod tests {
         assert_eq!(s.misses, 1);
         // The genuine key still hits.
         assert!(cache.get_keyed(&real).is_some());
+    }
+
+    #[test]
+    fn session_delta_publishes_once_and_retracts_departed() {
+        let cache = VerdictCache::new();
+        let budget = Budget::default();
+        let mut delta = SessionDelta::new();
+        let k1 = VerdictCache::key_for(&form("a(b)"), AnalysisKind::Completability, &budget);
+        let k2 = VerdictCache::key_for(&form("a(b), s"), AnalysisKind::Completability, &budget);
+        delta.publish(&cache, k1.clone(), holds());
+        delta.publish(&cache, k1.clone(), holds()); // dedup: same initial state
+        delta.publish(&cache, k2.clone(), holds());
+        assert_eq!(delta.len(), 2);
+        assert_eq!(cache.stats().entries, 2);
+
+        // A foreign entry (cold analysis, other session) must survive
+        // this session's retraction.
+        let foreign = VerdictCache::key_for(&form("s"), AnalysisKind::Completability, &budget);
+        cache.put_keyed(&foreign, holds());
+
+        // Evict: nothing retained.
+        let removed = delta.retract_departed(&cache, |_| false);
+        assert_eq!(removed, 2);
+        assert!(delta.is_empty());
+        assert!(cache.get_keyed(&k1).is_none());
+        assert!(cache.get_keyed(&k2).is_none());
+        assert!(cache.get_keyed(&foreign).is_some());
+    }
+
+    #[test]
+    fn remove_keyed_reports_presence() {
+        let cache = VerdictCache::new();
+        let budget = Budget::default();
+        let key = VerdictCache::key_for(&form("a(b)"), AnalysisKind::Completability, &budget);
+        assert!(!cache.remove_keyed(&key));
+        cache.put_keyed(&key, holds());
+        assert!(cache.remove_keyed(&key));
+        assert!(cache.get_keyed(&key).is_none());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //! this module and in `tests/parallel_differential.rs` pin these
 //! guarantees down.
 
+use crate::session::{ExpandEvent, ExpansionLog, SessionGraph};
 use crate::store::{StateId, StateStore, SuccessorTable, SymmetryMode};
 use crate::verdict::{LimitKind, SearchStats};
 use idar_core::{GuardedForm, Instance, Update};
@@ -242,7 +243,7 @@ impl<'a> Explorer<'a> {
             };
         }
         let mut goal = goal;
-        let g = self.run(Some(&mut goal), false);
+        let g = self.run(Some(&mut goal), false, None);
         ExploreOutcome {
             goal_run: g.goal.map(|i| g.graph.store.run_to(i)),
             stats: g.graph.stats,
@@ -255,7 +256,39 @@ impl<'a> Explorer<'a> {
         if self.threads > 1 {
             return self.run_parallel(None, true).graph;
         }
-        self.run(None, true).graph
+        self.run(None, true, None).graph
+    }
+
+    /// The **build phase** of the incremental split: explore exhaustively
+    /// (within limits) and retain everything — states, edges, and the
+    /// per-state [`ExpansionLog`] — as a [`SessionGraph`] that later
+    /// queries [`resume`](Explorer::resume) from.
+    ///
+    /// Always runs the sequential engine regardless of the configured
+    /// thread count: the expansion journal requires the deterministic
+    /// enumeration order only the FIFO BFS guarantees.
+    pub fn build_session(&self) -> SessionGraph {
+        let mut log = ExpansionLog::default();
+        let r = self.run(None, true, Some(&mut log));
+        SessionGraph::from_build(r.graph, log, self.limits)
+    }
+
+    /// The **query phase**: re-seed the BFS at a state already interned
+    /// in `session` and search for `goal` under *this* explorer's
+    /// limits, reusing every retained state, provenance pointer, and
+    /// logged expansion. Equivalent — in verdict, goal depth, and
+    /// [`SearchStats`] — to a cold sequential [`Explorer::find`] on the
+    /// form re-rooted at that state's instance; see the
+    /// [`crate::session`] docs for the exact contract. New states
+    /// discovered past the retained frontier are interned into the
+    /// session, growing it for subsequent queries.
+    pub fn resume(
+        &self,
+        session: &mut SessionGraph,
+        from: StateId,
+        goal: impl FnMut(&Instance) -> bool,
+    ) -> ExploreOutcome {
+        session.resume_with(self.form, self.limits, from, goal)
     }
 
     /// The sequential engine: FIFO BFS over a [`StateStore`].
@@ -266,6 +299,7 @@ impl<'a> Explorer<'a> {
         &self,
         mut goal: Option<&mut dyn FnMut(&Instance) -> bool>,
         want_edges: bool,
+        mut log: Option<&mut ExpansionLog>,
     ) -> RunResult {
         let mut stats = SearchStats::default();
         let mut store = StateStore::new(self.symmetry);
@@ -306,6 +340,9 @@ impl<'a> Explorer<'a> {
                 }
                 break;
             }
+            if let Some(log) = log.as_deref_mut() {
+                log.begin(i);
+            }
             let updates = self.form.allowed_updates(store.get(i));
             for u in updates {
                 stats.transitions += 1;
@@ -313,12 +350,18 @@ impl<'a> Explorer<'a> {
                     if store.get(i).live_count() >= self.limits.max_state_size {
                         pruned = true;
                         stats.limit_hit = Some(LimitKind::StateSize);
+                        if let Some(log) = log.as_deref_mut() {
+                            log.push(i, ExpandEvent::Pruned(LimitKind::StateSize));
+                        }
                         continue;
                     }
                     if let Some(cap) = self.limits.multiplicity_cap {
                         if store.get(i).children_at(parent, edge).count() >= cap {
                             pruned = true;
                             stats.limit_hit = Some(LimitKind::Multiplicity);
+                            if let Some(log) = log.as_deref_mut() {
+                                log.push(i, ExpandEvent::Pruned(LimitKind::Multiplicity));
+                            }
                             continue;
                         }
                     }
@@ -330,6 +373,9 @@ impl<'a> Explorer<'a> {
                 let (j, is_new) = store.intern(next, Some((i, u)));
                 if want_edges {
                     triples.push((i, u, j));
+                }
+                if let Some(log) = log.as_deref_mut() {
+                    log.push(i, ExpandEvent::Edge(u, j));
                 }
                 if !is_new {
                     continue;
@@ -347,6 +393,9 @@ impl<'a> Explorer<'a> {
                     return finish(store, triples, stats, None);
                 }
                 queue.push_back(j);
+            }
+            if let Some(log) = log.as_deref_mut() {
+                log.seal(i);
             }
         }
 
@@ -752,9 +801,10 @@ impl<'a> Explorer<'a> {
     }
 }
 
-/// The depth-limit exhaustiveness probe shared by both engines: does
-/// this unexpanded frontier state still have any successor?
-fn has_successor(form: &GuardedForm, inst: &Instance) -> bool {
+/// The depth-limit exhaustiveness probe shared by both engines (and by
+/// [`SessionGraph`] resumes): does this unexpanded frontier state still
+/// have any successor?
+pub(crate) fn has_successor(form: &GuardedForm, inst: &Instance) -> bool {
     !form.allowed_updates(inst).is_empty()
 }
 

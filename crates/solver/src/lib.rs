@@ -36,6 +36,7 @@ pub mod positive;
 pub mod satengine;
 pub mod satisfiability;
 pub mod semisound;
+pub mod session;
 pub mod store;
 pub mod verdict;
 pub mod witness;
@@ -46,13 +47,17 @@ pub use analysis::{
 };
 pub use batch::{split_threads, AnalysisSelection, BatchAnalyzer, BatchItem, FormReport};
 pub use cache::{
-    rules_signature_of, CacheKey, CacheStats, CachedVerdict, RulesSignature, VerdictCache,
+    rules_signature_of, CacheKey, CacheStats, CachedVerdict, RulesSignature, SessionDelta,
+    VerdictCache,
 };
-pub use completability::{completability, CompletabilityOptions, CompletabilityResult};
+pub use completability::{
+    completability, select_method, CompletabilityOptions, CompletabilityResult,
+};
 pub use depth1::Depth1System;
 pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer, StateGraph};
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
+pub use session::{ExpandEvent, ExpansionLog, SessionGraph};
 #[cfg(feature = "parallel")]
 pub use store::{PackedStateId, ShardedStateStore};
 pub use store::{StateId, StateStore, SuccessorTable, SymmetryMode};

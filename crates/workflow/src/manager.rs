@@ -12,13 +12,41 @@
 //! elsewhere. What to do with `Unknown` is a policy decision
 //! ([`UnknownPolicy`]); a conservative deployment rejects, an optimistic
 //! one accepts.
+//!
+//! # Incremental re-analysis
+//!
+//! For forms the oracle would answer with bounded exploration (or the
+//! depth-1 canonical system), the manager retains the explored state
+//! graph as a [`SessionGraph`] across edits instead of re-solving cold:
+//! the *first* oracle call builds the graph once, and every later vet is
+//! either a **graph hit** (the successor is interned in an exact graph —
+//! its annotated verdict is a lookup) or a **frontier extension** (the
+//! successor is interned in a truncated graph — [`Explorer::resume`]
+//! continues the BFS from it, reusing all retained states and logged
+//! expansions, with verdicts equal to a cold run by construction). Only
+//! successors outside the retained graph, and forms whose oracle method
+//! never explores (positive saturation, the NP two-phase solver), take
+//! the **cold solve** path — which is byte-for-byte the pre-session
+//! pipeline, shared verdict cache included. [`RecomputeStats`] reports
+//! the three-way split.
+//!
+//! Graph-derived verdicts are still published to the shared
+//! [`VerdictCache`] through a [`SessionDelta`], so concurrent sessions
+//! of the same form benefit; if the graph outgrows the session's memory
+//! budget ([`FormManager::with_max_retained_states`]) it is evicted —
+//! the delta retracts exactly the entries whose keyed state left the
+//! retained subgraph and the session falls back to cold solves.
 
+use idar_core::fragment::{classify, Fragment};
 use idar_core::{GuardedForm, Instance, Update};
 use idar_solver::cache::CacheStats;
+use idar_solver::verdict::SearchStats;
 use idar_solver::{
-    analyze_keyed, rules_signature_of, AnalysisKind, AnalysisRequest, CompletabilityOptions,
-    RulesSignature, Verdict, VerdictCache,
+    analyze_keyed, rules_signature_of, select_method, AnalysisKind, AnalysisRequest, CachedVerdict,
+    CompletabilityOptions, Explorer, Method, RulesSignature, SessionDelta, SessionGraph, Verdict,
+    VerdictCache,
 };
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// What the manager does when the oracle cannot decide completability of
@@ -59,6 +87,69 @@ impl std::fmt::Display for Rejection {
     }
 }
 
+/// How the manager's oracle calls were answered, split by provenance:
+/// retained-graph lookups, bounded frontier extensions, and cold solves
+/// (the latter delegated to the shared-cache pipeline, so a cold solve
+/// may itself be a cache hit). Counters are cumulative per manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecomputeStats {
+    /// Verdicts answered by an annotation lookup in an exact graph.
+    pub graph_hits: u64,
+    /// Verdicts answered by resuming the BFS at a retained state.
+    pub frontier_extends: u64,
+    /// Verdicts delegated to the cold analysis pipeline.
+    pub cold_solves: u64,
+}
+
+impl RecomputeStats {
+    /// Total oracle calls recorded.
+    pub fn total(&self) -> u64 {
+        self.graph_hits + self.frontier_extends + self.cold_solves
+    }
+
+    /// Graph hits as a fraction of all oracle calls (0.0 when none).
+    pub fn graph_hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.graph_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot — the
+    /// per-call (or per-request) provenance delta.
+    pub fn minus(&self, earlier: &RecomputeStats) -> RecomputeStats {
+        RecomputeStats {
+            graph_hits: self.graph_hits.saturating_sub(earlier.graph_hits),
+            frontier_extends: self
+                .frontier_extends
+                .saturating_sub(earlier.frontier_extends),
+            cold_solves: self.cold_solves.saturating_sub(earlier.cold_solves),
+        }
+    }
+}
+
+/// The retained graph plus the cache entries it published.
+#[derive(Debug, Clone)]
+struct ActiveSession {
+    graph: SessionGraph,
+    delta: SessionDelta,
+}
+
+/// Lifecycle of the retained session graph.
+#[derive(Debug, Clone)]
+enum SessionState {
+    /// Graph-eligible, not built yet (builds lazily at the first oracle
+    /// call, so opening a session stays cheap).
+    Unbuilt,
+    /// Retained and answering queries.
+    Active(Box<ActiveSession>),
+    /// No graph: the oracle method never explores, the build overflowed
+    /// the memory budget, or the graph was evicted under query growth.
+    Disabled,
+}
+
 /// A live form session guarded by a completability oracle.
 ///
 /// Every vet routes through the unified analysis pipeline with a
@@ -68,6 +159,11 @@ impl std::fmt::Display for Rejection {
 /// field under interchangeable siblings), costs one oracle run instead of
 /// many. [`FormManager::safe_updates`] in particular no longer re-solves
 /// the oracle per candidate update.
+///
+/// On exploration-dispatched forms the manager additionally retains the
+/// explored [`SessionGraph`] across edits (see the module docs), so a
+/// post-edit sweep is a set of graph lookups rather than solves;
+/// [`FormManager::recompute_stats`] reports the split.
 #[derive(Debug, Clone)]
 pub struct FormManager {
     form: GuardedForm,
@@ -79,11 +175,21 @@ pub struct FormManager {
     /// The memoised rule signature shared by every vet of this session
     /// (the rules never change; only the initial instance does).
     rules_sig: RulesSignature,
+    /// The form's fragment, memoised for published cache entries.
+    fragment: Fragment,
+    /// The oracle method Table 1 dispatch (or `force_method`) selects —
+    /// fixed per session, decides session-graph eligibility.
+    method: Method,
     /// Explorer threads granted to each oracle run (`None`: the explorer
     /// default). Layered hosts (e.g. `idar-server`, whose HTTP workers
     /// each drive a manager) pin this to their `split_threads` share so
     /// sessions never oversubscribe the host's budget.
     threads: Option<usize>,
+    /// Memory budget: evict the retained graph (falling back to cold
+    /// solves) once it holds more than this many states.
+    max_retained_states: usize,
+    session: RefCell<SessionState>,
+    recompute: Cell<RecomputeStats>,
 }
 
 impl FormManager {
@@ -92,6 +198,11 @@ impl FormManager {
     pub fn new(form: GuardedForm, oracle: CompletabilityOptions, policy: UnknownPolicy) -> Self {
         let current = form.initial().clone();
         let rules_sig = rules_signature_of(&form);
+        let fragment = classify(&form);
+        let method = oracle.force_method.unwrap_or_else(|| select_method(&form));
+        // Only exploration-shaped methods produce a state graph worth
+        // retaining; saturation and the NP solver never build one.
+        let eligible = matches!(method, Method::BoundedExploration | Method::Depth1Canonical);
         FormManager {
             form,
             current,
@@ -100,7 +211,16 @@ impl FormManager {
             history: Vec::new(),
             cache: Arc::new(VerdictCache::new()),
             rules_sig,
+            fragment,
+            method,
             threads: None,
+            max_retained_states: 1 << 20,
+            session: RefCell::new(if eligible {
+                SessionState::Unbuilt
+            } else {
+                SessionState::Disabled
+            }),
+            recompute: Cell::new(RecomputeStats::default()),
         }
     }
 
@@ -118,6 +238,14 @@ impl FormManager {
         self
     }
 
+    /// Cap the retained session graph at `max` states: a build or a
+    /// query growth beyond it evicts the graph (retracting its published
+    /// cache entries) and the session continues on cold solves.
+    pub fn with_max_retained_states(mut self, max: usize) -> Self {
+        self.max_retained_states = max;
+        self
+    }
+
     /// The manager's verdict cache.
     pub fn cache(&self) -> &Arc<VerdictCache> {
         &self.cache
@@ -126,6 +254,20 @@ impl FormManager {
     /// Hit/miss counters of the manager's oracle cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative oracle-call provenance counters of this session.
+    pub fn recompute_stats(&self) -> RecomputeStats {
+        self.recompute.get()
+    }
+
+    /// States currently retained by the session graph (`None` when no
+    /// graph is active — ineligible method, not yet built, or evicted).
+    pub fn retained_states(&self) -> Option<usize> {
+        match &*self.session.borrow() {
+            SessionState::Active(a) => Some(a.graph.retained_states()),
+            _ => None,
+        }
     }
 
     /// The form this session runs (rules and schema never change; only
@@ -149,6 +291,20 @@ impl FormManager {
         self.form.is_complete(&self.current)
     }
 
+    /// Rewind the session to the form's initial instance, clearing the
+    /// history. The retained graph (whose root *is* the initial
+    /// instance), its published cache entries, and the recompute
+    /// counters all survive, so a reset session answers its first sweep
+    /// warm instead of re-interning the root and re-solving.
+    pub fn reset(&mut self) {
+        let from_graph = match &*self.session.borrow() {
+            SessionState::Active(a) => Some(a.graph.store().get(a.graph.root()).clone()),
+            _ => None,
+        };
+        self.current = from_graph.unwrap_or_else(|| self.form.initial().clone());
+        self.history.clear();
+    }
+
     /// Vet an update without applying it.
     pub fn vet(&self, update: &Update) -> Result<(), Rejection> {
         if !self.form.is_allowed(&self.current, update) {
@@ -158,20 +314,7 @@ impl FormManager {
         self.form
             .apply_unchecked(&mut next, update)
             .expect("allowed update applies");
-        let sub = self.form.with_initial(next);
-        // The memoised rule signature makes the per-candidate cache key a
-        // hash of the successor instance alone.
-        let key = VerdictCache::key_with(
-            &self.rules_sig,
-            &sub,
-            AnalysisKind::Completability,
-            &self.oracle,
-        );
-        let mut request = AnalysisRequest::completability(sub).with_budget(self.oracle.clone());
-        if let Some(t) = self.threads {
-            request = request.with_threads(t);
-        }
-        match analyze_keyed(&request, &self.cache, &key).verdict {
+        match self.oracle_verdict(next) {
             Verdict::Holds => Ok(()),
             Verdict::Fails => Err(Rejection::WouldStrand),
             Verdict::Unknown => match self.policy {
@@ -196,13 +339,151 @@ impl FormManager {
     /// Each candidate is vetted through the cached oracle: candidates
     /// whose successor instances are isomorphic share one cache entry, so
     /// the oracle runs once per *distinct* successor class (and zero
-    /// times on a repeat call) instead of once per candidate.
+    /// times on a repeat call) instead of once per candidate. With an
+    /// active session graph the sweep doesn't solve at all — each
+    /// distinct successor is a graph lookup or a bounded frontier
+    /// extension.
     pub fn safe_updates(&self) -> Vec<Update> {
         self.form
             .allowed_updates(&self.current)
             .into_iter()
             .filter(|u| self.vet(u).is_ok())
             .collect()
+    }
+
+    /// The completability oracle behind `vet`/`safe_updates`: answer for
+    /// the successor instance `next`, preferring the retained graph and
+    /// falling back to the cold shared-cache pipeline.
+    fn oracle_verdict(&self, next: Instance) -> Verdict {
+        self.ensure_session();
+        {
+            let mut state = self.session.borrow_mut();
+            if let SessionState::Active(active) = &mut *state {
+                let answer = self.graph_answer(active, &next);
+                // Query growth is monotone; enforce the memory budget
+                // after every graph-path answer.
+                if active.graph.retained_states() > self.max_retained_states {
+                    active.delta.retract_departed(&self.cache, |_| false);
+                    *state = SessionState::Disabled;
+                }
+                if let Some(v) = answer {
+                    return v;
+                }
+            }
+        }
+        self.bump(|r| r.cold_solves += 1);
+        let sub = self.form.with_initial(next);
+        // The memoised rule signature makes the per-candidate cache key a
+        // hash of the successor instance alone.
+        let key = VerdictCache::key_with(
+            &self.rules_sig,
+            &sub,
+            AnalysisKind::Completability,
+            &self.oracle,
+        );
+        let mut request = AnalysisRequest::completability(sub).with_budget(self.oracle.clone());
+        if let Some(t) = self.threads {
+            request = request.with_threads(t);
+        }
+        analyze_keyed(&request, &self.cache, &key).verdict
+    }
+
+    /// Build the session graph on the first oracle call of an eligible
+    /// form: one sequential exploration under the oracle budget, logged
+    /// for later resumes, annotated when it closed.
+    fn ensure_session(&self) {
+        let mut state = self.session.borrow_mut();
+        if !matches!(*state, SessionState::Unbuilt) {
+            return;
+        }
+        let mut graph = Explorer::new(&self.form, self.oracle.limits)
+            .with_symmetry(self.oracle.symmetry)
+            .build_session();
+        *state = if graph.retained_states() > self.max_retained_states {
+            SessionState::Disabled
+        } else if graph.exact() {
+            graph.annotate(&self.form);
+            SessionState::Active(Box::new(ActiveSession {
+                graph,
+                delta: SessionDelta::new(),
+            }))
+        } else if self.method == Method::Depth1Canonical {
+            // A truncated graph can only answer `Unknown` where the
+            // canonical depth-1 system is exact: keep the cold oracle.
+            SessionState::Disabled
+        } else {
+            SessionState::Active(Box::new(ActiveSession {
+                graph,
+                delta: SessionDelta::new(),
+            }))
+        };
+    }
+
+    /// Answer `next` from the retained graph: an annotation lookup on
+    /// exact graphs, a resumed BFS on truncated ones. `None` means the
+    /// successor is not retained (or not annotated) — cold-solve it.
+    fn graph_answer(&self, active: &mut ActiveSession, next: &Instance) -> Option<Verdict> {
+        let id = active.graph.lookup(next)?;
+        if active.graph.exact() {
+            let verdict = active.graph.verdict_of(id)?;
+            self.bump(|r| r.graph_hits += 1);
+            self.publish(active, next, verdict, active.graph.build_stats());
+            return Some(verdict);
+        }
+        if self.method != Method::BoundedExploration {
+            return None;
+        }
+        let out = Explorer::new(&self.form, self.oracle.limits)
+            .with_threads(1)
+            .resume(&mut active.graph, id, |i| self.form.is_complete(i));
+        let verdict = match (out.goal_run.is_some(), out.stats.closed) {
+            (true, _) => Verdict::Holds,
+            (false, true) => Verdict::Fails,
+            (false, false) => Verdict::Unknown,
+        };
+        self.bump(|r| r.frontier_extends += 1);
+        // Same cacheability rule as the cold pipeline: never publish an
+        // `Unknown` that merely reflects a resource limit.
+        if !(verdict == Verdict::Unknown && out.stats.limit_hit.is_some()) {
+            self.publish(active, next, verdict, out.stats);
+        }
+        Some(verdict)
+    }
+
+    /// Publish a graph-derived verdict to the shared cache through the
+    /// session delta (deduplicated per canonical successor state). The
+    /// recorded method is the exploration the graph embodies; for exact
+    /// graph hits the stats are the build's, not a per-query search.
+    fn publish(
+        &self,
+        active: &mut ActiveSession,
+        next: &Instance,
+        verdict: Verdict,
+        stats: SearchStats,
+    ) {
+        let sub = self.form.with_initial(next.clone());
+        let key = VerdictCache::key_with(
+            &self.rules_sig,
+            &sub,
+            AnalysisKind::Completability,
+            &self.oracle,
+        );
+        active.delta.publish(
+            &self.cache,
+            key,
+            CachedVerdict {
+                verdict,
+                method: Method::BoundedExploration,
+                fragment: self.fragment,
+                stats,
+            },
+        );
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut RecomputeStats)) {
+        let mut r = self.recompute.get();
+        f(&mut r);
+        self.recompute.set(r);
     }
 }
 
@@ -302,6 +583,13 @@ mod tests {
             "cache-hit rate {:.2} below the expected 2/3",
             warm.hit_rate()
         );
+        // This positive-fragment form dispatches to saturation — no
+        // state graph to retain, every call is a (cached) cold solve.
+        assert_eq!(mgr.retained_states(), None);
+        assert_eq!(
+            mgr.recompute_stats().total(),
+            mgr.recompute_stats().cold_solves
+        );
     }
 
     #[test]
@@ -342,6 +630,86 @@ mod tests {
         assert_eq!(err, Rejection::NotAllowed);
     }
 
+    /// The trap form's 4-state space closes, so after the first vet the
+    /// session answers from graph annotations — zero further solves.
+    #[test]
+    fn trap_form_session_answers_from_the_graph() {
+        let form = trap_form();
+        let mgr = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        let safe = mgr.safe_updates();
+        assert_eq!(safe.len(), 1);
+        let r = mgr.recompute_stats();
+        assert_eq!(r.cold_solves, 0, "closed graph: no cold solves at all");
+        assert_eq!(r.graph_hits, 2, "both candidates answered by lookup");
+        assert_eq!(mgr.retained_states(), Some(4)); // {}, {g}, {t}, {g,t}
+                                                    // Repeat sweeps stay on the graph.
+        mgr.safe_updates();
+        let r = mgr.recompute_stats();
+        assert_eq!(r.graph_hits, 4);
+        assert_eq!(r.cold_solves, 0);
+        assert!(r.graph_hit_rate() > 0.99);
+    }
+
+    /// A session whose memory budget can't hold the graph evicts it —
+    /// published entries are retracted from the shared cache and the
+    /// verdicts stay identical on the cold path.
+    #[test]
+    fn eviction_falls_back_to_cold_with_identical_verdicts() {
+        let form = trap_form();
+        let roomy = FormManager::new(
+            form.clone(),
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        let tiny = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        )
+        .with_max_retained_states(2);
+        let a = roomy.safe_updates();
+        let b = tiny.safe_updates();
+        assert_eq!(a, b);
+        assert_eq!(
+            tiny.retained_states(),
+            None,
+            "4-state graph over the 2-state budget"
+        );
+        assert_eq!(tiny.recompute_stats().graph_hits, 0);
+        assert!(tiny.recompute_stats().cold_solves > 0);
+    }
+
+    /// `reset` rewinds to the initial instance while keeping the
+    /// retained graph, so the post-reset sweep is warm.
+    #[test]
+    fn reset_reuses_the_retained_graph() {
+        let form = trap_form();
+        let g_edge = form.schema().resolve("g").unwrap();
+        let mut mgr = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        );
+        mgr.submit(Update::Add {
+            parent: InstNodeId::ROOT,
+            edge: g_edge,
+        })
+        .unwrap();
+        assert!(mgr.is_complete());
+        mgr.reset();
+        assert!(!mgr.is_complete());
+        assert!(mgr.history().is_empty());
+        let before = mgr.recompute_stats();
+        assert_eq!(mgr.safe_updates().len(), 1);
+        let delta = mgr.recompute_stats().minus(&before);
+        assert_eq!(delta.cold_solves, 0, "post-reset sweep stays on the graph");
+        assert_eq!(delta.graph_hits, 2);
+    }
+
     #[test]
     fn manager_completes_the_leave_application() {
         // Drive the paper's own example through the manager: every step of
@@ -358,6 +726,9 @@ mod tests {
             mgr.submit(u).unwrap();
         }
         assert!(mgr.is_complete());
+        // The leave form explores under a multiplicity cap (truncated
+        // graph): the session must have served frontier extensions.
+        assert!(mgr.recompute_stats().frontier_extends > 0);
     }
 
     #[test]
