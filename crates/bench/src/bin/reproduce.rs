@@ -2,22 +2,25 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_8.json`** (schema v8: per-section wall-times
-//! *and thread counts*, the parallel-frontier object — per-workload
-//! seq/par wall-times and speedups, or `"skipped_single_core": true`
-//! when the host cannot host a fair comparison — the SAT-engine
-//! cdcl-vs-dpll family timings, the `state_store` section: states
-//! before/after symmetry reduction, verdict-cache hit rate and cold-vs-
-//! cached speedup, manager throughput — the `scenarios` section:
-//! the named approval-chain corpus with its pinned verdicts plus
-//! chain-depth scaling wall-times up to depth 12 — the `incremental`
-//! section: post-edit `safe_updates` latency answered by a retained
-//! session graph vs an always-cold re-solve, with per-workload speedup
-//! and graph-hit rate — and the `service` section: idar-server
-//! throughput and p50/p99 latency under the seeded interactive,
-//! analysis, and edit-burst load mixes, with the server's final
-//! admission counters and session graph-hit rate) so CI can archive
-//! the perf trajectory; pass `--json PATH` to redirect it.
+//! machine-readable **`BENCH_9.json`** (schema v9: per-section wall-times,
+//! thread counts *and peak-RSS snapshots*, the parallel-frontier object —
+//! per-workload seq/par wall-times and speedups, or
+//! `"skipped_single_core": true` when the host cannot host a fair
+//! comparison — the SAT-engine cdcl-vs-dpll family timings, the
+//! `state_store` section: states before/after symmetry reduction,
+//! verdict-cache hit rate and cold-vs-cached speedup, manager throughput
+//! — the `scenarios` section: the named approval-chain corpus with its
+//! pinned verdicts plus chain-depth scaling wall-times up to depth 12 —
+//! the `incremental` section: post-edit `safe_updates` latency answered
+//! by a retained session graph vs an always-cold re-solve, with
+//! per-workload speedup and graph-hit rate — the `service` section:
+//! idar-server throughput and p50/p99 latency under the seeded
+//! interactive, analysis, and edit-burst load mixes, with the server's
+//! final admission counters and session graph-hit rate — and the new
+//! `capacity` section: the out-of-core state store, flat vs budgeted
+//! allocator peaks, spill/fault/compression counters, and the
+//! frontier-only blow-up run) so CI can archive the perf trajectory;
+//! pass `--json PATH` to redirect it.
 //!
 //! Perf gates asserted inside the run: the pooled parallel engine must
 //! reach speedup ≥ 1.0 on `subset_lattice(16)` whenever the host
@@ -25,16 +28,27 @@
 //! archiving a bogus < 1 "regression"), CDCL must solve the
 //! 200k-clause chain in < 100 ms, the incremental section must answer
 //! post-edit `safe_updates` ≥ 10× faster warm than cold on both of its
-//! workloads, and the service section must finish with zero request
+//! workloads, the service section must finish with zero request
 //! errors, a clean drain (`accepted == completed` — no request is ever
 //! admitted and then dropped), p99 ≤ 250 ms on every mix, and a
-//! retained-graph path that actually engages under the edit-burst mix.
+//! retained-graph path that actually engages under the edit-burst mix,
+//! and the capacity section must explore `subset_lattice(18)` under its
+//! budget with allocator peak ≤ 50% of the flat in-RAM baseline and
+//! throughput within 2× of it, with identical `SearchStats`, and close
+//! both `subset_lattice(20)` and the deletion-free two-counter blow-up —
+//! sizes past the flat store's former n16/65k bench ceiling.
 //!
 //! ```text
-//! cargo run --release -p idar-bench --bin reproduce [-- --json BENCH_8.json]
+//! cargo run --release -p idar-bench --bin reproduce \
+//!   [-- --json BENCH_9.json] [--only capacity] [--capacity-budget BYTES]
 //! ```
+//!
+//! `--only capacity` runs just the capacity section (the CI
+//! capacity-smoke job's entry point); `--capacity-budget BYTES` overrides
+//! the 1 MiB default arena budget, e.g. a deliberately tiny budget to
+//! exercise the pager on a small box.
 
-use idar_bench::json::Json;
+use idar_bench::json::{peak_rss_bytes, Json};
 use idar_bench::workloads;
 use idar_core::{bisim, fragment, leave, Instance, Schema};
 use idar_logic::qbf::Qbf;
@@ -46,7 +60,71 @@ use idar_solver::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One row of the engine-check table, recorded for `BENCH_8.json`.
+/// A counting allocator wrapping [`std::alloc::System`], tracking live
+/// bytes and a **resettable** high-water mark. The kernel's `VmHWM`
+/// (archived per section via [`peak_rss_bytes`]) is monotone over the
+/// process lifetime, so it cannot compare a flat run against a budgeted
+/// run inside one process — the capacity gates measure through this
+/// allocator instead and archive both numbers.
+mod peak_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct PeakAlloc;
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    unsafe impl GlobalAlloc for PeakAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    let now = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                        + new_size
+                        - layout.size();
+                    PEAK.fetch_max(now, Ordering::Relaxed);
+                } else {
+                    CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+
+    /// Reset the high-water mark to the currently-live byte count and
+    /// return that baseline: `peak() - reset_peak()` after a measured
+    /// region is the region's net allocation peak.
+    pub fn reset_peak() -> usize {
+        let now = CURRENT.load(Ordering::Relaxed);
+        PEAK.store(now, Ordering::Relaxed);
+        now
+    }
+
+    /// The high-water mark since the last [`reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: peak_alloc::PeakAlloc = peak_alloc::PeakAlloc;
+
+/// One row of the engine-check table, recorded for `BENCH_9.json`.
 struct ParRow {
     name: String,
     states: usize,
@@ -68,7 +146,7 @@ struct ParReport {
     gate_violation: Option<String>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_8.json`.
+/// One row of the SAT-engine table, recorded for `BENCH_9.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -80,27 +158,75 @@ struct SatRow {
 }
 
 fn main() {
-    let json_path = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        match args.iter().position(|a| a == "--json") {
-            Some(i) => args
-                .get(i + 1)
-                .cloned()
-                .unwrap_or_else(|| "BENCH_8.json".to_string()),
-            None => "BENCH_8.json".to_string(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_9.json".to_string()),
+        None => "BENCH_9.json".to_string(),
+    };
+    let only_capacity = match args.iter().position(|a| a == "--only") {
+        Some(i) => {
+            let what = args.get(i + 1).map(String::as_str).unwrap_or("");
+            assert_eq!(what, "capacity", "--only supports only `capacity`");
+            true
         }
+        None => false,
+    };
+    let capacity_budget: usize = match args.iter().position(|a| a == "--capacity-budget") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--capacity-budget takes a byte count"),
+        None => 1 << 20,
     };
     let run_start = Instant::now();
-    // Per-section wall-time *and* the explorer worker-thread count the
+    // Per-section wall-time, the explorer worker-thread count the
     // section's searches were allowed — a 1-thread section on a 16-core
     // host and a 16-thread section must be distinguishable in the
-    // archived report.
-    let mut sections: Vec<(&'static str, f64, usize)> = Vec::new();
+    // archived report — and the process peak RSS (`VmHWM`) as of the end
+    // of the section, so the report carries memory alongside wall-time.
+    let mut sections: Vec<(&'static str, f64, usize, Option<u64>)> = Vec::new();
     let mut timed = |name: &'static str, threads: usize, f: &mut dyn FnMut()| {
         let t = Instant::now();
         f();
-        sections.push((name, t.elapsed().as_secs_f64() * 1e3, threads));
+        sections.push((
+            name,
+            t.elapsed().as_secs_f64() * 1e3,
+            threads,
+            peak_rss_bytes(),
+        ));
     };
+
+    if only_capacity {
+        let mut capacity_report = None;
+        timed("capacity", 1, &mut || {
+            capacity_report = Some(capacity(capacity_budget))
+        });
+        let capacity_report = capacity_report.expect("capacity section ran");
+        let report = Json::obj([
+            ("schema_version", Json::Int(9)),
+            ("generated_by", Json::Str("idar-bench reproduce".into())),
+            ("threads", Json::Int(default_threads() as u64)),
+            ("sections", sections_json(&sections)),
+            ("capacity", capacity_report.to_json()),
+            (
+                "total_ms",
+                Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
+            ),
+        ]);
+        match std::fs::write(&json_path, report.render()) {
+            Ok(()) => println!("\nmachine-readable report written to {json_path}"),
+            Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+        }
+        if let Some(violation) = capacity_report.gate_violation {
+            eprintln!("\nCAPACITY GATE VIOLATED: {violation}");
+            std::process::exit(1);
+        }
+        println!("Capacity section completed.");
+        return;
+    }
 
     banner("Table 1 (paper): complexity matrix");
     print!("{}", fragment::render_table1());
@@ -172,26 +298,17 @@ fn main() {
     let mut service_report = None;
     timed("service", dt, &mut || service_report = Some(service()));
     let service_report = service_report.expect("service section ran");
+    let mut capacity_report = None;
+    timed("capacity", 1, &mut || {
+        capacity_report = Some(capacity(capacity_budget))
+    });
+    let capacity_report = capacity_report.expect("capacity section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(8)),
+        ("schema_version", Json::Int(9)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
-        (
-            "sections",
-            Json::Arr(
-                sections
-                    .iter()
-                    .map(|(name, ms, threads)| {
-                        Json::obj([
-                            ("name", Json::Str((*name).into())),
-                            ("wall_ms", Json::Num(*ms)),
-                            ("threads", Json::Int(*threads as u64)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("sections", sections_json(&sections)),
         (
             "parallel_frontier",
             Json::obj([
@@ -251,6 +368,7 @@ fn main() {
         ("scenarios", scenario_report.to_json()),
         ("incremental", incremental_report.to_json()),
         ("service", service_report.to_json()),
+        ("capacity", capacity_report.to_json()),
         (
             "total_ms",
             Json::Num(run_start.elapsed().as_secs_f64() * 1e3),
@@ -275,8 +393,33 @@ fn main() {
         eprintln!("\nSERVICE GATE VIOLATED: {violation}");
         std::process::exit(1);
     }
+    if let Some(violation) = capacity_report.gate_violation {
+        eprintln!("\nCAPACITY GATE VIOLATED: {violation}");
+        std::process::exit(1);
+    }
 
     println!("All experiments completed.");
+}
+
+/// The `sections` array: per-section wall-time, thread grant, and the
+/// `VmHWM` peak-RSS snapshot taken as the section finished.
+fn sections_json(sections: &[(&'static str, f64, usize, Option<u64>)]) -> Json {
+    Json::Arr(
+        sections
+            .iter()
+            .map(|(name, ms, threads, rss)| {
+                let mut pairs = vec![
+                    ("name".to_string(), Json::Str((*name).into())),
+                    ("wall_ms".to_string(), Json::Num(*ms)),
+                    ("threads".to_string(), Json::Int(*threads as u64)),
+                ];
+                if let Some(rss) = rss {
+                    pairs.push(("peak_rss_bytes".to_string(), Json::Int(*rss)));
+                }
+                Json::Obj(pairs)
+            })
+            .collect(),
+    )
 }
 
 fn banner(s: &str) {
@@ -784,7 +927,7 @@ fn parallel_frontier() -> ParReport {
                 let speedup = seq_ms / par_ms.max(1e-9);
                 if speedup < 1.0 {
                     // Deferred, not asserted here: the violation must not
-                    // abort the run before BENCH_8.json is written, or
+                    // abort the run before BENCH_9.json is written, or
                     // the regression that tripped the gate would be the
                     // one run with no archived report.
                     gate_violation = Some(format!(
@@ -966,7 +1109,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_8.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_9.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,
@@ -1165,7 +1308,7 @@ struct ChainRow {
 }
 
 /// The `scenarios` report: named-corpus verdict pins and approval-chain
-/// depth scaling. Written to `BENCH_8.json`.
+/// depth scaling. Written to `BENCH_9.json`.
 struct ScenarioReport {
     named: Vec<ScenarioRow>,
     chain_scaling: Vec<ChainRow>,
@@ -1673,6 +1816,282 @@ fn service() -> ServiceReport {
     println!("(gates: zero errors, accepted == completed, p99 <= 250 ms per mix,");
     println!("and >= 1 warm-path session answer under edit-burst)");
     ServiceReport {
+        rows,
+        gate_violation,
+    }
+}
+
+/// One run row of the `capacity` section.
+struct CapacityRow {
+    workload: String,
+    /// `flat` (in-RAM store), `budgeted` (capacity engine under the
+    /// arena budget), or `frontier_only` (capacity engine dropping
+    /// closed layers).
+    mode: &'static str,
+    states: usize,
+    closed: bool,
+    wall_ms: f64,
+    states_per_sec: f64,
+    /// Net allocation high-water mark of the run (counting allocator).
+    alloc_peak_bytes: usize,
+    /// Spill-store counters; `None` for flat runs.
+    spill: Option<idar_solver::SpillReport>,
+}
+
+/// The `capacity` report: the out-of-core state store at sizes past the
+/// flat store's bench ceiling. Written to `BENCH_9.json`.
+struct CapacityReport {
+    budget_bytes: usize,
+    rows: Vec<CapacityRow>,
+    /// A violated capacity gate, reported *after* the JSON is written so
+    /// the regression that tripped it is still archived.
+    gate_violation: Option<String>,
+}
+
+impl CapacityReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("budget_bytes", Json::Int(self.budget_bytes as u64)),
+            (
+                "runs",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            let mut pairs = vec![
+                                ("workload".to_string(), Json::Str(r.workload.clone())),
+                                ("mode".to_string(), Json::Str(r.mode.into())),
+                                ("states".to_string(), Json::Int(r.states as u64)),
+                                ("closed".to_string(), Json::Bool(r.closed)),
+                                ("wall_ms".to_string(), Json::Num(r.wall_ms)),
+                                ("states_per_sec".to_string(), Json::Num(r.states_per_sec)),
+                                (
+                                    "alloc_peak_bytes".to_string(),
+                                    Json::Int(r.alloc_peak_bytes as u64),
+                                ),
+                            ];
+                            if let Some(s) = &r.spill {
+                                pairs.push(("word_bytes".to_string(), Json::Int(s.word_bytes)));
+                                pairs.push((
+                                    "encoded_bytes".to_string(),
+                                    Json::Int(s.encoded_bytes),
+                                ));
+                                pairs.push(("checkpoints".to_string(), Json::Int(s.checkpoints)));
+                                pairs.push((
+                                    "spilled_pages".to_string(),
+                                    Json::Int(s.spilled_pages),
+                                ));
+                                pairs.push((
+                                    "spilled_bytes".to_string(),
+                                    Json::Int(s.spilled_bytes),
+                                ));
+                                pairs.push(("faults".to_string(), Json::Int(s.faults)));
+                                pairs.push((
+                                    "arena_peak_bytes".to_string(),
+                                    Json::Int(s.arena_peak_bytes),
+                                ));
+                                pairs.push((
+                                    "frontier_only".to_string(),
+                                    Json::Bool(s.frontier_only),
+                                ));
+                            }
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The out-of-core state store: delta-compressed records, the paged
+/// spill arena, and frontier-only mode, at sizes past the flat store's
+/// former n16/65k bench ceiling.
+///
+/// Three sub-experiments, all full-space enumerations (`goal` never
+/// true, so the search closes and `SearchStats` are comparable):
+///
+/// 1. `subset_lattice(18)` flat vs budgeted — the **gated** comparison:
+///    identical `SearchStats`, budgeted allocator peak ≤ 50% of flat,
+///    budgeted states/sec within 2× of flat.
+/// 2. `subset_lattice(20)` budgeted only — 1 048 576 states, 16× the old
+///    ceiling; gated on closing under the budget (the flat run at this
+///    size is exactly the footprint the hierarchy exists to avoid).
+/// 3. `two_counter_monotone(9)` frontier-only — a deletion-free 4⁹-state
+///    blow-up where closed layers are dropped entirely; gated on closing
+///    with zero retained record bytes.
+///
+/// Memory is measured through the process-wide counting allocator
+/// (resettable peak; `VmHWM` is monotone and lands in the `sections`
+/// array instead), as a *net* high-water mark per run.
+fn capacity(budget_bytes: usize) -> CapacityReport {
+    use idar_solver::MemoryBudget;
+
+    banner("Capacity -- out-of-core delta-compressed state store");
+    println!("arena budget: {} KiB", budget_bytes / 1024);
+    println!(
+        "{:<26}{:>14}{:>10}{:>12}{:>12}{:>12}{:>10}",
+        "workload", "mode", "states", "time", "st/s", "alloc-peak", "spilled"
+    );
+    let limits = ExploreLimits {
+        max_states: 1 << 21,
+        ..ExploreLimits::default()
+    };
+    let mut rows: Vec<CapacityRow> = Vec::new();
+    let mut gate_violation: Option<String> = None;
+
+    let mut push_row = |row: CapacityRow| {
+        println!(
+            "{:<26}{:>14}{:>10}{:>12}{:>12}{:>12}{:>10}",
+            row.workload,
+            row.mode,
+            row.states,
+            format!("{:.0}ms", row.wall_ms),
+            format!("{:.0}k/s", row.states_per_sec / 1e3),
+            format!("{}MB", row.alloc_peak_bytes >> 20),
+            row.spill
+                .as_ref()
+                .map_or("-".to_string(), |s| format!("{}p", s.spilled_pages)),
+        );
+        rows.push(row);
+    };
+
+    // --- (1) flat vs budgeted at the largest in-RAM-comfortable size ----
+    let w18 = workloads::subset_lattice(18);
+    let flat_explorer = Explorer::new(&w18.form, limits).with_threads(1);
+    let base = peak_alloc::reset_peak();
+    let t = Instant::now();
+    let flat = flat_explorer.find(|_| false);
+    let flat_ms = t.elapsed().as_secs_f64() * 1e3;
+    let flat_peak = peak_alloc::peak() - base;
+    assert!(flat.stats.closed, "subset_lattice(18) must close flat");
+    assert_eq!(flat.stats.states, 1 << 18);
+    let flat_sps = flat.stats.states as f64 / (flat_ms / 1e3).max(1e-9);
+    push_row(CapacityRow {
+        workload: w18.name.clone(),
+        mode: "flat",
+        states: flat.stats.states,
+        closed: flat.stats.closed,
+        wall_ms: flat_ms,
+        states_per_sec: flat_sps,
+        alloc_peak_bytes: flat_peak,
+        spill: None,
+    });
+
+    let budgeted_explorer =
+        Explorer::new(&w18.form, limits).with_memory_budget(MemoryBudget::bytes(budget_bytes));
+    let base = peak_alloc::reset_peak();
+    let t = Instant::now();
+    let (budgeted, spill18) = budgeted_explorer.find_spilled(|_| false);
+    let budgeted_ms = t.elapsed().as_secs_f64() * 1e3;
+    let budgeted_peak = peak_alloc::peak() - base;
+    assert_eq!(
+        budgeted.stats, flat.stats,
+        "budgeted and flat runs must visit the same space"
+    );
+    assert!(
+        spill18.encoded_bytes < spill18.word_bytes,
+        "delta encoding must compress the canonical words \
+         (encoded {} vs raw {})",
+        spill18.encoded_bytes,
+        spill18.word_bytes
+    );
+    let budgeted_sps = budgeted.stats.states as f64 / (budgeted_ms / 1e3).max(1e-9);
+    if budgeted_peak * 2 > flat_peak && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "{}: budgeted allocator peak must be <= 50% of flat \
+             (budgeted {} vs flat {} bytes)",
+            w18.name, budgeted_peak, flat_peak
+        ));
+    }
+    if budgeted_sps * 2.0 < flat_sps && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "{}: budgeted throughput must be within 2x of flat \
+             (budgeted {budgeted_sps:.0} vs flat {flat_sps:.0} states/sec)",
+            w18.name
+        ));
+    }
+    push_row(CapacityRow {
+        workload: w18.name,
+        mode: "budgeted",
+        states: budgeted.stats.states,
+        closed: budgeted.stats.closed,
+        wall_ms: budgeted_ms,
+        states_per_sec: budgeted_sps,
+        alloc_peak_bytes: budgeted_peak,
+        spill: Some(spill18),
+    });
+
+    // --- (2) past the flat ceiling: 2^20 states under the same budget ---
+    let w20 = workloads::subset_lattice(20);
+    let explorer =
+        Explorer::new(&w20.form, limits).with_memory_budget(MemoryBudget::bytes(budget_bytes));
+    let base = peak_alloc::reset_peak();
+    let t = Instant::now();
+    let (big, spill20) = explorer.find_spilled(|_| false);
+    let big_ms = t.elapsed().as_secs_f64() * 1e3;
+    let big_peak = peak_alloc::peak() - base;
+    if !(big.stats.closed && big.stats.states == 1 << 20) && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "{}: must close all 2^20 states under the budget \
+             (closed {}, states {})",
+            w20.name, big.stats.closed, big.stats.states
+        ));
+    }
+    if spill20.spilled_pages == 0 && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "{}: the pager never engaged ({} encoded bytes fit the \
+             {budget_bytes}-byte budget?)",
+            w20.name, spill20.encoded_bytes
+        ));
+    }
+    push_row(CapacityRow {
+        workload: w20.name,
+        mode: "budgeted",
+        states: big.stats.states,
+        closed: big.stats.closed,
+        wall_ms: big_ms,
+        states_per_sec: big.stats.states as f64 / (big_ms / 1e3).max(1e-9),
+        alloc_peak_bytes: big_peak,
+        spill: Some(spill20),
+    });
+
+    // --- (3) deletion-free blow-up in frontier-only mode ----------------
+    let wtc = workloads::two_counter_monotone(9);
+    let explorer =
+        Explorer::new(&wtc.form, limits).with_memory_budget(MemoryBudget::bytes(budget_bytes));
+    let base = peak_alloc::reset_peak();
+    let t = Instant::now();
+    let (fo, spill_fo) = explorer.find_frontier_only(|_| false);
+    let fo_ms = t.elapsed().as_secs_f64() * 1e3;
+    let fo_peak = peak_alloc::peak() - base;
+    if !(fo.stats.closed && fo.stats.states == 1 << 18) && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "{}: frontier-only must close all 4^9 states \
+             (closed {}, states {})",
+            wtc.name, fo.stats.closed, fo.stats.states
+        ));
+    }
+    assert_eq!(
+        spill_fo.encoded_bytes, 0,
+        "frontier-only mode must retain no record bytes"
+    );
+    push_row(CapacityRow {
+        workload: wtc.name,
+        mode: "frontier_only",
+        states: fo.stats.states,
+        closed: fo.stats.closed,
+        wall_ms: fo_ms,
+        states_per_sec: fo.stats.states as f64 / (fo_ms / 1e3).max(1e-9),
+        alloc_peak_bytes: fo_peak,
+        spill: Some(spill_fo),
+    });
+
+    println!("(gates: budgeted subset_lattice(18) closes with identical SearchStats,");
+    println!("allocator peak <= 50% of flat and throughput within 2x; 2^20 and the");
+    println!("deletion-free 4^9 blow-up close under the same budget)");
+    CapacityReport {
+        budget_bytes,
         rows,
         gate_violation,
     }

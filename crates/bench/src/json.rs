@@ -1,8 +1,23 @@
 //! A minimal JSON writer for the machine-readable benchmark reports
 //! (`BENCH_2.json`) — dependency-free, append-only, just enough structure
-//! for CI artifacts and trend tooling to consume.
+//! for CI artifacts and trend tooling to consume. Also home of the
+//! [`peak_rss_bytes`] probe the reports archive memory with.
 
 use std::fmt::Write as _;
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the probe does not exist
+/// (non-Linux hosts). The kernel's high-water mark is monotone over the
+/// process lifetime — suitable for archiving "how much RAM did this run
+/// ever need" per report section, not for before/after comparisons
+/// within one process (the in-process counting allocator covers those).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`.
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
 
 /// An owned JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,5 +141,15 @@ mod tests {
     fn escapes_strings() {
         let j = Json::Str("a\"b\\c\nd".into());
         assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn peak_rss_probe_is_sane_where_present() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test process has touched at least a megabyte and
+            // far less than a terabyte.
+            assert!(bytes > 1 << 20, "VmHWM {bytes} implausibly small");
+            assert!(bytes < 1 << 40, "VmHWM {bytes} implausibly large");
+        }
     }
 }

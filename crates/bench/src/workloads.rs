@@ -72,6 +72,22 @@ pub fn subset_lattice(n: usize) -> Workload {
     }
 }
 
+/// `F(A−, φ+, 1)` **deletion-free** — the monotone analogue of a
+/// two-counter configuration space: two groups of `bits` at-most-once
+/// labels (each group's popcount is one counter value), never deletable,
+/// completion = all present. Reachable states are all `4^bits` label
+/// subsets, reached by additions alone — the blow-up workload for
+/// **frontier-only** exploration, which is sound exactly because the
+/// form is deletion-free (node counts grow monotonically, so closed BFS
+/// layers can never be revisited).
+pub fn two_counter_monotone(bits: usize) -> Workload {
+    Workload {
+        name: format!("two_counter_monotone/b{bits}"),
+        form: idar_gen::builders::monotone_lattice(2 * bits),
+        expected: Some(true),
+    }
+}
+
 /// `F(A+, φ−, 1)` — Thm 5.1 on a seeded random 3-CNF; expected verdict
 /// from DPLL.
 pub fn np_sat(seed: u64, vars: usize, clauses: usize) -> Workload {

@@ -1,0 +1,217 @@
+//! Varint delta codec for canonical word sequences.
+//!
+//! Successive BFS states differ by a single leaf update, so their
+//! canonical encodings ([`crate::CanonKey`]) are near-identical word
+//! sequences: one schema-node word (plus at most one `OPEN`/`CLOSE` pair)
+//! inserted or removed somewhere in the middle. The out-of-core state
+//! store exploits that by keeping each state's words as a compact diff
+//! against its BFS parent's words, with a periodic full-word *checkpoint*
+//! every K states along the parent chain so random access stays O(K)
+//! (see `idar-solver`'s `spill` module).
+//!
+//! # Wire format
+//!
+//! All integers are LEB128 varints. Word values are rotated by
+//! `w.wrapping_add(2)` before encoding so the two tree-delimiter
+//! sentinels near `u32::MAX` (`OPEN`, `CLOSE`) — the most frequent words
+//! in any encoding — become `1` and `0` and fit a single byte, while
+//! schema-node ids `w` encode as `w + 2` (still one byte for schemas
+//! under 126 nodes).
+//!
+//! * **Full record** (checkpoint): `count, word*count`.
+//! * **Delta record** (vs. a base sequence): `prefix, removed, inserted,
+//!   word*inserted` — keep the first `prefix` base words, drop the next
+//!   `removed`, splice in the `inserted` words, keep the base's tail.
+//!
+//! Both decoders are exact inverses of their encoders for every word
+//! sequence (round-trip proptests live in `tests/capacity_properties.rs`).
+
+/// Append `v` to `out` as a LEB128 varint (1–5 bytes).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint from `bytes` at `*pos`, advancing `*pos`.
+///
+/// # Panics
+/// On truncated input (the codec only reads records it wrote).
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Rotate a word so the `OPEN`/`CLOSE` sentinels (near `u32::MAX`)
+/// become tiny varints.
+#[inline]
+fn rot(w: u32) -> u32 {
+    w.wrapping_add(2)
+}
+
+#[inline]
+fn unrot(v: u32) -> u32 {
+    v.wrapping_sub(2)
+}
+
+/// Encode `words` as a self-contained full record (checkpoint).
+pub fn encode_full(words: &[u32], out: &mut Vec<u8>) {
+    write_varint(out, words.len() as u32);
+    for &w in words {
+        write_varint(out, rot(w));
+    }
+}
+
+/// Decode a full record, appending the words to `out`.
+pub fn decode_full(bytes: &[u8], out: &mut Vec<u32>) {
+    let mut pos = 0;
+    let n = read_varint(bytes, &mut pos) as usize;
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(unrot(read_varint(bytes, &mut pos)));
+    }
+}
+
+/// Encode `words` as a delta record against `base` (the BFS parent's
+/// words): longest common prefix, longest common suffix of the rest, and
+/// the replaced middle spelled out.
+pub fn encode_delta(base: &[u32], words: &[u32], out: &mut Vec<u8>) {
+    let max_p = base.len().min(words.len());
+    let mut p = 0;
+    while p < max_p && base[p] == words[p] {
+        p += 1;
+    }
+    let max_s = max_p - p;
+    let mut s = 0;
+    while s < max_s && base[base.len() - 1 - s] == words[words.len() - 1 - s] {
+        s += 1;
+    }
+    let removed = base.len() - p - s;
+    let inserted = &words[p..words.len() - s];
+    write_varint(out, p as u32);
+    write_varint(out, removed as u32);
+    write_varint(out, inserted.len() as u32);
+    for &w in inserted {
+        write_varint(out, rot(w));
+    }
+}
+
+/// Decode a delta record against `base`, appending the reconstructed
+/// words to `out`. Inverse of [`encode_delta`] for the same `base`.
+pub fn decode_delta(base: &[u32], bytes: &[u8], out: &mut Vec<u32>) {
+    let mut pos = 0;
+    let p = read_varint(bytes, &mut pos) as usize;
+    let removed = read_varint(bytes, &mut pos) as usize;
+    let inserted = read_varint(bytes, &mut pos) as usize;
+    out.reserve(p + inserted + base.len() - p - removed);
+    out.extend_from_slice(&base[..p]);
+    for _ in 0..inserted {
+        out.push(unrot(read_varint(bytes, &mut pos)));
+    }
+    out.extend_from_slice(&base[p + removed..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPEN: u32 = u32::MAX;
+    const CLOSE: u32 = u32::MAX - 1;
+
+    fn full_rt(words: &[u32]) -> Vec<u32> {
+        let mut enc = Vec::new();
+        encode_full(words, &mut enc);
+        let mut dec = Vec::new();
+        decode_full(&enc, &mut dec);
+        dec
+    }
+
+    fn delta_rt(base: &[u32], words: &[u32]) -> (Vec<u8>, Vec<u32>) {
+        let mut enc = Vec::new();
+        encode_delta(base, words, &mut enc);
+        let mut dec = Vec::new();
+        decode_delta(base, &enc, &mut dec);
+        (enc, dec)
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&out, &mut pos), v);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn sentinels_encode_in_one_byte() {
+        let mut out = Vec::new();
+        encode_full(&[OPEN, CLOSE, 0, 5], &mut out);
+        // 1 count byte + 4 one-byte words.
+        assert_eq!(out.len(), 5);
+        assert_eq!(full_rt(&[OPEN, CLOSE, 0, 5]), vec![OPEN, CLOSE, 0, 5]);
+    }
+
+    #[test]
+    fn full_round_trips() {
+        for words in [
+            vec![],
+            vec![7],
+            vec![3, OPEN, 4, CLOSE, 3, OPEN, 4, 4, CLOSE],
+            (0..300).collect::<Vec<u32>>(),
+        ] {
+            assert_eq!(full_rt(&words), words);
+        }
+    }
+
+    #[test]
+    fn delta_round_trips_single_insertion() {
+        let base = vec![1, 2, OPEN, 3, CLOSE, 9];
+        let words = vec![1, 2, OPEN, 3, 4, CLOSE, 9];
+        let (enc, dec) = delta_rt(&base, &words);
+        assert_eq!(dec, words);
+        // prefix 4, removed 0, inserted 1: four bytes total.
+        assert_eq!(enc.len(), 4);
+    }
+
+    #[test]
+    fn delta_round_trips_deletion_and_replacement() {
+        let base = vec![5, 6, 7, 8, 9];
+        for words in [
+            vec![5, 6, 8, 9],          // deletion
+            vec![5, 6, 42, 8, 9],      // replacement
+            vec![],                    // everything removed
+            vec![5, 6, 7, 8, 9],       // identical
+            vec![9, 8, 7, 6, 5],       // reversal
+            vec![5, 5, 6, 7, 8, 9, 9], // grow both ends
+        ] {
+            let (_, dec) = delta_rt(&base, &words);
+            assert_eq!(dec, words, "base {base:?} -> {words:?}");
+        }
+    }
+
+    #[test]
+    fn delta_from_empty_base() {
+        let (_, dec) = delta_rt(&[], &[1, 2, 3]);
+        assert_eq!(dec, vec![1, 2, 3]);
+    }
+}

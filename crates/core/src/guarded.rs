@@ -115,6 +115,18 @@ impl AccessRules {
             .all(|e| self.get(Right::Add, e).is_positive() && self.get(Right::Del, e).is_positive())
     }
 
+    /// Is deletion statically impossible — every `del` guard (including
+    /// the default, where an edge falls through to it) syntactically
+    /// `false`? In such a form node counts grow monotonically along every
+    /// run, so states at different BFS depths can never be isomorphic —
+    /// the soundness condition for the explorer's frontier-only capacity
+    /// mode (`idar-solver`'s `spill` module).
+    pub fn deletion_free(&self, schema: &Schema) -> bool {
+        schema
+            .edge_ids()
+            .all(|e| *self.get(Right::Del, e) == Formula::False)
+    }
+
     /// Apply `f` to every guard, rewriting the table in place (the
     /// Cor. 4.2 / Cor. 4.7 constructions transform whole tables).
     pub fn map_guards(
@@ -265,6 +277,13 @@ impl GuardedForm {
     /// Does the completion formula hold for `inst` (at the root)?
     pub fn is_complete(&self, inst: &Instance) -> bool {
         crate::formula::holds_at_root(inst, &self.completion)
+    }
+
+    /// Is this form deletion-free ([`AccessRules::deletion_free`])?
+    /// Deletion-free forms grow monotonically, which licenses the
+    /// solver's frontier-only capacity mode.
+    pub fn is_deletion_free(&self) -> bool {
+        self.rules().deletion_free(self.schema())
     }
 
     /// Is `update` allowed on `inst` by the access rules (and the Sec. 3.4

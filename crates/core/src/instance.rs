@@ -98,6 +98,19 @@ impl Instance {
         self.nodes.len()
     }
 
+    /// Approximate heap footprint of this instance in bytes (node arena
+    /// plus per-node child vectors; the shared schema `Arc` is excluded).
+    /// Byte-denominated retention budgets are accounted in these units.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Instance>()
+            + self.nodes.capacity() * std::mem::size_of::<InstNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<InstNodeId>())
+                .sum::<usize>()
+    }
+
     /// Is `id` a live node of this instance?
     pub fn is_live(&self, id: InstNodeId) -> bool {
         id.index() < self.nodes.len() && self.nodes[id.index()].alive

@@ -30,6 +30,7 @@
 
 pub mod bisim;
 pub mod canon;
+pub mod delta;
 pub mod error;
 pub mod formula;
 pub mod fragment;

@@ -70,6 +70,8 @@ fn metrics(shared: &Shared) -> Response {
              \"sessions_opened\":{},\"tenants\":{},\"sessions\":{},\
              \"graph_hits\":{},\"frontier_extends\":{},\"cold_solves\":{},\
              \"graph_hit_rate\":{:.4},\
+             \"retained_states\":{},\"retained_bytes\":{},\
+             \"graph_evictions\":{},\"evicted_bytes\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}",
             m.accepted,
             m.shed,
@@ -82,6 +84,10 @@ fn metrics(shared: &Shared) -> Response {
             m.frontier_extends,
             m.cold_solves,
             m.graph_hit_rate(),
+            m.retained_states,
+            m.retained_bytes,
+            m.graph_evictions,
+            m.evicted_bytes,
             c.hits,
             c.misses,
             c.hit_rate(),
@@ -169,10 +175,13 @@ fn open_session(shared: &Shared, req: &Request) -> Response {
     // Every session shares the process-wide cache and is granted the
     // worker's split_threads share — the same two disciplines the batch
     // analyzer established (shared verdicts, no oversubscription).
-    let manager = FormManager::new(form, shared.config.budget.clone(), shared.config.policy)
+    let mut manager = FormManager::new(form, shared.config.budget.clone(), shared.config.policy)
         .with_cache(Arc::clone(&shared.cache))
         .with_threads(shared.inner_threads)
         .with_max_retained_states(shared.config.max_retained_states);
+    if let Some(bytes) = shared.config.max_retained_bytes {
+        manager = manager.with_max_retained_bytes(bytes);
+    }
     let tenant = shared.tenants.get_or_create(tenant_name);
     let id = tenant.next_session.fetch_add(1, Ordering::SeqCst);
     tenant
@@ -219,9 +228,22 @@ fn with_session(
             // operation so the delta can be folded into the process-wide
             // counters and surfaced as this response's X-Cache header.
             let before = mgr.recompute_stats();
+            let ev_before = mgr.eviction_stats();
             let response = f(&mut mgr, req);
             let delta = mgr.recompute_stats().minus(&before);
             shared.metrics.record_recompute(&delta);
+            let ev = mgr.eviction_stats();
+            let (evictions, bytes_freed) = (
+                ev.evictions - ev_before.evictions,
+                ev.evicted_bytes - ev_before.evicted_bytes,
+            );
+            if evictions > 0 {
+                shared.metrics.record_evictions(evictions, bytes_freed);
+                eprintln!(
+                    "idar-server: session {tenant_name}/{id}: retained graph evicted \
+                     (over memory budget), {bytes_freed} bytes freed"
+                );
+            }
             response.header("X-Cache", recompute_tag(&delta))
         }
         None => Response::json(404, "{\"error\":\"no such session\"}"),

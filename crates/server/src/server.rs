@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// falls back to cold solves, so many long-lived sessions cannot pin
     /// unbounded RAM.
     pub max_retained_states: usize,
+    /// Byte-denominated counterpart of `max_retained_states`: a session
+    /// whose retained graph exceeds this many approximate resident bytes
+    /// is evicted the same way (both caps apply). `None` keeps the
+    /// state-count cap only.
+    pub max_retained_bytes: Option<usize>,
     /// Value of the `Retry-After` header (seconds) on 429 responses.
     pub retry_after_secs: u32,
     /// Per-connection read/write timeout.
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             }),
             policy: UnknownPolicy::Reject,
             max_retained_states: 65_536,
+            max_retained_bytes: Some(256 * 1024 * 1024),
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
             http_limits: HttpLimits::default(),

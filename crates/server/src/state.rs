@@ -77,6 +77,38 @@ impl Tenants {
             .sum();
         (map.len(), sessions)
     }
+
+    /// (retained states, retained bytes) across all live sessions'
+    /// graphs — the memory the incremental re-analysis layer is
+    /// currently pinning. Sessions busy with an in-flight operation are
+    /// skipped (`try_lock`): a metrics scrape must never queue behind an
+    /// analysis, so the gauge is a floor, not an exact census.
+    pub fn retained(&self) -> (u64, u64) {
+        let tenants: Vec<Arc<Tenant>> = self
+            .map
+            .lock()
+            .expect("tenant map poisoned")
+            .values()
+            .cloned()
+            .collect();
+        let (mut states, mut bytes) = (0u64, 0u64);
+        for tenant in tenants {
+            let sessions: Vec<Arc<Mutex<FormManager>>> = tenant
+                .sessions
+                .lock()
+                .expect("session map poisoned")
+                .values()
+                .cloned()
+                .collect();
+            for session in sessions {
+                if let Ok(mgr) = session.try_lock() {
+                    states += mgr.retained_states().unwrap_or(0) as u64;
+                    bytes += mgr.retained_bytes().unwrap_or(0) as u64;
+                }
+            }
+        }
+        (states, bytes)
+    }
 }
 
 /// Monotonic service counters. `accepted` counts connections admitted
@@ -94,6 +126,8 @@ pub struct Metrics {
     pub(crate) graph_hits: AtomicU64,
     pub(crate) frontier_extends: AtomicU64,
     pub(crate) cold_solves: AtomicU64,
+    pub(crate) graph_evictions: AtomicU64,
+    pub(crate) evicted_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`], plus cache and registry gauges.
@@ -117,10 +151,21 @@ pub struct MetricsSnapshot {
     pub frontier_extends: u64,
     /// Oracle calls that fell back to a full cold analysis.
     pub cold_solves: u64,
+    /// Retained session graphs evicted for exceeding a memory budget
+    /// (state- or byte-denominated), cumulative.
+    pub graph_evictions: u64,
+    /// Approximate bytes those evictions freed, cumulative.
+    pub evicted_bytes: u64,
     /// Live tenants.
     pub tenants: usize,
     /// Live sessions across all tenants.
     pub sessions: usize,
+    /// States currently retained by live sessions' graphs (a floor:
+    /// sessions busy at scrape time are skipped).
+    pub retained_states: u64,
+    /// Approximate resident bytes of those retained graphs (same
+    /// caveat) — what the per-session byte budget bounds.
+    pub retained_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -140,6 +185,7 @@ impl MetricsSnapshot {
 impl Metrics {
     pub(crate) fn snapshot(&self, tenants: &Tenants) -> MetricsSnapshot {
         let (tenant_count, session_count) = tenants.counts();
+        let (retained_states, retained_bytes) = tenants.retained();
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::SeqCst),
             shed: self.shed.load(Ordering::SeqCst),
@@ -149,8 +195,12 @@ impl Metrics {
             graph_hits: self.graph_hits.load(Ordering::SeqCst),
             frontier_extends: self.frontier_extends.load(Ordering::SeqCst),
             cold_solves: self.cold_solves.load(Ordering::SeqCst),
+            graph_evictions: self.graph_evictions.load(Ordering::SeqCst),
+            evicted_bytes: self.evicted_bytes.load(Ordering::SeqCst),
             tenants: tenant_count,
             sessions: session_count,
+            retained_states,
+            retained_bytes,
         }
     }
 
@@ -163,6 +213,16 @@ impl Metrics {
             .fetch_add(delta.frontier_extends, Ordering::SeqCst);
         self.cold_solves
             .fetch_add(delta.cold_solves, Ordering::SeqCst);
+    }
+
+    /// Fold one session operation's graph evictions into the
+    /// process-wide counters (cumulative even after the session closes).
+    pub(crate) fn record_evictions(&self, evictions: u64, bytes_freed: u64) {
+        if evictions == 0 {
+            return;
+        }
+        self.graph_evictions.fetch_add(evictions, Ordering::SeqCst);
+        self.evicted_bytes.fetch_add(bytes_freed, Ordering::SeqCst);
     }
 }
 

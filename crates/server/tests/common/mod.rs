@@ -80,6 +80,33 @@ pub fn two_sibling_ron() -> String {
     to_ron(&two_sibling_form())
 }
 
+/// The trap form from the manager tests: schema `g, t`, `t` addable
+/// unless present, `g` addable only into the empty instance, completion
+/// `g`. Its negative guards force `BoundedExploration`, so a session on
+/// it retains a state graph — the form the retained-memory metrics
+/// tests need (positive forms saturate and never build one).
+pub fn trap_form_ron() -> String {
+    let schema = Arc::new(Schema::parse("g, t").unwrap());
+    let mut rules = AccessRules::new(&schema);
+    rules.set(
+        Right::Add,
+        schema.resolve("g").unwrap(),
+        Formula::parse("!t & !g").unwrap(),
+    );
+    rules.set(
+        Right::Add,
+        schema.resolve("t").unwrap(),
+        Formula::parse("!t").unwrap(),
+    );
+    let init = Instance::empty(schema.clone());
+    to_ron(&GuardedForm::new(
+        schema,
+        rules,
+        init,
+        Formula::parse("g").unwrap(),
+    ))
+}
+
 /// Pull the quoted update tokens out of a `{"safe":[...]}` body.
 pub fn safe_tokens(body: &str) -> Vec<String> {
     let mut tokens = Vec::new();

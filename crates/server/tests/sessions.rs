@@ -3,7 +3,7 @@
 
 mod common;
 
-use common::{exchange, safe_tokens, session_id, two_sibling_ron};
+use common::{exchange, safe_tokens, session_id, trap_form_ron, two_sibling_ron};
 use idar_server::{Server, ServerConfig};
 use idar_solver::{Budget, ExploreLimits};
 
@@ -214,6 +214,61 @@ fn submit_applies_updates_and_reaches_completion() {
     );
     assert!(body.contains("\"history\":1"));
 
+    handle.shutdown();
+}
+
+/// The `/metrics` endpoint surfaces the retained-graph byte gauges, and
+/// a byte budget too small for any graph turns sweeps into recorded
+/// evictions with bytes freed. Uses the trap form: its negative guards
+/// select bounded exploration, the only method that retains a graph.
+#[test]
+fn metrics_report_retained_bytes_and_evictions() {
+    // Roomy budget: the session graph survives and the gauges see it.
+    let handle = Server::start("127.0.0.1:0", pin_config()).expect("server start");
+    let addr = handle.addr();
+    let (_, _, body) = exchange(addr, "POST", "/v1/session", Some("acme"), &trap_form_ron());
+    let sid = session_id(&body);
+    exchange(
+        addr,
+        "GET",
+        &format!("/v1/session/{sid}/safe_updates"),
+        Some("acme"),
+        "",
+    );
+    let m = handle.metrics();
+    assert!(m.retained_states > 0, "sweep must retain a session graph");
+    assert!(m.retained_bytes > m.retained_states * 4);
+    assert_eq!(m.graph_evictions, 0);
+    let (status, _, body) = exchange(addr, "GET", "/metrics", None, "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"retained_bytes\":"), "{body}");
+    assert!(body.contains("\"graph_evictions\":0"), "{body}");
+    handle.shutdown();
+
+    // 16-byte budget: every built graph is immediately over budget, so
+    // the sweep still answers but the eviction is counted with its
+    // bytes freed, and nothing stays retained.
+    let tiny = ServerConfig {
+        max_retained_bytes: Some(16),
+        ..pin_config()
+    };
+    let handle = Server::start("127.0.0.1:0", tiny).expect("server start");
+    let addr = handle.addr();
+    let (_, _, body) = exchange(addr, "POST", "/v1/session", Some("acme"), &trap_form_ron());
+    let sid = session_id(&body);
+    let (status, headers, _) = exchange(
+        addr,
+        "GET",
+        &format!("/v1/session/{sid}/safe_updates"),
+        Some("acme"),
+        "",
+    );
+    assert_eq!(status, 200, "eviction must not change the answer");
+    assert_eq!(headers.get("x-verdict").map(String::as_str), Some("safe:1"));
+    let m = handle.metrics();
+    assert!(m.graph_evictions >= 1, "16-byte budget must evict");
+    assert!(m.evicted_bytes > 16);
+    assert_eq!(m.retained_states, 0, "nothing survives a 16-byte budget");
     handle.shutdown();
 }
 

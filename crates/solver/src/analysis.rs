@@ -29,6 +29,7 @@
 use crate::cache::{CachedVerdict, VerdictCache};
 use crate::explore::ExploreLimits;
 use crate::satisfiability::{satisfiable, SatOptions, SatResult, WitnessTree};
+use crate::spill::MemoryBudget;
 use crate::store::SymmetryMode;
 use crate::verdict::{Method, SearchStats, Verdict};
 use idar_core::fragment::Fragment;
@@ -65,9 +66,14 @@ impl fmt::Display for AnalysisKind {
 /// across `CompletabilityOptions`, `SemisoundnessOptions`, and
 /// `BatchAnalyzer`; those names are now aliases of `Budget`. Everything
 /// in the budget is verdict-affecting and therefore part of the
-/// [`VerdictCache`] key (worker-thread counts are *not* budget: engines
-/// are verdict-identical by contract).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// [`VerdictCache`] key — with two deliberate exceptions: worker-thread
+/// counts (not in the struct: engines are verdict-identical by
+/// contract) and [`Budget::memory`] (in the struct but excluded from
+/// the manual `PartialEq`/`Hash` impls below: the out-of-core capacity
+/// engine visits the same states and returns the same verdicts as the
+/// in-RAM engines — spilling moves bytes, never answers — so budgeted
+/// and unbudgeted runs share cache entries).
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Resource limits for the bounded/NP code paths.
     pub limits: ExploreLimits,
@@ -80,6 +86,34 @@ pub struct Budget {
     /// The state-space quotient explicit-state searches run under
     /// (default: symmetry-reduced).
     pub symmetry: SymmetryMode,
+    /// Byte budget for explicit-state goal searches (default:
+    /// unbounded). Bounded budgets route bounded-exploration
+    /// completability through the out-of-core capacity engine
+    /// ([`crate::spill`]). **Not** verdict-affecting, hence not part of
+    /// the cache key.
+    pub memory: MemoryBudget,
+}
+
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        // `memory` intentionally omitted — see the struct docs.
+        self.limits == other.limits
+            && self.oracle_limits == other.oracle_limits
+            && self.force_method == other.force_method
+            && self.symmetry == other.symmetry
+    }
+}
+
+impl Eq for Budget {}
+
+impl std::hash::Hash for Budget {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `memory` intentionally omitted — must stay consistent with `eq`.
+        self.limits.hash(state);
+        self.oracle_limits.hash(state);
+        self.force_method.hash(state);
+        self.symmetry.hash(state);
+    }
 }
 
 impl Budget {

@@ -123,7 +123,9 @@ fn run_method(
             Err(_) => run_method(form, Method::BoundedExploration, budget, threads),
         },
         Method::BoundedExploration | Method::ReachableEnumeration | Method::SatTableau => {
-            let mut explorer = Explorer::new(form, budget.limits).with_symmetry(budget.symmetry);
+            let mut explorer = Explorer::new(form, budget.limits)
+                .with_symmetry(budget.symmetry)
+                .with_memory_budget(budget.memory);
             if let Some(t) = threads {
                 explorer = explorer.with_threads(t);
             }

@@ -52,6 +52,7 @@
 //! guarantees down.
 
 use crate::session::{ExpandEvent, ExpansionLog, SessionGraph};
+use crate::spill::{MemoryBudget, SpillReport, SpillStore};
 use crate::store::{StateId, StateStore, SuccessorTable, SymmetryMode};
 use crate::verdict::{LimitKind, SearchStats};
 use idar_core::{GuardedForm, Instance, Update};
@@ -189,6 +190,7 @@ pub struct Explorer<'a> {
     limits: ExploreLimits,
     threads: usize,
     symmetry: SymmetryMode,
+    memory: MemoryBudget,
 }
 
 impl<'a> Explorer<'a> {
@@ -200,6 +202,7 @@ impl<'a> Explorer<'a> {
             limits,
             threads: default_threads(),
             symmetry: SymmetryMode::Reduced,
+            memory: MemoryBudget::unbounded(),
         }
     }
 
@@ -220,9 +223,31 @@ impl<'a> Explorer<'a> {
         self
     }
 
+    /// Set the memory budget for goal searches. A bounded budget makes
+    /// [`Explorer::find`] run the out-of-core **capacity engine** (see
+    /// [`crate::spill`]): delta-compressed state records that spill cold
+    /// pages to a temp file so the arena-resident encoded bytes stay
+    /// under the budget. The engine is sequential (the thread setting is
+    /// ignored while a budget is set) and visits exactly the same states
+    /// with the same [`SearchStats`] as the sequential in-RAM engine.
+    ///
+    /// [`Explorer::graph`] and [`Explorer::build_session`] ignore the
+    /// budget: retained graphs hand out `&Instance`/run-to views that
+    /// require the flat store, and their retention is bounded separately
+    /// by the session manager's eviction budget.
+    pub fn with_memory_budget(mut self, memory: MemoryBudget) -> Self {
+        self.memory = memory;
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured memory budget.
+    pub fn memory(&self) -> MemoryBudget {
+        self.memory
     }
 
     /// The configured symmetry mode.
@@ -234,6 +259,10 @@ impl<'a> Explorer<'a> {
     /// the space/limits are exhausted). Returns the shortest-in-BFS run to
     /// the goal, if found.
     pub fn find(&self, goal: impl Fn(&Instance) -> bool + Sync) -> ExploreOutcome {
+        if self.memory.is_bounded() {
+            let mut goal = goal;
+            return self.run_capacity(Some(&mut goal), false).0;
+        }
         #[cfg(feature = "parallel")]
         if self.threads > 1 {
             let g = self.run_parallel(Some(&goal), false);
@@ -248,6 +277,44 @@ impl<'a> Explorer<'a> {
             goal_run: g.goal.map(|i| g.graph.store.run_to(i)),
             stats: g.graph.stats,
         }
+    }
+
+    /// [`Explorer::find`] on the capacity engine regardless of whether
+    /// the budget is bounded (an unbounded budget keeps every arena page
+    /// hot but still delta-encodes), returning the run's
+    /// [`SpillReport`] alongside the outcome. This is the entry point
+    /// the bench harness and the equivalence tests measure through.
+    pub fn find_spilled(
+        &self,
+        goal: impl FnMut(&Instance) -> bool,
+    ) -> (ExploreOutcome, SpillReport) {
+        let mut goal = goal;
+        self.run_capacity(Some(&mut goal), false)
+    }
+
+    /// The capacity engine in **frontier-only** mode: closed-layer
+    /// words, records, and provenance are dropped entirely, so memory
+    /// scales with the widest BFS layer instead of the explored total.
+    ///
+    /// Sound only for deletion-free forms
+    /// ([`GuardedForm::is_deletion_free`]) — node counts then grow
+    /// monotonically along every run, so states at different BFS depths
+    /// are never isomorphic and per-layer dedup is exact. The outcome's
+    /// `goal_run` is always `None` (no provenance is retained); use it
+    /// for verdict kinds that only need existence/closure.
+    ///
+    /// # Panics
+    /// If the form has a deletion rule that is not syntactically `false`.
+    pub fn find_frontier_only(
+        &self,
+        goal: impl FnMut(&Instance) -> bool,
+    ) -> (ExploreOutcome, SpillReport) {
+        assert!(
+            self.form.is_deletion_free(),
+            "frontier-only exploration requires a deletion-free form"
+        );
+        let mut goal = goal;
+        self.run_capacity(Some(&mut goal), true)
     }
 
     /// Exhaustively (within limits) build the reachable state graph.
@@ -401,6 +468,124 @@ impl<'a> Explorer<'a> {
 
         stats.closed = !pruned;
         finish(store, triples, stats, None)
+    }
+
+    /// The **capacity engine**: sequential FIFO BFS over the
+    /// out-of-core [`SpillStore`] instead of the flat [`StateStore`].
+    ///
+    /// The traversal mirrors [`Explorer::run`] step for step — same
+    /// expansion order, same prune checks in the same order, same
+    /// goal-before-state-cap sequencing, same depth-probe
+    /// short-circuit — so it produces an identical [`SearchStats`] and
+    /// finds the same goal state. What differs is residency: decoded
+    /// instances live only in the BFS queue (the pinned frontier — a
+    /// popped state's instance is dropped once expanded), canonical
+    /// words of closed layers live as delta records in the paged arena,
+    /// and cold pages spill to disk under the [`MemoryBudget`].
+    fn run_capacity(
+        &self,
+        mut goal: Option<&mut dyn FnMut(&Instance) -> bool>,
+        frontier_only: bool,
+    ) -> (ExploreOutcome, SpillReport) {
+        let mut stats = SearchStats::default();
+        let mut store = SpillStore::new(self.symmetry, self.memory, frontier_only);
+
+        let initial = self.form.initial().clone();
+        let key = store.key_of(&initial);
+        let (root, _) = store.intern(key, None, 0);
+        debug_assert_eq!(root, 0);
+        stats.states = 1;
+
+        if let Some(goal) = goal.as_deref_mut() {
+            if goal(&initial) {
+                stats.closed = true;
+                let goal_run = if frontier_only {
+                    None
+                } else {
+                    Some(Vec::new())
+                };
+                return (ExploreOutcome { goal_run, stats }, store.report());
+            }
+        }
+
+        let mut queue: std::collections::VecDeque<(u32, usize, Instance)> =
+            std::collections::VecDeque::new();
+        queue.push_back((root, 0, initial));
+        let mut cur_depth = 0usize;
+        let mut pruned = false;
+
+        while let Some((i, d, inst)) = queue.pop_front() {
+            if d > cur_depth {
+                cur_depth = d;
+                store.begin_layer(d as u32);
+            }
+            if d >= self.limits.max_depth {
+                if std::iter::once(inst)
+                    .chain(queue.drain(..).map(|(_, _, s)| s))
+                    .any(|s| has_successor(self.form, &s))
+                {
+                    pruned = true;
+                    stats.limit_hit = Some(LimitKind::Depth);
+                }
+                break;
+            }
+            let updates = self.form.allowed_updates(&inst);
+            for u in updates {
+                stats.transitions += 1;
+                if let Update::Add { parent, edge } = u {
+                    if inst.live_count() >= self.limits.max_state_size {
+                        pruned = true;
+                        stats.limit_hit = Some(LimitKind::StateSize);
+                        continue;
+                    }
+                    if let Some(cap) = self.limits.multiplicity_cap {
+                        if inst.children_at(parent, edge).count() >= cap {
+                            pruned = true;
+                            stats.limit_hit = Some(LimitKind::Multiplicity);
+                            continue;
+                        }
+                    }
+                }
+                let mut next = inst.clone();
+                self.form
+                    .apply_unchecked(&mut next, &u)
+                    .expect("allowed updates apply");
+                let key = store.key_of(&next);
+                let (j, is_new) = store.intern(key, Some((i, u)), (d + 1) as u32);
+                if !is_new {
+                    continue;
+                }
+                stats.states += 1;
+
+                if let Some(goal) = goal.as_deref_mut() {
+                    if goal(&next) {
+                        let goal_run = store.run_to(j);
+                        return (ExploreOutcome { goal_run, stats }, store.report());
+                    }
+                }
+
+                if stats.states >= self.limits.max_states {
+                    stats.limit_hit = Some(LimitKind::States);
+                    return (
+                        ExploreOutcome {
+                            goal_run: None,
+                            stats,
+                        },
+                        store.report(),
+                    );
+                }
+                queue.push_back((j, d + 1, next));
+            }
+        }
+
+        stats.closed = !pruned;
+        (
+            ExploreOutcome {
+                goal_run: None,
+                stats,
+            },
+            store.report(),
+        )
     }
 
     /// The parallel engine: a persistent worker pool over the
@@ -905,6 +1090,76 @@ mod tests {
         let graph = Explorer::new(&g, lim).with_threads(1).graph();
         assert!(!graph.stats.closed);
         assert_eq!(graph.stats.limit_hit, Some(LimitKind::States));
+    }
+
+    /// The capacity engine (tiny spill budget) is verdict-, depth- and
+    /// stats-identical to the sequential in-RAM engine, and its witness
+    /// run replays.
+    #[test]
+    fn capacity_engine_matches_sequential_on_leave() {
+        let g = idar_core::leave::example_3_12();
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|i| g.is_complete(i));
+        let (cap, report) = Explorer::new(&g, ExploreLimits::small())
+            .with_memory_budget(MemoryBudget::bytes(4 * 1024))
+            .find_spilled(|i| g.is_complete(i));
+        assert_eq!(cap.stats, seq.stats);
+        let seq_run = seq.goal_run.expect("completable");
+        let cap_run = cap.goal_run.expect("completable");
+        assert_eq!(cap_run.len(), seq_run.len(), "same BFS goal depth");
+        assert!(g.is_complete_run(&cap_run), "spilled witness replays");
+        assert!(report.encoded_bytes > 0);
+        assert!(
+            report.encoded_bytes < report.word_bytes,
+            "delta encoding compresses"
+        );
+    }
+
+    /// A bounded memory budget routes `find` through the capacity
+    /// engine with unchanged exhaustive-search semantics.
+    #[test]
+    fn budgeted_find_closes_finite_space() {
+        let g = toggle_form();
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|_| false);
+        let cap = Explorer::new(&g, ExploreLimits::small())
+            .with_memory_budget(MemoryBudget::bytes(0))
+            .find(|_| false);
+        assert_eq!(cap.stats, seq.stats);
+        assert!(cap.stats.closed);
+        assert_eq!(cap.stats.states, 4);
+    }
+
+    /// Frontier-only mode on a deletion-free form: same stats and goal
+    /// depth as the sequential engine, no retained records.
+    #[test]
+    fn frontier_only_matches_on_deletion_free_form() {
+        let schema = Arc::new(Schema::parse("a, b").unwrap());
+        let mut rules = AccessRules::new(&schema);
+        rules.set_both(
+            schema.resolve("a").unwrap(),
+            Formula::parse("!a").unwrap(),
+            Formula::False,
+        );
+        rules.set_both(
+            schema.resolve("b").unwrap(),
+            Formula::parse("!b").unwrap(),
+            Formula::False,
+        );
+        let init = Instance::empty(schema.clone());
+        let g = GuardedForm::new(schema, rules, init, Formula::parse("a & b").unwrap());
+        assert!(g.is_deletion_free());
+        let seq = Explorer::new(&g, ExploreLimits::small())
+            .with_threads(1)
+            .find(|i| g.is_complete(i));
+        let (fo, report) =
+            Explorer::new(&g, ExploreLimits::small()).find_frontier_only(|i| g.is_complete(i));
+        assert_eq!(fo.stats, seq.stats);
+        assert!(fo.goal_run.is_none(), "frontier-only keeps no provenance");
+        assert!(report.frontier_only);
+        assert_eq!(report.encoded_bytes, 0);
     }
 
     #[test]

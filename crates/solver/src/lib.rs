@@ -37,6 +37,7 @@ pub mod satengine;
 pub mod satisfiability;
 pub mod semisound;
 pub mod session;
+pub mod spill;
 pub mod store;
 pub mod verdict;
 pub mod witness;
@@ -58,6 +59,7 @@ pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer, Stat
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
 pub use session::{ExpandEvent, ExpansionLog, SessionGraph};
+pub use spill::{MemoryBudget, SpillReport};
 #[cfg(feature = "parallel")]
 pub use store::{PackedStateId, ShardedStateStore};
 pub use store::{StateId, StateStore, SuccessorTable, SymmetryMode};

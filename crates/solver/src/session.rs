@@ -130,6 +130,19 @@ impl ExpansionLog {
             .count()
     }
 
+    /// Approximate resident bytes of the journal.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<ExpansionLog>()
+            + self.spans.capacity() * size_of::<Option<Span>>()
+            + self
+                .spans
+                .iter()
+                .flatten()
+                .map(|sp| sp.events.capacity() * size_of::<ExpandEvent>())
+                .sum::<usize>()
+    }
+
     fn triples(&self) -> Vec<(StateId, Update, StateId)> {
         let mut out = Vec::new();
         for (i, span) in self.spans.iter().enumerate() {
@@ -191,6 +204,22 @@ impl SessionGraph {
     /// Number of retained states (the session's memory-budget metric).
     pub fn retained_states(&self) -> usize {
         self.store.len()
+    }
+
+    /// Approximate resident bytes of the whole session artifact: store,
+    /// CSR successor table, expansion journal, and verdict column. The
+    /// byte-denominated retention budgets (workflow manager, server) are
+    /// enforced against this figure.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<SessionGraph>()
+            + self.store.approx_bytes()
+            + self.succ.approx_bytes()
+            + self.log.approx_bytes()
+            + self
+                .verdicts
+                .as_ref()
+                .map_or(0, |v| v.capacity() * size_of::<Verdict>())
     }
 
     /// Statistics of the original build.

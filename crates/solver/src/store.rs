@@ -86,8 +86,33 @@ impl std::fmt::Display for SymmetryMode {
 }
 
 /// One fingerprint bucket: ids of the (rarely > 1) distinct encodings
-/// sharing a 64-bit fingerprint.
-type Bucket = Vec<StateId>;
+/// sharing a 64-bit fingerprint. The singleton case — in practice all
+/// but a vanishing fraction of buckets — is stored inline: the dedup
+/// probe compares the 64-bit fingerprint (the map key) first and only
+/// touches interned words on a full match, and interning a fresh state
+/// allocates nothing beyond the map slot.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(StateId),
+    Many(Vec<StateId>),
+}
+
+impl Bucket {
+    #[inline]
+    fn ids(&self) -> &[StateId] {
+        match self {
+            Bucket::One(id) => std::slice::from_ref(id),
+            Bucket::Many(ids) => ids,
+        }
+    }
+
+    fn push(&mut self, id: StateId) {
+        match self {
+            Bucket::One(a) => *self = Bucket::Many(vec![*a, id]),
+            Bucket::Many(ids) => ids.push(id),
+        }
+    }
+}
 
 /// A hash-consed store of explored states (single-writer; the pooled
 /// parallel engine interns concurrently into a [`ShardedStateStore`] and
@@ -133,7 +158,14 @@ impl StateStore {
     ) -> StateStore {
         let mut buckets: HashMap<u64, Bucket> = HashMap::with_capacity(fingerprints.len());
         for (i, &fp) in fingerprints.iter().enumerate() {
-            buckets.entry(fp).or_default().push(StateId(i as u32));
+            match buckets.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push(StateId(i as u32))
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Bucket::One(StateId(i as u32)));
+                }
+            }
         }
         StateStore {
             symmetry,
@@ -176,17 +208,21 @@ impl StateStore {
         inst: Instance,
         parent: Option<(StateId, Update)>,
     ) -> (StateId, bool) {
-        let bucket = self.buckets.entry(key.fingerprint()).or_default();
-        for &id in bucket.iter() {
-            if *self.keys[id.index()] == *key.words() {
-                return (id, false);
+        let id = StateId(self.states.len() as u32);
+        match self.buckets.entry(key.fingerprint()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for &cand in e.get().ids() {
+                    if *self.keys[cand.index()] == *key.words() {
+                        return (cand, false);
+                    }
+                }
+                self.collisions += 1;
+                e.get_mut().push(id);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket::One(id));
             }
         }
-        if !bucket.is_empty() {
-            self.collisions += 1;
-        }
-        let id = StateId(self.states.len() as u32);
-        bucket.push(id);
         let depth = match parent {
             Some((p, _)) => self.depths[p.index()] + 1,
             None => 0,
@@ -207,6 +243,7 @@ impl StateStore {
         let key = self.key_of(inst);
         self.buckets
             .get(&key.fingerprint())?
+            .ids()
             .iter()
             .copied()
             .find(|id| *self.keys[id.index()] == *key.words())
@@ -253,6 +290,39 @@ impl StateStore {
     /// a fingerprint). Expected to stay 0 in practice.
     pub fn collisions(&self) -> u64 {
         self.collisions
+    }
+
+    /// Approximate resident bytes of the store: state instances, interned
+    /// key words, the fingerprint index, and provenance columns. An
+    /// estimate (allocator slack and hash-map control bytes are
+    /// approximated), used for byte-denominated retention budgets.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<StateStore>();
+        // Hash map: key + value + ~1 control byte per capacity slot
+        // (capacity() underestimates the real table, but so does any
+        // external count).
+        total += self.buckets.capacity() * (size_of::<u64>() + size_of::<Bucket>() + 1);
+        for b in self.buckets.values() {
+            if let Bucket::Many(ids) = b {
+                total += ids.capacity() * size_of::<StateId>();
+            }
+        }
+        total += self.keys.capacity() * size_of::<Box<[u32]>>();
+        total += self
+            .keys
+            .iter()
+            .map(|k| k.len() * size_of::<u32>())
+            .sum::<usize>();
+        total += self.fingerprints.capacity() * size_of::<u64>();
+        total += self
+            .states
+            .iter()
+            .map(Instance::approx_bytes)
+            .sum::<usize>();
+        total += self.parents.capacity() * size_of::<Option<(StateId, Update)>>();
+        total += self.depths.capacity() * size_of::<u32>();
+        total
     }
 
     /// Reconstruct the update sequence from the initial state to `id`
@@ -327,6 +397,14 @@ impl SuccessorTable {
         self.dat.len()
     }
 
+    /// Approximate resident bytes of the CSR arrays.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<SuccessorTable>()
+            + self.off.capacity() * size_of::<u32>()
+            + self.dat.capacity() * size_of::<(Update, StateId)>()
+    }
+
     /// Number of states the table was built over.
     pub fn state_count(&self) -> usize {
         self.off.len().saturating_sub(1)
@@ -395,13 +473,40 @@ mod sharded {
         }
     }
 
+    /// One fingerprint bucket of a shard: within-shard indices of the
+    /// (rarely > 1) distinct encodings sharing a fingerprint, singleton
+    /// inline — same fingerprint-first probe layout as the sequential
+    /// store's `Bucket`.
+    #[derive(Debug)]
+    enum LocalBucket {
+        One(u32),
+        Many(Vec<u32>),
+    }
+
+    impl LocalBucket {
+        #[inline]
+        fn ids(&self) -> &[u32] {
+            match self {
+                LocalBucket::One(id) => std::slice::from_ref(id),
+                LocalBucket::Many(ids) => ids,
+            }
+        }
+
+        fn push(&mut self, id: u32) {
+            match self {
+                LocalBucket::One(a) => *self = LocalBucket::Many(vec![*a, id]),
+                LocalBucket::Many(ids) => ids.push(id),
+            }
+        }
+    }
+
     /// One shard: a self-contained mini-store for the fingerprints it
     /// owns (dedup index + state columns + BFS provenance).
     #[derive(Debug, Default)]
     struct Shard {
         /// fingerprint → within-shard indices of the (rarely > 1)
         /// distinct encodings sharing it.
-        buckets: HashMap<u64, Vec<u32>>,
+        buckets: HashMap<u64, LocalBucket>,
         keys: Vec<Box<[u32]>>,
         fingerprints: Vec<u64>,
         states: Vec<Arc<Instance>>,
@@ -477,18 +582,22 @@ mod sharded {
             let shard_ix = self.shard_of(fp);
             let mut shard = self.shards[shard_ix].lock().expect("store shard poisoned");
             let shard = &mut *shard;
-            let bucket = shard.buckets.entry(fp).or_default();
-            for &local in bucket.iter() {
-                if *shard.keys[local as usize] == *key.words() {
-                    return (PackedStateId::new(shard_ix, local as usize), None);
+            let local = shard.states.len();
+            match shard.buckets.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for &cand in e.get().ids() {
+                        if *shard.keys[cand as usize] == *key.words() {
+                            return (PackedStateId::new(shard_ix, cand as usize), None);
+                        }
+                    }
+                    shard.collisions += 1;
+                    e.get_mut().push(local as u32);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(LocalBucket::One(local as u32));
                 }
             }
-            if !bucket.is_empty() {
-                shard.collisions += 1;
-            }
-            let local = shard.states.len();
             let id = PackedStateId::new(shard_ix, local);
-            bucket.push(local as u32);
             let (fingerprint, words) = key.into_parts();
             let arc = Arc::new(inst);
             shard.fingerprints.push(fingerprint);

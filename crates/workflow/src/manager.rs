@@ -130,11 +130,50 @@ impl RecomputeStats {
     }
 }
 
+/// Cumulative graph-eviction accounting of one manager: how many times
+/// the retained graph was dropped for exceeding the memory budget, and
+/// the (approximate) resident bytes each drop freed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionStats {
+    /// Retained graphs dropped under the state- or byte-budget.
+    pub evictions: u64,
+    /// Approximate bytes freed across those drops.
+    pub evicted_bytes: u64,
+}
+
 /// The retained graph plus the cache entries it published.
 #[derive(Debug, Clone)]
 struct ActiveSession {
     graph: SessionGraph,
     delta: SessionDelta,
+    /// Memoised `graph.approx_bytes()` and the state count it was
+    /// computed at — the byte walk is O(states), so it only reruns when
+    /// the graph grew.
+    bytes: usize,
+    bytes_at: usize,
+}
+
+impl ActiveSession {
+    fn new(graph: SessionGraph) -> ActiveSession {
+        let bytes = graph.approx_bytes();
+        let bytes_at = graph.retained_states();
+        ActiveSession {
+            graph,
+            delta: SessionDelta::new(),
+            bytes,
+            bytes_at,
+        }
+    }
+
+    /// Current approximate resident bytes, recomputed iff the graph grew.
+    fn approx_bytes(&mut self) -> usize {
+        let n = self.graph.retained_states();
+        if n != self.bytes_at {
+            self.bytes = self.graph.approx_bytes();
+            self.bytes_at = n;
+        }
+        self.bytes
+    }
 }
 
 /// Lifecycle of the retained session graph.
@@ -188,8 +227,13 @@ pub struct FormManager {
     /// Memory budget: evict the retained graph (falling back to cold
     /// solves) once it holds more than this many states.
     max_retained_states: usize,
+    /// Byte-denominated memory budget: evict once the graph's
+    /// approximate resident bytes ([`SessionGraph::approx_bytes`])
+    /// exceed this. `None`: states-only budget.
+    max_retained_bytes: Option<usize>,
     session: RefCell<SessionState>,
     recompute: Cell<RecomputeStats>,
+    evictions: Cell<EvictionStats>,
 }
 
 impl FormManager {
@@ -215,12 +259,14 @@ impl FormManager {
             method,
             threads: None,
             max_retained_states: 1 << 20,
+            max_retained_bytes: None,
             session: RefCell::new(if eligible {
                 SessionState::Unbuilt
             } else {
                 SessionState::Disabled
             }),
             recompute: Cell::new(RecomputeStats::default()),
+            evictions: Cell::new(EvictionStats::default()),
         }
     }
 
@@ -246,6 +292,18 @@ impl FormManager {
         self
     }
 
+    /// Cap the retained session graph at `max` approximate resident
+    /// **bytes** ([`SessionGraph::approx_bytes`]) — the byte-denominated
+    /// counterpart of [`FormManager::with_max_retained_states`]; both
+    /// caps apply when both are set. Exceeding it evicts the graph
+    /// (retracting its published cache entries) and the session
+    /// continues on cold solves; [`FormManager::eviction_stats`] reports
+    /// the bytes freed.
+    pub fn with_max_retained_bytes(mut self, max: usize) -> Self {
+        self.max_retained_bytes = Some(max);
+        self
+    }
+
     /// The manager's verdict cache.
     pub fn cache(&self) -> &Arc<VerdictCache> {
         &self.cache
@@ -268,6 +326,21 @@ impl FormManager {
             SessionState::Active(a) => Some(a.graph.retained_states()),
             _ => None,
         }
+    }
+
+    /// Approximate resident bytes of the retained session graph (`None`
+    /// when no graph is active). What the byte budget and the server's
+    /// `/metrics` retained-bytes gauge are denominated in.
+    pub fn retained_bytes(&self) -> Option<usize> {
+        match &mut *self.session.borrow_mut() {
+            SessionState::Active(a) => Some(a.approx_bytes()),
+            _ => None,
+        }
+    }
+
+    /// Cumulative graph-eviction counters of this session.
+    pub fn eviction_stats(&self) -> EvictionStats {
+        self.evictions.get()
     }
 
     /// The form this session runs (rules and schema never change; only
@@ -360,9 +433,11 @@ impl FormManager {
             let mut state = self.session.borrow_mut();
             if let SessionState::Active(active) = &mut *state {
                 let answer = self.graph_answer(active, &next);
-                // Query growth is monotone; enforce the memory budget
-                // after every graph-path answer.
-                if active.graph.retained_states() > self.max_retained_states {
+                // Query growth is monotone; enforce the memory budgets
+                // (state- and byte-denominated) after every graph-path
+                // answer.
+                if self.over_budget(active) {
+                    self.record_eviction(active.approx_bytes());
                     active.delta.retract_departed(&self.cache, |_| false);
                     *state = SessionState::Disabled;
                 }
@@ -399,24 +474,45 @@ impl FormManager {
         let mut graph = Explorer::new(&self.form, self.oracle.limits)
             .with_symmetry(self.oracle.symmetry)
             .build_session();
-        *state = if graph.retained_states() > self.max_retained_states {
+        let build_bytes = if self.max_retained_bytes.is_some() {
+            graph.approx_bytes()
+        } else {
+            0
+        };
+        let build_over = graph.retained_states() > self.max_retained_states
+            || self.max_retained_bytes.is_some_and(|b| build_bytes > b);
+        *state = if build_over {
+            self.record_eviction(if build_bytes == 0 {
+                graph.approx_bytes()
+            } else {
+                build_bytes
+            });
             SessionState::Disabled
         } else if graph.exact() {
             graph.annotate(&self.form);
-            SessionState::Active(Box::new(ActiveSession {
-                graph,
-                delta: SessionDelta::new(),
-            }))
+            SessionState::Active(Box::new(ActiveSession::new(graph)))
         } else if self.method == Method::Depth1Canonical {
             // A truncated graph can only answer `Unknown` where the
             // canonical depth-1 system is exact: keep the cold oracle.
             SessionState::Disabled
         } else {
-            SessionState::Active(Box::new(ActiveSession {
-                graph,
-                delta: SessionDelta::new(),
-            }))
+            SessionState::Active(Box::new(ActiveSession::new(graph)))
         };
+    }
+
+    /// Is the retained graph over either memory budget?
+    fn over_budget(&self, active: &mut ActiveSession) -> bool {
+        active.graph.retained_states() > self.max_retained_states
+            || self
+                .max_retained_bytes
+                .is_some_and(|b| active.approx_bytes() > b)
+    }
+
+    fn record_eviction(&self, bytes_freed: usize) {
+        let mut e = self.evictions.get();
+        e.evictions += 1;
+        e.evicted_bytes += bytes_freed as u64;
+        self.evictions.set(e);
     }
 
     /// Answer `next` from the retained graph: an annotation lookup on
@@ -680,6 +776,38 @@ mod tests {
             "4-state graph over the 2-state budget"
         );
         assert_eq!(tiny.recompute_stats().graph_hits, 0);
+        assert!(tiny.recompute_stats().cold_solves > 0);
+    }
+
+    /// The byte-denominated budget behaves like the state budget: a
+    /// graph over the byte cap is evicted (bytes freed are reported),
+    /// verdicts stay identical on the cold path, and a roomy byte cap
+    /// retains the graph and reports its resident bytes.
+    #[test]
+    fn byte_budget_evicts_and_reports_bytes_freed() {
+        let form = trap_form();
+        let roomy = FormManager::new(
+            form.clone(),
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        )
+        .with_max_retained_bytes(64 * 1024 * 1024);
+        let tiny = FormManager::new(
+            form,
+            CompletabilityOptions::default(),
+            UnknownPolicy::Reject,
+        )
+        .with_max_retained_bytes(16);
+        let a = roomy.safe_updates();
+        let b = tiny.safe_updates();
+        assert_eq!(a, b, "byte budget never affects verdicts");
+        let retained = roomy.retained_bytes().expect("graph under the byte cap");
+        assert!(retained > 16, "a 4-state graph holds real bytes");
+        assert_eq!(roomy.eviction_stats(), EvictionStats::default());
+        assert_eq!(tiny.retained_bytes(), None, "graph over 16 B evicted");
+        let ev = tiny.eviction_stats();
+        assert_eq!(ev.evictions, 1);
+        assert!(ev.evicted_bytes > 16);
         assert!(tiny.recompute_stats().cold_solves > 0);
     }
 
