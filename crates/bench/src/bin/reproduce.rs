@@ -2,7 +2,7 @@
 //! paper-vs-measured evidence. `EXPERIMENTS.md` records this output.
 //!
 //! Alongside the human-readable transcript, the run writes a
-//! machine-readable **`BENCH_9.json`** (schema v9: per-section wall-times,
+//! machine-readable **`BENCH_10.json`** (schema v10: per-section wall-times,
 //! thread counts *and peak-RSS snapshots*, the parallel-frontier object —
 //! per-workload seq/par wall-times and speedups, or
 //! `"skipped_single_core": true` when the host cannot host a fair
@@ -13,7 +13,11 @@
 //! pinned verdicts plus chain-depth scaling wall-times up to depth 12 —
 //! the `incremental` section: post-edit `safe_updates` latency answered
 //! by a retained session graph vs an always-cold re-solve, with
-//! per-workload speedup and graph-hit rate — the `service` section:
+//! per-workload speedup and graph-hit rate — the `static` section: the
+//! fraction of the scenario corpus the pre-exploration screener decides
+//! outright, its p99 latency vs the cold-exploration p50 it replaces,
+//! dead-rule counts and the pruned-vs-unpruned state-count pin — the
+//! `service` section:
 //! idar-server throughput and p50/p99 latency under the seeded
 //! interactive, analysis, and edit-burst load mixes, with the server's
 //! final admission counters and session graph-hit rate — and the new
@@ -28,7 +32,11 @@
 //! archiving a bogus < 1 "regression"), CDCL must solve the
 //! 200k-clause chain in < 100 ms, the incremental section must answer
 //! post-edit `safe_updates` ≥ 10× faster warm than cold on both of its
-//! workloads, the service section must finish with zero request
+//! workloads, the static section must decide ≥ 30% of its corpus with a
+//! screener p99 ≤ 2 ms on every slice and under the scaled slice's
+//! cold-exploration p50 (agreeing with exploration on every decided
+//! case, pruned state counts identical to unpruned), the service
+//! section must finish with zero request
 //! errors, a clean drain (`accepted == completed` — no request is ever
 //! admitted and then dropped), p99 ≤ 250 ms on every mix, and a
 //! retained-graph path that actually engages under the edit-burst mix,
@@ -40,13 +48,18 @@
 //!
 //! ```text
 //! cargo run --release -p idar-bench --bin reproduce \
-//!   [-- --json BENCH_9.json] [--only capacity] [--capacity-budget BYTES]
+//!   [-- --json BENCH_10.json] [--only capacity] [--capacity-budget BYTES]
 //! ```
 //!
 //! `--only capacity` runs just the capacity section (the CI
 //! capacity-smoke job's entry point); `--capacity-budget BYTES` overrides
 //! the 1 MiB default arena budget, e.g. a deliberately tiny budget to
 //! exercise the pager on a small box.
+
+// The workspace libraries all `forbid(unsafe_code)`; this binary can only
+// `deny` because the counting allocator below is the one sanctioned
+// exception, quarantined behind an explicit `allow`.
+#![deny(unsafe_code)]
 
 use idar_bench::json::{peak_rss_bytes, Json};
 use idar_bench::workloads;
@@ -66,6 +79,10 @@ use std::time::Instant;
 /// process lifetime, so it cannot compare a flat run against a budgeted
 /// run inside one process — the capacity gates measure through this
 /// allocator instead and archive both numbers.
+// The sole `unsafe` in the workspace: implementing `GlobalAlloc` is an
+// unsafe trait contract by definition. The impl only forwards to
+// `System` and updates atomics — no pointer arithmetic of its own.
+#[allow(unsafe_code)]
 mod peak_alloc {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -124,7 +141,7 @@ mod peak_alloc {
 #[global_allocator]
 static ALLOC: peak_alloc::PeakAlloc = peak_alloc::PeakAlloc;
 
-/// One row of the engine-check table, recorded for `BENCH_9.json`.
+/// One row of the engine-check table, recorded for `BENCH_10.json`.
 struct ParRow {
     name: String,
     states: usize,
@@ -146,7 +163,7 @@ struct ParReport {
     gate_violation: Option<String>,
 }
 
-/// One row of the SAT-engine table, recorded for `BENCH_9.json`.
+/// One row of the SAT-engine table, recorded for `BENCH_10.json`.
 struct SatRow {
     family: String,
     vars: usize,
@@ -163,8 +180,8 @@ fn main() {
         Some(i) => args
             .get(i + 1)
             .cloned()
-            .unwrap_or_else(|| "BENCH_9.json".to_string()),
-        None => "BENCH_9.json".to_string(),
+            .unwrap_or_else(|| "BENCH_10.json".to_string()),
+        None => "BENCH_10.json".to_string(),
     };
     let only_capacity = match args.iter().position(|a| a == "--only") {
         Some(i) => {
@@ -206,7 +223,7 @@ fn main() {
         });
         let capacity_report = capacity_report.expect("capacity section ran");
         let report = Json::obj([
-            ("schema_version", Json::Int(9)),
+            ("schema_version", Json::Int(10)),
             ("generated_by", Json::Str("idar-bench reproduce".into())),
             ("threads", Json::Int(default_threads() as u64)),
             ("sections", sections_json(&sections)),
@@ -295,6 +312,9 @@ fn main() {
         incremental_report = Some(incremental())
     });
     let incremental_report = incremental_report.expect("incremental section ran");
+    let mut static_report = None;
+    timed("static", 1, &mut || static_report = Some(static_screen()));
+    let static_report = static_report.expect("static section ran");
     let mut service_report = None;
     timed("service", dt, &mut || service_report = Some(service()));
     let service_report = service_report.expect("service section ran");
@@ -305,7 +325,7 @@ fn main() {
     let capacity_report = capacity_report.expect("capacity section ran");
 
     let report = Json::obj([
-        ("schema_version", Json::Int(9)),
+        ("schema_version", Json::Int(10)),
         ("generated_by", Json::Str("idar-bench reproduce".into())),
         ("threads", Json::Int(default_threads() as u64)),
         ("sections", sections_json(&sections)),
@@ -367,6 +387,7 @@ fn main() {
         ("state_store", store_report.to_json()),
         ("scenarios", scenario_report.to_json()),
         ("incremental", incremental_report.to_json()),
+        ("static", static_report.to_json()),
         ("service", service_report.to_json()),
         ("capacity", capacity_report.to_json()),
         (
@@ -387,6 +408,10 @@ fn main() {
     }
     if let Some(violation) = incremental_report.gate_violation {
         eprintln!("\nINCREMENTAL GATE VIOLATED: {violation}");
+        std::process::exit(1);
+    }
+    if let Some(violation) = static_report.gate_violation {
+        eprintln!("\nSTATIC GATE VIOLATED: {violation}");
         std::process::exit(1);
     }
     if let Some(violation) = service_report.gate_violation {
@@ -927,7 +952,7 @@ fn parallel_frontier() -> ParReport {
                 let speedup = seq_ms / par_ms.max(1e-9);
                 if speedup < 1.0 {
                     // Deferred, not asserted here: the violation must not
-                    // abort the run before BENCH_9.json is written, or
+                    // abort the run before BENCH_10.json is written, or
                     // the regression that tripped the gate would be the
                     // one run with no archived report.
                     gate_violation = Some(format!(
@@ -1109,7 +1134,7 @@ fn batch_analysis() {
 }
 
 /// The `state_store` report: symmetry-reduction shrinkage, verdict-cache
-/// speedup, and form-manager throughput. Written to `BENCH_9.json`.
+/// speedup, and form-manager throughput. Written to `BENCH_10.json`.
 struct StoreReport {
     symmetry_workload: String,
     plain_states: usize,
@@ -1308,7 +1333,7 @@ struct ChainRow {
 }
 
 /// The `scenarios` report: named-corpus verdict pins and approval-chain
-/// depth scaling. Written to `BENCH_9.json`.
+/// depth scaling. Written to `BENCH_10.json`.
 struct ScenarioReport {
     named: Vec<ScenarioRow>,
     chain_scaling: Vec<ChainRow>,
@@ -1651,6 +1676,253 @@ fn incremental() -> IncrementalReport {
     }
 }
 
+/// One corpus-slice row of the `static` section.
+struct StaticRow {
+    corpus: String,
+    /// `(form, problem)` cases screened — two problems per form.
+    cases: usize,
+    /// Cases the screener decided conclusively (zero states explored).
+    decided: usize,
+    /// Per-form screener wall-time p99 (one `screen` call answers both
+    /// problems at once).
+    screen_p99_ms: f64,
+    /// Cold-exploration wall-time p50 over the *decided* cases — the
+    /// work the screener replaced (screen bypassed, same limits).
+    explore_p50_ms: f64,
+    /// Dead rules flagged across the slice.
+    dead_rules: usize,
+    /// Bounded-exploration state totals over the forms with dead rules,
+    /// unpruned vs pruned. Equal by construction (a dead rule never
+    /// fires at any reachable state) — archived as the soundness pin.
+    unpruned_states: u64,
+    pruned_states: u64,
+}
+
+/// The `static` report: how much of the scenario corpus the
+/// pre-exploration screener decides outright, and at what latency
+/// relative to the exploration it replaces.
+struct StaticReport {
+    rows: Vec<StaticRow>,
+    /// Decided fraction over the whole corpus (the ≥ 0.30 gate).
+    decided_rate: f64,
+    /// A violated gate, reported *after* the JSON is written.
+    gate_violation: Option<String>,
+}
+
+impl StaticReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("decided_rate", Json::Num(self.decided_rate)),
+            (
+                "corpora",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("corpus", Json::Str(r.corpus.clone())),
+                                ("cases", Json::Int(r.cases as u64)),
+                                ("decided", Json::Int(r.decided as u64)),
+                                ("screen_p99_ms", Json::Num(r.screen_p99_ms)),
+                                ("explore_p50_ms", Json::Num(r.explore_p50_ms)),
+                                ("dead_rules", Json::Int(r.dead_rules as u64)),
+                                ("unpruned_states", Json::Int(r.unpruned_states)),
+                                ("pruned_states", Json::Int(r.pruned_states)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The static screener over the named corpus plus 100 lightweight
+/// recipe samples: decided-before-exploration rate (≥ 30% gate),
+/// screener p99 vs the cold-exploration p50 it replaces (the screener
+/// must stay under it), screen-vs-exploration verdict agreement on
+/// every decided case, and pruned-vs-unpruned state-count equality on
+/// every form with dead rules.
+fn static_screen() -> StaticReport {
+    use idar_core::GuardedForm;
+    use idar_gen::scenario::{named_scenarios, ScenarioRecipe};
+    use idar_solver::{analyze, prune, screen, AnalysisKind, AnalysisRequest, Budget, Method};
+
+    banner("Static screener -- pre-exploration analysis vs cold exploration");
+    println!(
+        "{:<14}{:>8}{:>9}{:>14}{:>15}{:>7}{:>10}",
+        "corpus", "cases", "decided", "screen-p99", "explore-p50", "dead", "states"
+    );
+
+    let limits = ExploreLimits {
+        max_states: 60_000,
+        max_state_size: 64,
+        max_depth: usize::MAX,
+        multiplicity_cap: Some(1),
+    };
+    let mut bypass = Budget::with_limits(limits);
+    bypass.skip_screen = true;
+
+    fn percentile(xs: &mut [f64], p: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        let ix = ((xs.len() - 1) as f64 * p / 100.0).round() as usize;
+        xs[ix]
+    }
+
+    let named: Vec<(String, GuardedForm)> = named_scenarios()
+        .into_iter()
+        .map(|n| (n.scenario.name.clone(), n.scenario.form))
+        .collect();
+    let recipe = ScenarioRecipe::lightweight();
+    let light: Vec<(String, GuardedForm)> = (0..100u64)
+        .map(|seed| {
+            let s = recipe.sample(seed).build("lightweight");
+            (format!("lightweight/{seed}"), s.form)
+        })
+        .collect();
+    // Deep clean chains, where cold exploration pays for a state space
+    // that grows with depth while the greedy chase stays linear — the
+    // slice the screener-vs-replaced-exploration latency gate runs on.
+    let scaled: Vec<(String, GuardedForm)> = [6usize, 8, 10, 12]
+        .iter()
+        .map(|&d| {
+            use idar_gen::{ChainSpec, ScenarioSpec};
+            let s = ScenarioSpec::unconstrained(ChainSpec::simple(d, 2, 3)).build("scaled");
+            (format!("chain-depth-{d}"), s.form)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut gate_violation: Option<String> = None;
+    let mut total_cases = 0usize;
+    let mut total_decided = 0usize;
+    for (corpus, forms) in [("named", named), ("lightweight", light), ("scaled", scaled)] {
+        let mut screen_ms = Vec::new();
+        let mut explore_ms = Vec::new();
+        let mut cases = 0usize;
+        let mut decided = 0usize;
+        let mut dead_rules = 0usize;
+        let mut unpruned_states = 0u64;
+        let mut pruned_states = 0u64;
+        for (name, form) in &forms {
+            let t = Instant::now();
+            let r = screen(form);
+            screen_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            for (kind, outcome) in [
+                (AnalysisKind::Completability, &r.completability),
+                (AnalysisKind::Semisoundness, &r.semisoundness),
+            ] {
+                cases += 1;
+                let Some(v) = outcome.verdict() else { continue };
+                decided += 1;
+                let t = Instant::now();
+                let report =
+                    analyze(&AnalysisRequest::new(form.clone(), kind).with_budget(bypass.clone()));
+                explore_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                if report.verdict != Verdict::Unknown
+                    && report.verdict != v
+                    && gate_violation.is_none()
+                {
+                    gate_violation = Some(format!(
+                        "{corpus}/{name}/{kind}: screener verdict {v} but exploration says {}",
+                        report.verdict
+                    ));
+                }
+            }
+            if !r.dead_rules.is_empty() {
+                dead_rules += r.dead_rules.len();
+                let pruned_form = prune(form, &r.dead_rules);
+                let mut forced = bypass.clone();
+                forced.force_method = Some(Method::BoundedExploration);
+                let a = analyze(
+                    &AnalysisRequest::new(form.clone(), AnalysisKind::Completability)
+                        .with_budget(forced.clone()),
+                );
+                let b = analyze(
+                    &AnalysisRequest::new(pruned_form, AnalysisKind::Completability)
+                        .with_budget(forced),
+                );
+                unpruned_states += a.stats.states as u64;
+                pruned_states += b.stats.states as u64;
+            }
+        }
+        let row = StaticRow {
+            corpus: corpus.to_string(),
+            cases,
+            decided,
+            screen_p99_ms: percentile(&mut screen_ms, 99.0),
+            explore_p50_ms: percentile(&mut explore_ms, 50.0),
+            dead_rules,
+            unpruned_states,
+            pruned_states,
+        };
+        println!(
+            "{:<14}{:>8}{:>9}{:>14}{:>15}{:>7}{:>10}",
+            row.corpus,
+            row.cases,
+            row.decided,
+            format!("{:.4}ms", row.screen_p99_ms),
+            format!("{:.4}ms", row.explore_p50_ms),
+            row.dead_rules,
+            format!("{}={}", row.unpruned_states, row.pruned_states),
+        );
+        if row.unpruned_states != row.pruned_states && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{corpus}: pruning dead rules changed the explored state count \
+                 ({} unpruned vs {} pruned)",
+                row.unpruned_states, row.pruned_states
+            ));
+        }
+        // Two latency gates: screening must be negligible overhead on
+        // every slice (corpus forms are small; 2 ms is generous), and on
+        // the scaled slice — where exploration actually costs something
+        // — its p99 must sit strictly under the exploration p50 it
+        // replaces. (On the tiny slices exploration is itself
+        // microseconds, so a relative gate there would compare noise.)
+        if row.screen_p99_ms > 2.0 && gate_violation.is_none() {
+            gate_violation = Some(format!(
+                "{corpus}: screener p99 {:.4} ms exceeds the 2 ms overhead bound",
+                row.screen_p99_ms
+            ));
+        }
+        if corpus == "scaled"
+            && row.decided > 0
+            && row.screen_p99_ms > row.explore_p50_ms
+            && gate_violation.is_none()
+        {
+            gate_violation = Some(format!(
+                "{corpus}: screener p99 {:.4} ms exceeds the cold-exploration p50 \
+                 {:.4} ms it replaces",
+                row.screen_p99_ms, row.explore_p50_ms
+            ));
+        }
+        total_cases += cases;
+        total_decided += decided;
+        rows.push(row);
+    }
+    let decided_rate = total_decided as f64 / total_cases.max(1) as f64;
+    println!(
+        "decided statically: {total_decided}/{total_cases} cases ({:.0}%)",
+        decided_rate * 100.0
+    );
+    println!("(gates: decided rate >= 30%, screener p99 <= 2 ms everywhere and under");
+    println!("the scaled slice's explore p50, pruned == unpruned state counts,");
+    println!("screen-vs-exploration verdict agreement on every decided case)");
+    if decided_rate < 0.30 && gate_violation.is_none() {
+        gate_violation = Some(format!(
+            "decided rate {decided_rate:.2} fell below the 0.30 floor"
+        ));
+    }
+    StaticReport {
+        rows,
+        decided_rate,
+        gate_violation,
+    }
+}
+
 /// One traffic-mix row of the `service` section.
 struct ServiceRow {
     mix: String,
@@ -1839,7 +2111,7 @@ struct CapacityRow {
 }
 
 /// The `capacity` report: the out-of-core state store at sizes past the
-/// flat store's bench ceiling. Written to `BENCH_9.json`.
+/// flat store's bench ceiling. Written to `BENCH_10.json`.
 struct CapacityReport {
     budget_bytes: usize,
     rows: Vec<CapacityRow>,

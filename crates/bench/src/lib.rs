@@ -12,6 +12,8 @@
 //! which is exactly what [`workloads`] generates and the Criterion benches
 //! plus the `reproduce` binary measure.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod load;
 pub mod workloads;

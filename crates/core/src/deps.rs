@@ -1,0 +1,273 @@
+//! Rule-level **dependency analysis**: which schema nodes each guard's
+//! atoms resolve to, and — inverted — which access rules an update along a
+//! given schema edge can *enable or disable*.
+//!
+//! Every guard `A(right, e)` is evaluated at the parent node of the edge
+//! `e` (Sec. 3.4). Rewriting it into step normal form (Lemma 4.4) makes
+//! each atom speak about the evaluation node, one child, or the parent —
+//! so each atom resolves *statically* to a schema node: `l` and `l[ψ]`
+//! resolve through [`Schema::child_by_label`], `..[ψ]` re-anchors the
+//! residual at the (unique) schema parent, and atoms that resolve to no
+//! schema node are constants. The resulting map
+//!
+//! ```text
+//!   rule (right, e)  ↦  { (schema node, polarity) … }
+//! ```
+//!
+//! is the *guard dependency relation*; its inverse is the **rule
+//! enablement graph**: adding or deleting an instance node mapped to
+//! schema node `s` can only change the truth of guards that depend on
+//! `s`. The static screener (`idar-solver`'s `screen` module) uses this
+//! graph as its fixpoint worklist — when a label joins the may-set, only
+//! the rules depending on it are re-examined — and dead-rule detection
+//! reports rules whose dependencies are unreachable.
+
+use crate::formula::StepFormula;
+use crate::guarded::{AccessRules, Right};
+use crate::schema::{Schema, SchemaNodeId};
+use std::collections::BTreeSet;
+
+/// Identifies one access rule: a right and the schema edge it governs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId {
+    /// The access right (`add` or `del`).
+    pub right: Right,
+    /// The schema node whose incoming edge the rule guards.
+    pub edge: SchemaNodeId,
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.right, self.edge)
+    }
+}
+
+/// The schema nodes a single guard depends on, split by the polarity of
+/// the occurrence (under an even or odd number of negations).
+///
+/// A guard can only change truth value when a node mapped to one of these
+/// schema nodes is added or deleted; `pos`/`neg` additionally record the
+/// direction: adding a `pos` node can turn the guard true, adding a `neg`
+/// node can turn it false (and dually for deletions). Occurrences under
+/// both polarities appear in both sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuardDeps {
+    /// Nodes occurring positively (an addition can enable the guard).
+    pub pos: BTreeSet<SchemaNodeId>,
+    /// Nodes occurring negatively (an addition can disable the guard).
+    pub neg: BTreeSet<SchemaNodeId>,
+}
+
+impl GuardDeps {
+    /// The dependencies of `guard` (already in step normal form) when
+    /// evaluated at schema node `at`.
+    pub fn of_step(schema: &Schema, at: SchemaNodeId, guard: &StepFormula) -> GuardDeps {
+        let mut deps = GuardDeps::default();
+        collect(schema, at, guard, false, &mut deps);
+        deps
+    }
+
+    /// All dependencies, regardless of polarity.
+    pub fn all(&self) -> BTreeSet<SchemaNodeId> {
+        self.pos.union(&self.neg).copied().collect()
+    }
+
+    /// Does the guard depend on `node` (under either polarity)?
+    pub fn depends_on(&self, node: SchemaNodeId) -> bool {
+        self.pos.contains(&node) || self.neg.contains(&node)
+    }
+}
+
+fn collect(schema: &Schema, at: SchemaNodeId, f: &StepFormula, neg: bool, out: &mut GuardDeps) {
+    match f {
+        StepFormula::True | StepFormula::False | StepFormula::Parent => {}
+        StepFormula::Child(l) => {
+            if let Some(c) = schema.child_by_label(at, l) {
+                record(out, c, neg);
+            }
+        }
+        StepFormula::ChildSat(l, inner) => {
+            if let Some(c) = schema.child_by_label(at, l) {
+                record(out, c, neg);
+                // Atoms inside the residual are evaluated at the child;
+                // `l[ψ]` is monotone in `ψ`, so polarity passes through.
+                collect(schema, c, inner, neg, out);
+            }
+        }
+        StepFormula::ParentSat(inner) => {
+            // The schema parent is unique; `..` itself is structural (its
+            // truth never changes under updates), only the residual's
+            // atoms — re-anchored at the parent — are dependencies.
+            if let Some(p) = schema.parent(at) {
+                collect(schema, p, inner, neg, out);
+            }
+        }
+        StepFormula::Not(g) => collect(schema, at, g, !neg, out),
+        StepFormula::And(a, b) | StepFormula::Or(a, b) => {
+            collect(schema, at, a, neg, out);
+            collect(schema, at, b, neg, out);
+        }
+    }
+}
+
+fn record(out: &mut GuardDeps, node: SchemaNodeId, neg: bool) {
+    if neg {
+        out.neg.insert(node);
+    } else {
+        out.pos.insert(node);
+    }
+}
+
+/// The rule enablement graph of an access-rule table: for every rule, its
+/// guard's dependency set; inverted, for every schema node, the rules
+/// whose guards depend on it.
+#[derive(Debug, Clone)]
+pub struct EnablementGraph {
+    /// `deps[i]` are the dependencies of rule `rules[i]`.
+    rules: Vec<RuleId>,
+    deps: Vec<GuardDeps>,
+    /// `affected[s.index()]` lists indices into `rules` of the rules
+    /// depending on schema node `s`.
+    affected: Vec<Vec<usize>>,
+}
+
+impl EnablementGraph {
+    /// Build the graph for `rules` over `schema`. Guards are normalised
+    /// (Lemma 4.4) and walked once each — linear in total guard size.
+    pub fn build(schema: &Schema, rules: &AccessRules) -> EnablementGraph {
+        let mut ids = Vec::with_capacity(schema.node_count().saturating_sub(1) * 2);
+        let mut deps = Vec::with_capacity(ids.capacity());
+        let mut affected = vec![Vec::new(); schema.node_count()];
+        for edge in schema.edge_ids() {
+            let at = schema.parent(edge).expect("edges have parents");
+            for right in [Right::Add, Right::Del] {
+                let guard = StepFormula::from_formula(rules.get(right, edge));
+                let d = GuardDeps::of_step(schema, at, &guard);
+                let idx = ids.len();
+                for s in d.all() {
+                    affected[s.index()].push(idx);
+                }
+                ids.push(RuleId { right, edge });
+                deps.push(d);
+            }
+        }
+        EnablementGraph {
+            rules: ids,
+            deps,
+            affected,
+        }
+    }
+
+    /// All rules, paired with their guard dependencies.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &GuardDeps)> + '_ {
+        self.rules.iter().copied().zip(self.deps.iter())
+    }
+
+    /// The dependencies of one rule.
+    pub fn deps_of(&self, rule: RuleId) -> Option<&GuardDeps> {
+        self.rules
+            .iter()
+            .position(|&r| r == rule)
+            .map(|i| &self.deps[i])
+    }
+
+    /// The rules whose guards depend on schema node `node` — the rules an
+    /// update touching `node` can enable or disable.
+    pub fn rules_affected_by(&self, node: SchemaNodeId) -> impl Iterator<Item = RuleId> + '_ {
+        self.affected[node.index()].iter().map(|&i| self.rules[i])
+    }
+
+    /// Number of rules (two per schema edge).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Formula;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::parse("a(x, y), b, c").unwrap())
+    }
+
+    #[test]
+    fn bare_labels_resolve_to_children() {
+        let s = schema();
+        let at = SchemaNodeId::ROOT;
+        let g = StepFormula::from_formula(&Formula::parse("a & !b").unwrap());
+        let d = GuardDeps::of_step(&s, at, &g);
+        let a = s.resolve("a").unwrap();
+        let b = s.resolve("b").unwrap();
+        assert!(d.pos.contains(&a));
+        assert!(d.neg.contains(&b));
+        assert!(!d.depends_on(s.resolve("c").unwrap()));
+    }
+
+    #[test]
+    fn unresolvable_labels_are_constants() {
+        let s = schema();
+        let g = StepFormula::from_formula(&Formula::parse("zz").unwrap());
+        let d = GuardDeps::of_step(&s, SchemaNodeId::ROOT, &g);
+        assert!(d.pos.is_empty() && d.neg.is_empty());
+    }
+
+    #[test]
+    fn filters_descend_and_parent_reanchors() {
+        let s = schema();
+        let a = s.resolve("a").unwrap();
+        let x = s.resolve("a/x").unwrap();
+        let b = s.resolve("b").unwrap();
+        // Evaluated at the root: a[x] depends on both a and a/x.
+        let g = StepFormula::from_formula(&Formula::parse("a[x]").unwrap());
+        let d = GuardDeps::of_step(&s, SchemaNodeId::ROOT, &g);
+        assert!(d.pos.contains(&a) && d.pos.contains(&x));
+        // Evaluated at `a`: ..[b] re-anchors the residual at the root.
+        let g = StepFormula::from_formula(&Formula::parse("..[!b]").unwrap());
+        let d = GuardDeps::of_step(&s, a, &g);
+        assert!(d.neg.contains(&b) && d.pos.is_empty());
+    }
+
+    #[test]
+    fn double_negation_restores_polarity() {
+        let s = schema();
+        let g = StepFormula::from_formula(&Formula::parse("!!a").unwrap());
+        let d = GuardDeps::of_step(&s, SchemaNodeId::ROOT, &g);
+        assert!(d.pos.contains(&s.resolve("a").unwrap()));
+        assert!(d.neg.is_empty());
+    }
+
+    #[test]
+    fn enablement_graph_inverts_dependencies() {
+        let s = schema();
+        let mut rules = AccessRules::new(&s);
+        let a = s.resolve("a").unwrap();
+        let b = s.resolve("b").unwrap();
+        let c = s.resolve("c").unwrap();
+        rules.set(Right::Add, a, Formula::True);
+        rules.set(Right::Add, b, Formula::parse("a").unwrap());
+        rules.set(Right::Add, c, Formula::parse("a & !b").unwrap());
+        let g = EnablementGraph::build(&s, &rules);
+        assert_eq!(g.rule_count(), 2 * (s.node_count() - 1));
+        let on_a: Vec<_> = g.rules_affected_by(a).collect();
+        assert!(on_a.contains(&RuleId {
+            right: Right::Add,
+            edge: b
+        }));
+        assert!(on_a.contains(&RuleId {
+            right: Right::Add,
+            edge: c
+        }));
+        let on_c: Vec<_> = g.rules_affected_by(c).collect();
+        assert!(on_c.is_empty());
+        let d = g
+            .deps_of(RuleId {
+                right: Right::Add,
+                edge: c,
+            })
+            .unwrap();
+        assert!(d.pos.contains(&a) && d.neg.contains(&b));
+    }
+}

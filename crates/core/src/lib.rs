@@ -26,11 +26,13 @@
 //! Decision procedures for completability and semi-soundness live in
 //! `idar-solver`; the paper's hardness reductions live in `idar-reductions`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bisim;
 pub mod canon;
 pub mod delta;
+pub mod deps;
 pub mod error;
 pub mod formula;
 pub mod fragment;
@@ -42,6 +44,7 @@ pub mod schema;
 pub mod serialize;
 
 pub use canon::Canonicalized;
+pub use deps::{EnablementGraph, GuardDeps, RuleId};
 pub use error::CoreError;
 pub use formula::{Formula, PathExpr};
 pub use fragment::{DepthClass, Fragment, Polarity};

@@ -17,6 +17,8 @@
 //! baseline the reduction is validated against. A dining-philosophers
 //! generator provides scalable benchmark families.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 

@@ -37,6 +37,7 @@
 //! contract CI relies on (`fuzz --seed N` reproduces the identical case
 //! sequence).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builders;

@@ -27,6 +27,8 @@
 //! QSAT as known-hard problems; we need executable versions to round-trip
 //! the reductions.
 
+#![forbid(unsafe_code)]
+
 pub mod cdcl;
 pub mod dimacs;
 pub mod dpll;

@@ -16,6 +16,8 @@
 //! simulator with a step budget, and a library of machines with known
 //! behaviour for validating the Theorem 4.1 reduction.
 
+#![forbid(unsafe_code)]
+
 pub mod library;
 pub mod program;
 

@@ -20,6 +20,8 @@
 //! protocol under-specified (Thm 4.1's re-execution guard, Cor. 4.7's
 //! `∨`/`∧` swap), the repaired construction is documented in the module.
 
+#![forbid(unsafe_code)]
+
 pub mod completability_to_semisoundness;
 pub mod deadlock_to_completability;
 pub mod deletion_elimination;

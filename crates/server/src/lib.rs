@@ -29,6 +29,7 @@
 //! assert_eq!(finals.accepted, finals.completed);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod http;

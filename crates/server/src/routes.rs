@@ -26,6 +26,10 @@
 //! oracle calls — `graph-hit` (answered from the session's retained
 //! state graph), `frontier-extend` (resumed exploration from a retained
 //! state), `cold` (full re-analysis), or `none` (no oracle ran).
+//! `/v1/analyze` additionally carries `X-Method` — which algorithm
+//! produced the verdict (e.g. `static-screen` when the pre-exploration
+//! screener decided the problem with zero states expanded); the
+//! `static_screens` counter in `/metrics` tallies those.
 
 use crate::http::{json_escape, Request, Response};
 use crate::server::Shared;
@@ -72,6 +76,7 @@ fn metrics(shared: &Shared) -> Response {
              \"graph_hit_rate\":{:.4},\
              \"retained_states\":{},\"retained_bytes\":{},\
              \"graph_evictions\":{},\"evicted_bytes\":{},\
+             \"static_screens\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}",
             m.accepted,
             m.shed,
@@ -88,6 +93,7 @@ fn metrics(shared: &Shared) -> Response {
             m.retained_bytes,
             m.graph_evictions,
             m.evicted_bytes,
+            m.static_screens,
             c.hits,
             c.misses,
             c.hit_rate(),
@@ -128,8 +134,14 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
         .with_budget(shared.config.budget.clone())
         .with_threads(shared.inner_threads);
     let report = analyze_with(&request, Some(&shared.cache));
+    // Count only requests the screener itself decided (`screen` is `None`
+    // on cache hits, where the method is merely replayed from the entry).
+    if report.method == idar_solver::Method::StaticScreen && report.screen.is_some() {
+        shared.metrics.static_screens.fetch_add(1, Ordering::SeqCst);
+    }
     let verdict = report.verdict.to_string();
     let cache = report.cache.to_string();
+    let method = report.method.to_string();
     Response::json(
         200,
         format!(
@@ -138,7 +150,7 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
             report.kind,
             json_escape(&report.fragment.to_string()),
             verdict,
-            json_escape(&report.method.to_string()),
+            json_escape(&method),
             cache,
             report.stats.states,
             report.threads,
@@ -146,6 +158,7 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
     )
     .header("X-Verdict", verdict)
     .header("X-Cache", cache)
+    .header("X-Method", method)
 }
 
 /// The `X-Tenant` header, or the 400 telling the client it is required.

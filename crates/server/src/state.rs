@@ -128,6 +128,7 @@ pub struct Metrics {
     pub(crate) cold_solves: AtomicU64,
     pub(crate) graph_evictions: AtomicU64,
     pub(crate) evicted_bytes: AtomicU64,
+    pub(crate) static_screens: AtomicU64,
 }
 
 /// A point-in-time copy of [`Metrics`], plus cache and registry gauges.
@@ -156,6 +157,11 @@ pub struct MetricsSnapshot {
     pub graph_evictions: u64,
     /// Approximate bytes those evictions freed, cumulative.
     pub evicted_bytes: u64,
+    /// Analyses decided by the pre-exploration static screener with
+    /// zero states expanded — `/v1/analyze` requests plus session
+    /// oracle cold solves the screener answered. Cache hits replaying a
+    /// screened verdict are not counted.
+    pub static_screens: u64,
     /// Live tenants.
     pub tenants: usize,
     /// Live sessions across all tenants.
@@ -197,6 +203,7 @@ impl Metrics {
             cold_solves: self.cold_solves.load(Ordering::SeqCst),
             graph_evictions: self.graph_evictions.load(Ordering::SeqCst),
             evicted_bytes: self.evicted_bytes.load(Ordering::SeqCst),
+            static_screens: self.static_screens.load(Ordering::SeqCst),
             tenants: tenant_count,
             sessions: session_count,
             retained_states,
@@ -213,6 +220,8 @@ impl Metrics {
             .fetch_add(delta.frontier_extends, Ordering::SeqCst);
         self.cold_solves
             .fetch_add(delta.cold_solves, Ordering::SeqCst);
+        self.static_screens
+            .fetch_add(delta.screen_decided, Ordering::SeqCst);
     }
 
     /// Fold one session operation's graph evictions into the

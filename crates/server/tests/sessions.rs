@@ -133,7 +133,10 @@ fn tenants_with_identical_rules_share_the_cache() {
 }
 
 /// The stateless analyze route reports cache provenance: first request
-/// misses, an identical second request hits.
+/// misses, an identical second request hits. Both carry `X-Method`, and
+/// the static screener (which decides the two-sibling form without
+/// exploring) is counted once in `/metrics` — the cache hit replays the
+/// method without re-running the screener.
 #[test]
 fn analyze_reports_cache_provenance_across_requests() {
     let handle = Server::start("127.0.0.1:0", pin_config()).expect("server start");
@@ -145,12 +148,27 @@ fn analyze_reports_cache_provenance_across_requests() {
     assert_eq!(status, 200);
     assert_eq!(headers.get("x-verdict").map(String::as_str), Some("holds"));
     assert_eq!(headers.get("x-cache").map(String::as_str), Some("miss"));
+    assert_eq!(
+        headers.get("x-method").map(String::as_str),
+        Some("static-screen")
+    );
 
     let (status, headers, _) =
         exchange(addr, "POST", "/v1/analyze?kind=completability", None, &form);
     assert_eq!(status, 200);
     assert_eq!(headers.get("x-verdict").map(String::as_str), Some("holds"));
     assert_eq!(headers.get("x-cache").map(String::as_str), Some("hit"));
+    assert_eq!(
+        headers.get("x-method").map(String::as_str),
+        Some("static-screen")
+    );
+
+    let (status, _, body) = exchange(addr, "GET", "/metrics", None, "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"static_screens\":1"),
+        "screener must be counted once (not on the cache hit): {body}"
+    );
 
     handle.shutdown();
 }

@@ -12,6 +12,8 @@
 //! median is reported. `CRITERION_SHIM_SAMPLES` overrides the sample count
 //! globally (useful to smoke-run benches in CI with `=1`).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

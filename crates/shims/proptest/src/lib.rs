@@ -17,6 +17,8 @@
 //! Each `proptest!` test runs `ProptestConfig::cases` cases seeded from a
 //! hash of the test's name, so runs are stable across processes and CI.
 
+#![forbid(unsafe_code)]
+
 use std::rc::Rc;
 
 // ---------------------------------------------------------------------------

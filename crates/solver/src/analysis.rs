@@ -92,11 +92,19 @@ pub struct Budget {
     /// ([`crate::spill`]). **Not** verdict-affecting, hence not part of
     /// the cache key.
     pub memory: MemoryBudget,
+    /// Skip the pre-exploration static screener ([`mod@crate::screen`]).
+    /// The screener issues only sound verdicts and its dead-rule pruning
+    /// preserves the reachable state graph, so this flag is **not**
+    /// verdict-affecting — excluded from `PartialEq`/`Hash` below like
+    /// `memory`, so screened and unscreened runs share cache entries.
+    /// (The screener is also bypassed whenever `force_method` is set.)
+    pub skip_screen: bool,
 }
 
 impl PartialEq for Budget {
     fn eq(&self, other: &Self) -> bool {
-        // `memory` intentionally omitted — see the struct docs.
+        // `memory` and `skip_screen` intentionally omitted — see the
+        // struct docs.
         self.limits == other.limits
             && self.oracle_limits == other.oracle_limits
             && self.force_method == other.force_method
@@ -108,7 +116,8 @@ impl Eq for Budget {}
 
 impl std::hash::Hash for Budget {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        // `memory` intentionally omitted — must stay consistent with `eq`.
+        // `memory` and `skip_screen` intentionally omitted — must stay
+        // consistent with `eq`.
         self.limits.hash(state);
         self.oracle_limits.hash(state);
         self.force_method.hash(state);
@@ -235,6 +244,11 @@ pub struct AnalysisReport {
     /// layered callers (e.g. [`crate::batch::BatchAnalyzer`]) rely on the
     /// grant to keep total concurrency within one configured budget.
     pub threads: usize,
+    /// Counters from the static screener's pass over this request:
+    /// `Some` whenever the screener ran (cold completability or
+    /// semi-soundness without `force_method`/`skip_screen`), whether or
+    /// not it decided. `None` on cache hits and for satisfiability.
+    pub screen: Option<crate::screen::ScreenStats>,
 }
 
 /// Run the pipeline without a cache.
@@ -283,6 +297,7 @@ pub fn analyze_keyed(
             stats: hit.stats,
             cache: CacheProvenance::Hit,
             threads: granted_threads(request),
+            screen: None,
         };
     }
     let mut report = run_cold(request);
@@ -316,17 +331,60 @@ fn granted_threads(request: &AnalysisRequest) -> usize {
         .unwrap_or_else(crate::explore::default_threads)
 }
 
-/// Steps 2–4 of the pipeline: classify, select, run.
+/// Steps 2–4 of the pipeline: classify, **screen**, select, run. For
+/// completability and semi-soundness the static screener runs before
+/// method selection (probe order: cache → screen → exploration/SAT);
+/// a conclusive screen is the whole answer ([`Method::StaticScreen`],
+/// zero states), an inconclusive one still hands the chosen engine the
+/// dead-rule-pruned form — same reachable graph, smaller rule table.
 fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
     let fragment = idar_core::fragment::classify(&request.form);
     let threads = granted_threads(request);
+    // The screener is bypassed under `force_method` (ablations and
+    // differential tests must exercise the forced engine verbatim).
+    let screened = (request.budget.force_method.is_none()
+        && !request.budget.skip_screen
+        && matches!(
+            request.kind,
+            AnalysisKind::Completability | AnalysisKind::Semisoundness
+        ))
+    .then(|| crate::screen::screen(&request.form));
+    let screen_stats = screened.as_ref().map(|s| s.stats);
+    if let Some(s) = &screened {
+        let outcome = match request.kind {
+            AnalysisKind::Completability => &s.completability,
+            AnalysisKind::Semisoundness => &s.semisoundness,
+            AnalysisKind::Satisfiability => unreachable!("not screened"),
+        };
+        if let crate::screen::ScreenOutcome::Decided(verdict, run) = outcome {
+            return AnalysisReport {
+                kind: request.kind,
+                fragment,
+                verdict: *verdict,
+                method: Method::StaticScreen,
+                run: run.clone(),
+                sat_witness: None,
+                stats: SearchStats {
+                    closed: true,
+                    ..SearchStats::default()
+                },
+                cache: CacheProvenance::Uncached,
+                threads,
+                screen: screen_stats,
+            };
+        }
+    }
+    // Inconclusive screens prune; dead rules never fire at a reachable
+    // state, so the pruned form's verdict is the original's.
+    let pruned = screened
+        .as_ref()
+        .filter(|s| !s.dead_rules.is_empty())
+        .map(|s| crate::screen::prune(&request.form, &s.dead_rules));
+    let form = pruned.as_ref().unwrap_or(&request.form);
     match request.kind {
         AnalysisKind::Completability => {
-            let r = crate::completability::run_completability(
-                &request.form,
-                &request.budget,
-                request.threads,
-            );
+            let r =
+                crate::completability::run_completability(form, &request.budget, request.threads);
             AnalysisReport {
                 kind: request.kind,
                 fragment,
@@ -337,14 +395,11 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 stats: r.stats,
                 cache: CacheProvenance::Uncached,
                 threads,
+                screen: screen_stats,
             }
         }
         AnalysisKind::Semisoundness => {
-            let r = crate::semisound::run_semisoundness(
-                &request.form,
-                &request.budget,
-                request.threads,
-            );
+            let r = crate::semisound::run_semisoundness(form, &request.budget, request.threads);
             AnalysisReport {
                 kind: request.kind,
                 fragment,
@@ -355,6 +410,7 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 stats: r.stats,
                 cache: CacheProvenance::Uncached,
                 threads,
+                screen: screen_stats,
             }
         }
         AnalysisKind::Satisfiability => {
@@ -377,6 +433,7 @@ fn run_cold(request: &AnalysisRequest) -> AnalysisReport {
                 stats: SearchStats::default(),
                 cache: CacheProvenance::Uncached,
                 threads,
+                screen: None,
             }
         }
     }

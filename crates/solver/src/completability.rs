@@ -122,6 +122,29 @@ fn run_method(
             },
             Err(_) => run_method(form, Method::BoundedExploration, budget, threads),
         },
+        // Forcing the screener runs it alone: a conclusive outcome is the
+        // answer, an inconclusive one is an honest `Unknown` (the caller
+        // asked for the screen, not for the exploration behind it).
+        Method::StaticScreen => {
+            let s = crate::screen::screen(form);
+            match s.completability {
+                crate::screen::ScreenOutcome::Decided(verdict, run) => CompletabilityResult {
+                    verdict,
+                    method,
+                    witness_run: run,
+                    stats: SearchStats {
+                        closed: true,
+                        ..SearchStats::default()
+                    },
+                },
+                crate::screen::ScreenOutcome::Inconclusive => CompletabilityResult {
+                    verdict: Verdict::Unknown,
+                    method,
+                    witness_run: None,
+                    stats: SearchStats::default(),
+                },
+            }
+        }
         Method::BoundedExploration | Method::ReachableEnumeration | Method::SatTableau => {
             let mut explorer = Explorer::new(form, budget.limits)
                 .with_symmetry(budget.symmetry)
@@ -153,13 +176,27 @@ mod tests {
 
     #[test]
     fn leave_form_is_completable() {
-        // Ex. 3.12 with φ = f: completable. Depth 3, A−, so this runs the
-        // bounded explorer and must find a run.
+        // Ex. 3.12 with φ = f: completable by additions alone, so the
+        // static screener's greedy chase decides it before any state is
+        // expanded (probe order: screen → exploration).
         let g = leave::example_3_12();
         let r = completability(&g, &CompletabilityOptions::default());
         assert_eq!(r.verdict, Verdict::Holds);
-        assert_eq!(r.method, Method::BoundedExploration);
+        assert_eq!(r.method, Method::StaticScreen);
+        assert_eq!(r.stats.states, 0);
         assert!(g.is_complete_run(r.witness_run.as_ref().unwrap()));
+
+        // Forcing the explorer (depth 3, A−) must agree and find a run.
+        let forced = completability(
+            &g,
+            &CompletabilityOptions {
+                force_method: Some(Method::BoundedExploration),
+                ..CompletabilityOptions::default()
+            },
+        );
+        assert_eq!(forced.verdict, Verdict::Holds);
+        assert_eq!(forced.method, Method::BoundedExploration);
+        assert!(g.is_complete_run(forced.witness_run.as_ref().unwrap()));
     }
 
     #[test]

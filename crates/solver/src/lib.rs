@@ -22,6 +22,7 @@
 //! `Unknown` with the resource bound that was hit. Exact code paths
 //! document the theorem that licenses them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -35,6 +36,7 @@ pub mod np;
 pub mod positive;
 pub mod satengine;
 pub mod satisfiability;
+pub mod screen;
 pub mod semisound;
 pub mod session;
 pub mod spill;
@@ -57,6 +59,7 @@ pub use completability::{
 pub use depth1::Depth1System;
 pub use explore::{default_threads, ExploreLimits, ExploreOutcome, Explorer, StateGraph};
 pub use invariants::{check_invariant, check_invariants, InvariantResult};
+pub use screen::{prune, screen, ScreenOutcome, ScreenReport, ScreenStats};
 pub use semisound::{semisoundness, SemisoundnessOptions, SemisoundnessResult};
 pub use session::{ExpandEvent, ExpansionLog, SessionGraph};
 pub use spill::{MemoryBudget, SpillReport};

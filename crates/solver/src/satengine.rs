@@ -105,11 +105,24 @@ pub fn solve_abstraction(
     abs: &Abstraction,
     engine: idar_logic::Engine,
 ) -> Option<Option<idar_logic::Assignment>> {
-    let cnf = abs.prop.to_cnf_tseitin(abs.atoms.len());
+    solve_abstraction_budgeted(&abs.prop, abs.atoms.len(), engine, ENGINE_CONSULT_BUDGET)
+}
+
+/// [`solve_abstraction`] generalised to any propositional formula over
+/// `min_vars` atom variables and an explicit budget — the static
+/// screener's guard abstractions route through here with their own
+/// (smaller) budget.
+pub fn solve_abstraction_budgeted(
+    prop: &PropFormula,
+    min_vars: usize,
+    engine: idar_logic::Engine,
+    budget: u64,
+) -> Option<Option<idar_logic::Assignment>> {
+    let cnf = prop.to_cnf_tseitin(min_vars);
     if engine == idar_logic::Engine::BruteForce && cnf.vars > BRUTE_FORCE_MAX_VARS {
         return None;
     }
-    engine.solve_limited(&cnf, ENGINE_CONSULT_BUDGET)
+    engine.solve_limited(&cnf, budget)
 }
 
 /// Sound UNSAT pre-check: `true` means **no** rooted tree satisfies `f`

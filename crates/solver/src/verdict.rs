@@ -70,6 +70,10 @@ pub enum Method {
     /// The Cor. 4.5 obligation tableau deciding completion-formula
     /// satisfiability over the schema (exact within its branch budget).
     SatTableau,
+    /// The pre-exploration static screener ([`mod@crate::screen`]): may/must
+    /// abstract interpretation plus a greedy chase, zero states expanded.
+    /// Only sound (conclusive) screen verdicts are ever reported.
+    StaticScreen,
 }
 
 impl fmt::Display for Method {
@@ -81,6 +85,7 @@ impl fmt::Display for Method {
             Method::BoundedExploration => "bounded-exploration",
             Method::ReachableEnumeration => "reachable-enumeration",
             Method::SatTableau => "sat-tableau (Cor 4.5)",
+            Method::StaticScreen => "static-screen",
         };
         write!(f, "{s}")
     }

@@ -22,6 +22,8 @@
 //!   nets whose reachability graph coincides with the canonical state
 //!   space (the workflow-net soundness vocabulary, made executable).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod manager;
 pub mod petri;

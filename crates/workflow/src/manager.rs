@@ -99,6 +99,10 @@ pub struct RecomputeStats {
     pub frontier_extends: u64,
     /// Verdicts delegated to the cold analysis pipeline.
     pub cold_solves: u64,
+    /// Cold solves the pre-exploration static screener decided (a
+    /// subset of `cold_solves`: the pipeline ran, but answered before
+    /// expanding a single state).
+    pub screen_decided: u64,
 }
 
 impl RecomputeStats {
@@ -126,6 +130,7 @@ impl RecomputeStats {
                 .frontier_extends
                 .saturating_sub(earlier.frontier_extends),
             cold_solves: self.cold_solves.saturating_sub(earlier.cold_solves),
+            screen_decided: self.screen_decided.saturating_sub(earlier.screen_decided),
         }
     }
 }
@@ -460,7 +465,13 @@ impl FormManager {
         if let Some(t) = self.threads {
             request = request.with_threads(t);
         }
-        analyze_keyed(&request, &self.cache, &key).verdict
+        let report = analyze_keyed(&request, &self.cache, &key);
+        // `screen` is `None` on cache hits, so this counts only calls
+        // the screener itself answered (zero states expanded).
+        if report.method == Method::StaticScreen && report.screen.is_some() {
+            self.bump(|r| r.screen_decided += 1);
+        }
+        report.verdict
     }
 
     /// Build the session graph on the first oracle call of an eligible

@@ -187,3 +187,90 @@ fn deep_chains_complete_up_to_depth_twelve() {
         assert_eq!(run.len(), depth + 1, "depth {depth}");
     }
 }
+
+/// Static-screener pins for the named corpus, next to the verdict pins
+/// above: the screener must decide exactly the reasoned cases, with
+/// zero states explored, and flag the reasoned rules dead.
+#[test]
+fn named_scenarios_screen_pins() {
+    use idar::core::Right;
+    use idar::solver::{screen, Method, ScreenOutcome};
+
+    let named = named_scenarios();
+    let get = |name: &str| {
+        &named
+            .iter()
+            .find(|n| n.scenario.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from the corpus"))
+            .scenario
+    };
+
+    // sod_infeasible: one user across two SoD-separated levels — the
+    // level-2 signature guard is propositionally unsatisfiable, so the
+    // completion's `done(2)` falls outside the may-set. Refuted
+    // statically, for both problems, with zero states explored.
+    let sod = get("sod_infeasible");
+    let r = screen(&sod.form);
+    assert_eq!(r.completability.verdict(), Some(Verdict::Fails));
+    assert_eq!(r.semisoundness.verdict(), Some(Verdict::Fails));
+    assert_eq!(r.stats.chase_steps, 0, "refutation must not build states");
+    let report = analyze(
+        &AnalysisRequest::completability(sod.form.clone())
+            .with_budget(budget(SymmetryMode::Reduced)),
+    );
+    assert_eq!(report.verdict, Verdict::Fails);
+    assert_eq!(report.method, Method::StaticScreen);
+    assert_eq!(report.stats.states, 0, "StaticNo explores zero states");
+
+    // clean_chain: deletion-free; the greedy chase threads the chain and
+    // certifies completability with a replayable witness run.
+    let clean = get("clean_chain");
+    assert!(clean.form.is_deletion_free());
+    let r = screen(&clean.form);
+    let ScreenOutcome::Decided(v, Some(run)) = &r.completability else {
+        panic!("clean_chain: expected a decided outcome with a witness");
+    };
+    assert_eq!(*v, Verdict::Holds);
+    assert!(clean.form.is_complete_run(run));
+    assert!(r.dead_rules.is_empty(), "clean_chain has no dead rules");
+    let report = analyze(
+        &AnalysisRequest::completability(clean.form.clone())
+            .with_budget(budget(SymmetryMode::Reduced)),
+    );
+    assert_eq!(report.method, Method::StaticScreen);
+    assert_eq!(report.stats.states, 0);
+
+    // delegation_cycle: the two delegation edges each require the other
+    // to fire first — both are dead, and with them the level-2
+    // signature rules they would have enabled.
+    let cyc = get("delegation_cycle");
+    let r = screen(&cyc.form);
+    assert_eq!(r.completability.verdict(), Some(Verdict::Fails));
+    let schema = cyc.form.schema();
+    let dead_edges: Vec<String> = r
+        .dead_rules
+        .iter()
+        .filter(|d| d.right == Right::Add)
+        .map(|d| schema.label(d.edge).to_string())
+        .collect();
+    let delegation_edges: Vec<&str> = dead_edges
+        .iter()
+        .map(String::as_str)
+        .filter(|l| l.starts_with("d2_"))
+        .collect();
+    assert_eq!(
+        delegation_edges.len(),
+        2,
+        "both cyclic delegation rules must be flagged dead (got {dead_edges:?})"
+    );
+    for d in &r.dead_rules {
+        // Dead rules are sound: exploring with them pruned must not
+        // change a single allowed update anywhere reachable. Spot-check
+        // the initial instance.
+        let pruned = idar::solver::prune(&cyc.form, std::slice::from_ref(d));
+        assert_eq!(
+            cyc.form.allowed_updates(cyc.form.initial()),
+            pruned.allowed_updates(pruned.initial())
+        );
+    }
+}
